@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Ablation A6: cache pollution and loan-churn (Section 3.1).
+ *
+ * "There are other hidden costs to reallocating CPUs, such as cache
+ * pollution. A more sophisticated implementation of the sharing
+ * policy could try to reduce these costs by preventing frequent
+ * reallocation of CPUs for sharing, if the algorithm detects that the
+ * allocation is being revoked frequently."
+ *
+ * With a per-migration cache-refill cost enabled, an I/O-punctuated
+ * home workload whose CPUs are constantly borrowed and revoked pays
+ * that cost on every bounce. The loan hold-off keeps a revoked CPU
+ * home-only for a window, trading a little sharing for less churn.
+ */
+
+#include <cstdio>
+
+#include "src/piso.hh"
+
+using namespace piso;
+
+namespace {
+
+struct Point
+{
+    double homeSec = 0.0;      //!< mean response of the home jobs
+    double borrowerSec = 0.0;  //!< mean response of the foreign hogs
+    std::uint64_t revocations = 0;
+    std::uint64_t penalties = 0;
+};
+
+Point
+run(Time holdoff, std::uint64_t seed)
+{
+    SystemConfig cfg;
+    cfg.cpus = 4;
+    cfg.memoryBytes = 32 * kMiB;
+    cfg.diskCount = 2;
+    cfg.scheme = Scheme::PIso;
+    cfg.loanHoldoff = holdoff;
+    cfg.kernel.cacheAffinityCost = 500 * kUs; // L2 refill after bounce
+    cfg.seed = seed;
+
+    Simulation sim(cfg);
+    const SpuId home = sim.addSpu({.name = "home", .homeDisk = 0});
+    const SpuId batch = sim.addSpu({.name = "batch", .homeDisk = 1});
+
+    // Home: four I/O-punctuated jobs — short computes separated by
+    // disk reads, so their CPUs go idle (and get borrowed) briefly
+    // but constantly.
+    PmakeConfig pm;
+    pm.parallelism = 2;
+    pm.filesPerWorker = 25;
+    pm.compileCpu = 10 * kMs;
+    pm.workerWsPages = 100;
+    sim.addJob(home, makePmake("home0", pm));
+    sim.addJob(home, makePmake("home1", pm));
+
+    for (int i = 0; i < 6; ++i) {
+        ComputeSpec hog;
+        hog.totalCpu = 3 * kSec;
+        hog.wsPages = 64;
+        sim.addJob(batch,
+                   makeComputeJob("hog" + std::to_string(i), hog));
+    }
+
+    const SimResults r = sim.run();
+    Point p;
+    p.homeSec = r.meanResponseSecByPrefix("home");
+    p.borrowerSec = r.meanResponseSecByPrefix("hog");
+    p.revocations =
+        dynamic_cast<PisoScheduler &>(sim.scheduler()).revocations();
+    p.penalties = r.kernel.affinityPenalties.value();
+    return p;
+}
+
+Point
+mean(Time holdoff)
+{
+    Point sum;
+    for (std::uint64_t seed : {1, 2, 3}) {
+        const Point p = run(holdoff, seed);
+        sum.homeSec += p.homeSec;
+        sum.borrowerSec += p.borrowerSec;
+        sum.revocations += p.revocations;
+        sum.penalties += p.penalties;
+    }
+    sum.homeSec /= 3;
+    sum.borrowerSec /= 3;
+    sum.revocations /= 3;
+    sum.penalties /= 3;
+    return sum;
+}
+
+} // namespace
+
+int
+main()
+{
+    printBanner("Ablation A6: loan hold-off vs reallocation churn "
+                "(cache refill 500 us)");
+
+    TextTable table({"hold-off", "home jobs (s)", "hogs (s)",
+                     "revocations", "affinity penalties"});
+    for (Time h : {Time{0}, 10 * kMs, 50 * kMs, 200 * kMs, kSec}) {
+        const Point p = mean(h);
+        table.addRow({formatTime(h), TextTable::num(p.homeSec, 2),
+                      TextTable::num(p.borrowerSec, 2),
+                      std::to_string(p.revocations),
+                      std::to_string(p.penalties)});
+    }
+    table.print();
+
+    std::printf("\nexpected: hold-off cuts revocation churn and the "
+                "home jobs' cache penalties;\npushed too far it "
+                "approaches fixed quotas and the hogs lose their "
+                "borrowed cycles.\n");
+    return 0;
+}

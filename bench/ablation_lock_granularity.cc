@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Ablation A4: kernel-lock granularity (Section 3.4).
+ *
+ * The paper changed the inode semaphore from mutual exclusion to
+ * multiple-readers/one-writer because "the dominant operation is
+ * lookups", improving base-IRIX response time by 20-30% on a
+ * four-processor system for some workloads — and the fix was
+ * *required* for performance isolation (a contended mutex lets one
+ * SPU stall another inside the kernel).
+ *
+ * We run parallel pmakes whose metadata operations contend on the
+ * inode lock in both modes, under SMP (the base-system improvement)
+ * and under PIso (the isolation leak).
+ */
+
+#include <cstdio>
+
+#include "src/piso.hh"
+
+using namespace piso;
+
+namespace {
+
+double
+runPmakes(Scheme scheme, bool readersWriter, std::uint64_t seed,
+          double *lightOut = nullptr)
+{
+    SystemConfig cfg;
+    cfg.cpus = 4;
+    cfg.memoryBytes = 44 * kMiB;
+    cfg.diskCount = 4;
+    cfg.scheme = scheme;
+    cfg.seed = seed;
+
+    Simulation sim(cfg);
+    const int inode = sim.kernel().createLock(readersWriter);
+
+    // A metadata-heavy build: small sources, short compiles, and a
+    // hot root-inode lookup path — the lock, not the disk, is the
+    // scaling limit, as in the paper's contended workloads.
+    PmakeConfig pm;
+    pm.parallelism = 4;
+    pm.filesPerWorker = 12;
+    pm.compileCpu = 10 * kMs;
+    pm.srcBytes = 4096;
+    pm.objBytes = 4096;
+    pm.metadataSync = false;
+    pm.workerWsPages = 100;
+    pm.inodeLock = inode;
+    pm.lockHold = 8 * kMs;
+
+    std::vector<SpuId> spus;
+    for (int u = 0; u < 4; ++u) {
+        const SpuId spu =
+            sim.addSpu({.name = "u" + std::to_string(u),
+                        .homeDisk = static_cast<DiskId>(u)});
+        spus.push_back(spu);
+        sim.addJob(spu, makePmake("pm" + std::to_string(u), pm));
+    }
+
+    const SimResults r = sim.run();
+    if (lightOut)
+        *lightOut = r.meanResponseSec({spus[0]});
+    return r.meanResponseSecByPrefix("pm");
+}
+
+double
+mean(Scheme scheme, bool rw)
+{
+    double sum = 0.0;
+    for (std::uint64_t seed : {1, 2, 3})
+        sum += runPmakes(scheme, rw, seed);
+    return sum / 3.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    printBanner("Ablation A4: inode-lock granularity "
+                "(4 parallel pmakes, 4 CPUs)");
+
+    TextTable table({"scheme", "mutex (s)", "rw lock (s)",
+                     "improvement"});
+    for (Scheme s : {Scheme::Smp, Scheme::PIso}) {
+        const double mtx = mean(s, false);
+        const double rw = mean(s, true);
+        table.addRow({schemeName(s), TextTable::num(mtx, 2),
+                      TextTable::num(rw, 2),
+                      TextTable::num(100.0 * (1.0 - rw / mtx), 0) + "%"});
+    }
+    table.print();
+
+    std::printf("\npaper: the readers-writer fix improved base-IRIX "
+                "response by 20-30%% on a\n4-CPU system and was "
+                "required for isolation to hold at all.\n");
+    return 0;
+}

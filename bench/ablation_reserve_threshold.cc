@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Ablation A2: the Reserve Threshold (Section 3.2).
+ *
+ * The Reserve hides the revocation cost of lent memory: a lender that
+ * suddenly needs pages takes them from the free reserve instantly
+ * while the policy claws lent pages back from borrowers. Too small a
+ * reserve breaks isolation (the lender blocks on the borrower's dirty
+ * pageouts); too large a reserve wastes memory that could have been
+ * lent. The paper picks 8%.
+ *
+ * Workload: SPU A idles then suddenly grows a working set; SPU B
+ * borrows heavily in the meantime. We report A's ramp job response
+ * (isolation under revocation) and B's hog response (sharing yield).
+ */
+
+#include <cstdio>
+
+#include "src/piso.hh"
+
+using namespace piso;
+
+namespace {
+
+struct Point
+{
+    double lenderSec = 0.0;
+    double borrowerSec = 0.0;
+};
+
+Point
+run(double reserveFraction)
+{
+    Point sum;
+    int n = 0;
+    for (std::uint64_t seed : {1, 2, 3}) {
+        SystemConfig cfg;
+        cfg.cpus = 4;
+        cfg.memoryBytes = 16 * kMiB;
+        cfg.diskCount = 2;
+        cfg.scheme = Scheme::PIso;
+        cfg.memPolicy.reserveFraction = reserveFraction;
+        cfg.seed = seed;
+
+        Simulation sim(cfg);
+        const SpuId lender = sim.addSpu({.name = "lender", .homeDisk = 0});
+        const SpuId borrower =
+            sim.addSpu({.name = "borrower", .homeDisk = 1});
+
+        // The borrower wants far more than its half for four seconds.
+        ComputeSpec hog;
+        hog.totalCpu = 4 * kSec;
+        hog.wsPages = 2600;
+        sim.addJob(borrower, makeComputeJob("hog", hog));
+
+        // The lender wakes at t=1s and ramps a 1200-page working set.
+        std::vector<Action> ramp;
+        ramp.push_back(GrowMemAction{1200});
+        ramp.push_back(ComputeAction{1500 * kMs});
+        JobSpec rampJob = makeScriptJob("ramp", std::move(ramp), kSec);
+        sim.addJob(lender, std::move(rampJob));
+
+        const SimResults r = sim.run();
+        sum.lenderSec += r.job("ramp").responseSec();
+        sum.borrowerSec += r.job("hog").responseSec();
+        ++n;
+    }
+    sum.lenderSec /= n;
+    sum.borrowerSec /= n;
+    return sum;
+}
+
+} // namespace
+
+int
+main()
+{
+    printBanner("Ablation A2: Reserve Threshold sweep "
+                "(lender ramps while borrower holds its pages)");
+
+    TextTable table({"reserve", "lender ramp (s)", "borrower hog (s)"});
+    for (double f : {0.0, 0.02, 0.04, 0.08, 0.16, 0.30}) {
+        const Point p = run(f);
+        table.addRow({TextTable::num(100.0 * f, 0) + "%",
+                      TextTable::num(p.lenderSec, 2),
+                      TextTable::num(p.borrowerSec, 2)});
+    }
+    table.print();
+
+    std::printf("\nexpected: tiny reserves slow the lender's ramp (it "
+                "waits on revocation\npageouts); huge reserves slow the "
+                "borrower (less memory lent). The paper's\n8%% sits in "
+                "the flat middle.\n");
+    return 0;
+}

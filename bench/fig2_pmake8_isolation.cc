@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Figure 2 reproduction: effect of isolation in the Pmake8 workload.
+ *
+ * Average response time of the jobs in the lightly-loaded SPUs (1-4)
+ * in the balanced (B) and unbalanced (U) configurations, normalised
+ * to SMP in the balanced configuration (= 100).
+ *
+ * Paper shape: SMP-U ~ 156 (no isolation: +56% from others' load);
+ * Quo and PIso stay ~ 100 in both configurations.
+ */
+
+#include <cstdio>
+
+#include "bench/pmake8.hh"
+#include "src/metrics/report.hh"
+
+using namespace piso;
+using namespace piso::bench;
+
+int
+main()
+{
+    printBanner("Figure 2: Pmake8 isolation — light SPUs (1-4), "
+                "normalised response time");
+
+    double base = 0.0;
+    TextTable table({"scheme", "balanced", "unbalanced", "paper B",
+                     "paper U"});
+    const char *paperB[] = {"100", "~100", "~100"};
+    const char *paperU[] = {"156", "~100", "~100"};
+
+    auto light = [](const Pmake8Run &r) {
+        return r.results.meanResponseSec(r.lightSpus);
+    };
+
+    int row = 0;
+    for (Scheme scheme : {Scheme::Smp, Scheme::Quota, Scheme::PIso}) {
+        const double bSec = pmake8Mean(scheme, false, light);
+        const double uSec = pmake8Mean(scheme, true, light);
+        if (scheme == Scheme::Smp)
+            base = bSec;
+        table.addRow({schemeName(scheme),
+                      TextTable::num(normalize(bSec, base), 0),
+                      TextTable::num(normalize(uSec, base), 0),
+                      paperB[row], paperU[row]});
+        ++row;
+    }
+    table.print();
+    std::printf("\n(response of jobs in SPUs 1-4; SMP balanced = 100; "
+                "isolation holds when U stays near B)\n");
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Figure 3 reproduction: effect of resource sharing in the Pmake8
+ * workload.
+ *
+ * Average response time of the jobs in the heavily-loaded SPUs (5-8)
+ * in the unbalanced (12-job) configuration, normalised to SMP in the
+ * balanced configuration (= 100).
+ *
+ * Paper shape: SMP 156 (ideal sharing), Quo 187 (idle resources
+ * wasted), PIso 146 (isolation *and* borrowing of idle resources).
+ */
+
+#include <cstdio>
+
+#include "bench/pmake8.hh"
+#include "src/metrics/report.hh"
+
+using namespace piso;
+using namespace piso::bench;
+
+int
+main()
+{
+    printBanner("Figure 3: Pmake8 sharing — heavy SPUs (5-8), "
+                "unbalanced, normalised response time");
+
+    const double base =
+        pmake8Mean(Scheme::Smp, false, [](const Pmake8Run &r) {
+            return r.results.meanResponseSec(r.lightSpus);
+        });
+
+    TextTable table({"scheme", "unbalanced", "paper"});
+    const char *paper[] = {"156", "187", "146"};
+    int row = 0;
+    for (Scheme scheme : {Scheme::Smp, Scheme::Quota, Scheme::PIso}) {
+        const double uSec =
+            pmake8Mean(scheme, true, [](const Pmake8Run &r) {
+                return r.results.meanResponseSec(r.heavySpus);
+            });
+        table.addRow({schemeName(scheme),
+                      TextTable::num(normalize(uSec, base), 0),
+                      paper[row]});
+        ++row;
+    }
+    table.print();
+    std::printf("\n(response of jobs in SPUs 5-8; SMP balanced = 100; "
+                "PIso should beat SMP slightly and Quo clearly)\n");
+    return 0;
+}

@@ -1,0 +1,334 @@
+#include "src/config/workload_spec.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/sim/log.hh"
+#include "src/workload/filecopy.hh"
+#include "src/workload/oltp.hh"
+#include "src/workload/pmake.hh"
+#include "src/workload/scientific.hh"
+#include "src/workload/synthetic.hh"
+#include "src/workload/webserver.hh"
+
+namespace piso {
+
+namespace {
+
+using Options = std::map<std::string, std::string>;
+
+/** Split a line into whitespace-separated tokens. */
+std::vector<std::string>
+tokenize(const std::string &line)
+{
+    std::vector<std::string> out;
+    std::istringstream is(line);
+    std::string tok;
+    while (is >> tok)
+        out.push_back(tok);
+    return out;
+}
+
+/** Parse trailing `key=value` tokens into a map. */
+Options
+parseOptions(const std::vector<std::string> &tokens, std::size_t first,
+             int line)
+{
+    Options opts;
+    for (std::size_t i = first; i < tokens.size(); ++i) {
+        const std::string &tok = tokens[i];
+        const auto eq = tok.find('=');
+        if (eq == std::string::npos || eq == 0 ||
+            eq == tok.size() - 1) {
+            PISO_FATAL("line ", line, ": expected key=value, got '",
+                       tok, "'");
+        }
+        const std::string key = tok.substr(0, eq);
+        if (opts.count(key))
+            PISO_FATAL("line ", line, ": duplicate option '", key, "'");
+        opts[key] = tok.substr(eq + 1);
+    }
+    return opts;
+}
+
+/** Typed accessors that consume keys (leftovers are typos). */
+class OptionReader
+{
+  public:
+    OptionReader(Options opts, int line)
+        : opts_(std::move(opts)), line_(line)
+    {
+    }
+
+    std::string
+    str(const std::string &key, const std::string &def)
+    {
+        auto it = opts_.find(key);
+        if (it == opts_.end())
+            return def;
+        std::string v = it->second;
+        opts_.erase(it);
+        return v;
+    }
+
+    double
+    num(const std::string &key, double def)
+    {
+        auto it = opts_.find(key);
+        if (it == opts_.end())
+            return def;
+        try {
+            std::size_t pos = 0;
+            const double v = std::stod(it->second, &pos);
+            if (pos != it->second.size())
+                throw std::invalid_argument("trailing");
+            opts_.erase(it);
+            return v;
+        } catch (const std::exception &) {
+            PISO_FATAL("line ", line_, ": option '", key,
+                       "' wants a number, got '", it->second, "'");
+        }
+    }
+
+    std::int64_t
+    integer(const std::string &key, std::int64_t def)
+    {
+        const double v = num(key, static_cast<double>(def));
+        return static_cast<std::int64_t>(v);
+    }
+
+    /** All options must have been consumed. */
+    void
+    finish() const
+    {
+        if (!opts_.empty()) {
+            PISO_FATAL("line ", line_, ": unknown option '",
+                       opts_.begin()->first, "'");
+        }
+    }
+
+  private:
+    Options opts_;
+    int line_;
+};
+
+Scheme
+parseScheme(const std::string &s, int line)
+{
+    if (s == "smp")
+        return Scheme::Smp;
+    if (s == "quota" || s == "quo")
+        return Scheme::Quota;
+    if (s == "piso")
+        return Scheme::PIso;
+    PISO_FATAL("line ", line, ": unknown scheme '", s,
+               "' (smp|quota|piso)");
+}
+
+DiskPolicy
+parseDiskPolicy(const std::string &s, int line)
+{
+    if (s == "default")
+        return DiskPolicy::SchemeDefault;
+    if (s == "pos")
+        return DiskPolicy::HeadPosition;
+    if (s == "iso")
+        return DiskPolicy::BlindFair;
+    if (s == "piso")
+        return DiskPolicy::FairPosition;
+    PISO_FATAL("line ", line, ": unknown disk policy '", s,
+               "' (default|pos|iso|piso)");
+}
+
+} // namespace
+
+WorkloadSpec
+parseWorkloadSpec(const std::string &text)
+{
+    WorkloadSpec spec;
+    bool sawMachine = false;
+    std::istringstream is(text);
+    std::string line;
+    int lineNo = 0;
+    int autoJob = 0;
+
+    while (std::getline(is, line)) {
+        ++lineNo;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        const auto tokens = tokenize(line);
+        if (tokens.empty())
+            continue;
+
+        const std::string &kind = tokens[0];
+        if (kind == "machine") {
+            if (sawMachine)
+                PISO_FATAL("line ", lineNo, ": duplicate machine line");
+            sawMachine = true;
+            OptionReader r(parseOptions(tokens, 1, lineNo), lineNo);
+            spec.config.cpus =
+                static_cast<int>(r.integer("cpus", 8));
+            spec.config.memoryBytes = static_cast<std::uint64_t>(
+                                          r.integer("memory_mb", 64)) *
+                                      kMiB;
+            spec.config.diskCount =
+                static_cast<int>(r.integer("disks", 1));
+            spec.config.scheme =
+                parseScheme(r.str("scheme", "piso"), lineNo);
+            spec.config.diskPolicy =
+                parseDiskPolicy(r.str("disk_policy", "default"),
+                                lineNo);
+            spec.config.seed =
+                static_cast<std::uint64_t>(r.integer("seed", 1));
+            spec.config.maxTime = fromSeconds(
+                r.num("max_time_s", toSeconds(spec.config.maxTime)));
+            spec.config.networkBitsPerSec =
+                r.num("network_mbps", 0.0) * 1e6;
+            spec.config.bwThresholdSectors =
+                r.num("bw_threshold", spec.config.bwThresholdSectors);
+            spec.config.diskParams.seekScale =
+                r.num("seek_scale", 1.0);
+            spec.config.ipiRevocation =
+                r.integer("ipi_revocation", 0) != 0;
+            r.finish();
+        } else if (kind == "spu") {
+            if (tokens.size() < 2)
+                PISO_FATAL("line ", lineNo, ": spu needs a name");
+            SpuDecl s;
+            s.name = tokens[1];
+            OptionReader r(parseOptions(tokens, 2, lineNo), lineNo);
+            s.share = r.num("share", 1.0);
+            s.disk = static_cast<DiskId>(r.integer("disk", 0));
+            r.finish();
+            for (const SpuDecl &other : spec.spus) {
+                if (other.name == s.name)
+                    PISO_FATAL("line ", lineNo, ": duplicate spu '",
+                               s.name, "'");
+            }
+            spec.spus.push_back(std::move(s));
+        } else if (kind == "job") {
+            if (tokens.size() < 3)
+                PISO_FATAL("line ", lineNo,
+                           ": job needs <spu> <kind> [options]");
+            JobDecl j;
+            j.spu = tokens[1];
+            j.kind = tokens[2];
+            j.options = parseOptions(tokens, 3, lineNo);
+            j.line = lineNo;
+            auto it = j.options.find("name");
+            if (it != j.options.end()) {
+                j.name = it->second;
+                j.options.erase(it);
+            } else {
+                j.name = j.kind + std::to_string(autoJob++);
+            }
+            const bool known =
+                j.kind == "pmake" || j.kind == "copy" ||
+                j.kind == "compute" || j.kind == "ocean" ||
+                j.kind == "oltp" || j.kind == "web";
+            if (!known)
+                PISO_FATAL("line ", lineNo, ": unknown job kind '",
+                           j.kind, "'");
+            bool spuKnown = false;
+            for (const SpuDecl &s : spec.spus)
+                spuKnown |= s.name == j.spu;
+            if (!spuKnown)
+                PISO_FATAL("line ", lineNo, ": job references unknown "
+                           "spu '", j.spu, "'");
+            spec.jobs.push_back(std::move(j));
+        } else {
+            PISO_FATAL("line ", lineNo, ": unknown directive '", kind,
+                       "' (machine|spu|job)");
+        }
+    }
+
+    if (spec.spus.empty())
+        PISO_FATAL("workload spec declares no SPUs");
+    if (spec.jobs.empty())
+        PISO_FATAL("workload spec declares no jobs");
+    return spec;
+}
+
+JobSpec
+buildJob(const JobDecl &decl)
+{
+    OptionReader r(decl.options, decl.line);
+    const Time startAt = fromSeconds(r.num("start_s", 0.0));
+    JobSpec job;
+
+    if (decl.kind == "pmake") {
+        PmakeConfig c;
+        c.parallelism = static_cast<int>(r.integer("workers", 2));
+        c.filesPerWorker = static_cast<int>(r.integer("files", 12));
+        c.compileCpu = fromMillis(r.num("compile_ms", 120.0));
+        c.workerWsPages = static_cast<std::uint64_t>(
+            r.integer("ws_pages", 600));
+        job = makePmake(decl.name, c);
+    } else if (decl.kind == "copy") {
+        FileCopyConfig c;
+        c.bytes = static_cast<std::uint64_t>(
+                      r.integer("bytes_kb", 20 * 1024)) *
+                  1024;
+        job = makeFileCopy(decl.name, c);
+    } else if (decl.kind == "compute") {
+        ComputeSpec c;
+        c.totalCpu = fromMillis(r.num("cpu_ms", 1000.0));
+        c.wsPages = static_cast<std::uint64_t>(
+            r.integer("ws_pages", 256));
+        job = makeComputeJob(decl.name, c);
+    } else if (decl.kind == "ocean") {
+        OceanConfig c;
+        c.processes = static_cast<int>(r.integer("procs", 4));
+        c.iterations = static_cast<int>(r.integer("iters", 400));
+        c.grain = fromMillis(r.num("grain_ms", 20.0));
+        c.wsPagesPerProc = static_cast<std::uint64_t>(
+            r.integer("ws_pages", 512));
+        job = makeOcean(decl.name, c);
+    } else if (decl.kind == "oltp") {
+        OltpConfig c;
+        c.servers = static_cast<int>(r.integer("servers", 4));
+        c.transactionsPerServer =
+            static_cast<int>(r.integer("txns", 100));
+        c.txnCpu = fromMillis(r.num("txn_ms", 2.0));
+        c.updateFraction = r.num("update_frac", 0.3);
+        c.tableBytes = static_cast<std::uint64_t>(
+                           r.integer("table_mb", 64)) *
+                       kMiB;
+        job = makeOltp(decl.name, c);
+    } else if (decl.kind == "web") {
+        WebServerConfig c;
+        c.workers = static_cast<int>(r.integer("workers", 4));
+        c.requestsPerWorker =
+            static_cast<int>(r.integer("requests", 200));
+        c.requestCpu = fromMillis(r.num("request_ms", 0.5));
+        c.responseBytes = static_cast<std::uint64_t>(
+                              r.integer("response_kb", 16)) *
+                          1024;
+        c.documents = static_cast<int>(r.integer("documents", 200));
+        job = makeWebServer(decl.name, c);
+    } else {
+        PISO_FATAL("line ", decl.line, ": unknown job kind '",
+                   decl.kind, "'");
+    }
+
+    job.startAt = startAt;
+    r.finish();
+    return job;
+}
+
+SimResults
+runWorkloadSpec(const WorkloadSpec &spec)
+{
+    Simulation sim(spec.config);
+    std::map<std::string, SpuId> ids;
+    for (const SpuDecl &s : spec.spus) {
+        ids[s.name] = sim.addSpu(
+            {.name = s.name, .share = s.share, .homeDisk = s.disk});
+    }
+    for (const JobDecl &j : spec.jobs)
+        sim.addJob(ids.at(j.spu), buildJob(j));
+    return sim.run();
+}
+
+} // namespace piso

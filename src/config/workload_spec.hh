@@ -1,0 +1,76 @@
+#ifndef PISO_CONFIG_WORKLOAD_SPEC_HH
+#define PISO_CONFIG_WORKLOAD_SPEC_HH
+
+/**
+ * @file
+ * A small text format describing a machine, its SPUs, and their jobs,
+ * so experiments can be run from a file (tools/piso_run) without
+ * writing C++. Line-based, `#` comments, `key=value` options:
+ *
+ * @code
+ *   machine cpus=8 memory_mb=44 disks=8 scheme=piso seed=1
+ *   spu alice share=1 disk=0
+ *   spu bob share=2 disk=1
+ *   job alice pmake   name=build workers=2 files=8
+ *   job bob   copy    name=cp bytes_kb=20480
+ *   job bob   compute name=hog cpu_ms=5000 ws_pages=400
+ *   job alice ocean   name=sim procs=4 iters=100 grain_ms=20
+ *   job bob   oltp    name=db servers=4 txns=100
+ *   job bob   web     name=www workers=4 requests=200
+ * @endcode
+ *
+ * Unknown keys are errors (typos must not silently change an
+ * experiment); all values have the library's defaults.
+ */
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/metrics/results.hh"
+#include "src/simulation.hh"
+
+namespace piso {
+
+/** One `spu` line. */
+struct SpuDecl
+{
+    std::string name;
+    double share = 1.0;
+    DiskId disk = 0;
+};
+
+/** One `job` line. */
+struct JobDecl
+{
+    std::string spu;
+    std::string kind;   //!< pmake | copy | compute | ocean | oltp | web
+    std::string name;
+    std::map<std::string, std::string> options;
+    int line = 0;       //!< source line (for error messages)
+};
+
+/** A parsed workload file. */
+struct WorkloadSpec
+{
+    SystemConfig config;
+    std::vector<SpuDecl> spus;
+    std::vector<JobDecl> jobs;
+};
+
+/**
+ * Parse the text format.
+ * @throws std::runtime_error (via PISO_FATAL) with the offending line
+ *         number on any syntax or semantic error.
+ */
+WorkloadSpec parseWorkloadSpec(const std::string &text);
+
+/** Construct the described Simulation's jobs and run it. */
+SimResults runWorkloadSpec(const WorkloadSpec &spec);
+
+/** Build the JobSpec described by @p decl (exposed for testing). */
+JobSpec buildJob(const JobDecl &decl);
+
+} // namespace piso
+
+#endif // PISO_CONFIG_WORKLOAD_SPEC_HH

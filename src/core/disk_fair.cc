@@ -1,0 +1,213 @@
+#include "src/core/disk_fair.hh"
+
+#include <cmath>
+#include <set>
+
+#include "src/os/cscan.hh"
+#include "src/sim/log.hh"
+
+namespace piso {
+
+DiskBandwidthTracker::DiskBandwidthTracker(Time halfLife)
+    : halfLife_(halfLife)
+{
+    if (halfLife_ == 0)
+        PISO_FATAL("bandwidth decay half-life must be non-zero");
+}
+
+DiskBandwidthTracker::Entry &
+DiskBandwidthTracker::entry(SpuId spu)
+{
+    return entries_[spu];
+}
+
+double
+DiskBandwidthTracker::decayed(const Entry &e, Time now) const
+{
+    if (now <= e.last || e.count == 0.0)
+        return e.count;
+    const double halves = static_cast<double>(now - e.last) /
+                          static_cast<double>(halfLife_);
+    return e.count * std::exp2(-halves);
+}
+
+void
+DiskBandwidthTracker::setShare(SpuId spu, double share)
+{
+    if (share <= 0.0)
+        PISO_FATAL("bandwidth share must be positive, got ", share);
+    entry(spu).share = share;
+}
+
+void
+DiskBandwidthTracker::addSectors(SpuId spu, std::uint64_t sectors,
+                                 Time now)
+{
+    Entry &e = entry(spu);
+    e.count = decayed(e, now) + static_cast<double>(sectors);
+    e.last = now;
+}
+
+double
+DiskBandwidthTracker::usage(SpuId spu, Time now) const
+{
+    auto it = entries_.find(spu);
+    return it == entries_.end() ? 0.0 : decayed(it->second, now);
+}
+
+double
+DiskBandwidthTracker::ratio(SpuId spu, Time now) const
+{
+    auto it = entries_.find(spu);
+    if (it == entries_.end())
+        return 0.0;
+    return decayed(it->second, now) / it->second.share;
+}
+
+FairDiskScheduler::FairDiskScheduler(Time halfLife, Time sharedWait)
+    : tracker_(halfLife), sharedWait_(sharedWait)
+{
+}
+
+void
+FairDiskScheduler::onComplete(const DiskRequest &req, Time now)
+{
+    // Shared writes are charged to the user SPUs whose pages they
+    // carried (Section 3.3); everything else to the request's SPU.
+    if (!req.charges.empty()) {
+        for (const auto &[spu, sectors] : req.charges)
+            tracker_.addSectors(spu, sectors, now);
+    } else {
+        tracker_.addSectors(req.spu, req.sectors, now);
+    }
+}
+
+bool
+FairDiskScheduler::sharedEligible(const std::deque<DiskRequest> &queue,
+                                  Time now) const
+{
+    bool userQueued = false;
+    Time oldestShared = kTimeNever;
+    for (const DiskRequest &r : queue) {
+        if (r.spu == kSharedSpu || r.spu == kKernelSpu)
+            oldestShared = std::min(oldestShared, r.issueTime);
+        else
+            userQueued = true;
+    }
+    if (oldestShared == kTimeNever)
+        return false;
+    if (!userQueued)
+        return true;
+    return now - oldestShared > sharedWait_;
+}
+
+std::size_t
+IsoDiskScheduler::pick(const std::deque<DiskRequest> &queue,
+                       std::uint64_t /* headSector */, Time now)
+{
+    if (queue.empty())
+        PISO_PANIC("Iso disk policy asked to pick from an empty queue");
+
+    const bool shared_ok = sharedEligible(queue, now);
+
+    // Lowest usage-to-share ratio among user SPUs with queued
+    // requests; FIFO within the SPU.
+    SpuId bestSpu = kNoSpu;
+    double bestRatio = 0.0;
+    for (const DiskRequest &r : queue) {
+        if (r.spu == kSharedSpu || r.spu == kKernelSpu)
+            continue;
+        const double ratio = tracker_.ratio(r.spu, now);
+        if (bestSpu == kNoSpu || ratio < bestRatio) {
+            bestSpu = r.spu;
+            bestRatio = ratio;
+        }
+    }
+    if (bestSpu == kNoSpu || shared_ok) {
+        // Only shared requests, or shared starvation guard fired:
+        // oldest shared request first.
+        std::size_t pick = queue.size();
+        for (std::size_t i = 0; i < queue.size(); ++i) {
+            const DiskRequest &r = queue[i];
+            if (r.spu != kSharedSpu && r.spu != kKernelSpu)
+                continue;
+            if (pick == queue.size() ||
+                r.issueTime < queue[pick].issueTime)
+                pick = i;
+        }
+        if (pick != queue.size())
+            return pick;
+    }
+
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+        if (queue[i].spu == bestSpu)
+            return i; // deque preserves FIFO order per SPU
+    }
+    PISO_PANIC("Iso disk policy lost its chosen SPU");
+}
+
+PisoDiskScheduler::PisoDiskScheduler(double bwThresholdSectors,
+                                     Time halfLife, Time sharedWait)
+    : FairDiskScheduler(halfLife, sharedWait),
+      threshold_(bwThresholdSectors)
+{
+    if (threshold_ < 0.0)
+        PISO_FATAL("BW difference threshold must be >= 0");
+}
+
+std::size_t
+PisoDiskScheduler::pick(const std::deque<DiskRequest> &queue,
+                        std::uint64_t headSector, Time now)
+{
+    if (queue.empty())
+        PISO_PANIC("PIso disk policy asked to pick from an empty queue");
+
+    // Ratios of the user SPUs with active requests.
+    std::map<SpuId, double> ratios;
+    for (const DiskRequest &r : queue) {
+        if (r.spu == kSharedSpu || r.spu == kKernelSpu)
+            continue;
+        ratios.emplace(r.spu, tracker_.ratio(r.spu, now));
+    }
+
+    if (ratios.empty() || sharedEligible(queue, now)) {
+        // Service shared/kernel requests by head position among
+        // themselves.
+        const std::size_t idx = CScanScheduler::pickAmong(
+            queue, headSector, [](const DiskRequest &r) {
+                return r.spu == kSharedSpu || r.spu == kKernelSpu;
+            });
+        if (idx != queue.size())
+            return idx;
+    }
+
+    double avg = 0.0;
+    for (const auto &[spu, ratio] : ratios)
+        avg += ratio;
+    avg /= static_cast<double>(ratios.size());
+
+    // Fairness criterion (Section 3.3): an SPU fails when its ratio
+    // exceeds the average by more than the BW difference threshold.
+    // The minimum-ratio SPU always passes, so a pick always exists.
+    const double cutoff = avg + threshold_;
+    std::size_t idx = CScanScheduler::pickAmong(
+        queue, headSector, [&](const DiskRequest &r) {
+            auto it = ratios.find(r.spu);
+            return it != ratios.end() && it->second <= cutoff;
+        });
+    if (idx == queue.size()) {
+        // Numerical corner (all user SPUs above cutoff): fall back to
+        // plain C-SCAN over user requests.
+        idx = CScanScheduler::pickAmong(
+            queue, headSector, [&](const DiskRequest &r) {
+                return ratios.count(r.spu) > 0;
+            });
+    }
+    if (idx == queue.size()) {
+        // Only shared requests remain.
+        idx = CScanScheduler::pickAmong(queue, headSector, nullptr);
+    }
+    return idx;
+}
+
+} // namespace piso

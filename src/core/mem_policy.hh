@@ -1,0 +1,70 @@
+#ifndef PISO_CORE_MEM_POLICY_HH
+#define PISO_CORE_MEM_POLICY_HH
+
+/**
+ * @file
+ * The memory sharing policy of Section 3.2.
+ *
+ * Periodically recomputes each SPU's *entitled* level (its share of
+ * memory net of kernel/shared usage and the Reserve Threshold) and
+ * moves the *allowed* levels: SPUs under memory pressure receive the
+ * system's idle pages, less the Reserve Threshold that hides the
+ * revocation cost. When a lender wants its pages back, the borrowers'
+ * allowed levels fall and the pageout daemon reclaims the excess.
+ */
+
+#include <cstdint>
+
+#include "src/core/spu.hh"
+#include "src/os/vm.hh"
+#include "src/sim/event_queue.hh"
+#include "src/sim/time.hh"
+
+namespace piso {
+
+/** Tunables of the sharing policy. */
+struct MemPolicyConfig
+{
+    /** How often levels are recomputed. */
+    Time period = 100 * kMs;
+
+    /** Fraction of total memory kept free (the paper picks 8%, the
+     *  value IRIX uses to decide it is low on memory). */
+    double reserveFraction = 0.08;
+};
+
+/** Periodic entitled/allowed level manager for the PIso scheme. */
+class MemorySharingPolicy
+{
+  public:
+    MemorySharingPolicy(EventQueue &events, VirtualMemory &vm,
+                        SpuManager &spus, MemPolicyConfig config = {});
+
+    /** Set the reserve and initial levels, and begin periodic
+     *  recomputation. */
+    void start();
+
+    /**
+     * One recomputation pass (public so tests and setup can invoke it
+     * directly):
+     *  1. entitled_i = share_i x (total - kernel - shared - reserve);
+     *  2. lendable = free + sum(borrowed-out) - reserve;
+     *  3. allowed_i = entitled_i, plus an equal split of lendable for
+     *     SPUs under pressure.
+     */
+    void recompute();
+
+    const MemPolicyConfig &config() const { return config_; }
+
+  private:
+    void tick();
+
+    EventQueue &events_;
+    VirtualMemory &vm_;
+    SpuManager &spus_;
+    MemPolicyConfig config_;
+};
+
+} // namespace piso
+
+#endif // PISO_CORE_MEM_POLICY_HH

@@ -1,0 +1,42 @@
+#include "src/core/net_fair.hh"
+
+#include "src/sim/log.hh"
+
+namespace piso {
+
+FairNetScheduler::FairNetScheduler(Time halfLife)
+    : tracker_(halfLife)
+{
+}
+
+std::size_t
+FairNetScheduler::pick(const std::deque<NetMessage> &queue, Time now)
+{
+    if (queue.empty())
+        PISO_PANIC("fair net scheduler asked to pick from empty queue");
+
+    // Fairest SPU with a queued message; FIFO within the SPU (the
+    // deque preserves submission order).
+    SpuId best = kNoSpu;
+    double bestRatio = 0.0;
+    for (const NetMessage &m : queue) {
+        const double ratio = tracker_.ratio(m.spu, now);
+        if (best == kNoSpu || ratio < bestRatio) {
+            best = m.spu;
+            bestRatio = ratio;
+        }
+    }
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+        if (queue[i].spu == best)
+            return i;
+    }
+    PISO_PANIC("fair net scheduler lost its chosen SPU");
+}
+
+void
+FairNetScheduler::onComplete(const NetMessage &msg, Time now)
+{
+    tracker_.addSectors(msg.spu, msg.bytes, now);
+}
+
+} // namespace piso

@@ -1,0 +1,45 @@
+#ifndef PISO_CORE_NET_FAIR_HH
+#define PISO_CORE_NET_FAIR_HH
+
+/**
+ * @file
+ * Network-bandwidth isolation — the extension the paper sketches in
+ * Sections 3 and 5: "Though we do not implement performance isolation
+ * for network bandwidth, the implementation would be similar to that
+ * of disk bandwidth, without the complication of head position."
+ *
+ * Exactly that: the same decayed per-SPU byte counts (reusing
+ * DiskBandwidthTracker) and the same usage-to-share fairness rule, but
+ * the pick is simply the FIFO-oldest message of the fairest SPU —
+ * there is no head position to respect.
+ */
+
+#include "src/core/disk_fair.hh"
+#include "src/machine/network.hh"
+
+namespace piso {
+
+/** Fair link scheduling: serve the SPU with the lowest decayed
+ *  usage-to-share ratio; FIFO within an SPU. */
+class FairNetScheduler : public NetScheduler
+{
+  public:
+    /** @param halfLife Decay half-life of the byte counts (the same
+     *  500 ms default the disk policy uses). */
+    explicit FairNetScheduler(Time halfLife = 500 * kMs);
+
+    std::size_t pick(const std::deque<NetMessage> &queue,
+                     Time now) override;
+
+    void onComplete(const NetMessage &msg, Time now) override;
+
+    /** Per-SPU relative bandwidth shares. */
+    DiskBandwidthTracker &tracker() { return tracker_; }
+
+  private:
+    DiskBandwidthTracker tracker_;
+};
+
+} // namespace piso
+
+#endif // PISO_CORE_NET_FAIR_HH

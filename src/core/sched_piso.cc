@@ -1,0 +1,92 @@
+#include "src/core/sched_piso.hh"
+
+#include "src/sim/trace.hh"
+
+namespace piso {
+
+Process *
+PisoScheduler::selectNext(Cpu &cpu)
+{
+    const SpuId owner = currentOwner(cpu);
+    if (Process *p = popBest(owner))
+        return p;
+    // On a time-partitioned CPU the other share-holders come before
+    // strangers.
+    for (const auto &[spu, frac] : cpu.timeShares) {
+        if (spu == owner)
+            continue;
+        if (Process *p = popBest(spu))
+            return p;
+    }
+    // No home work: lend the CPU to the best process anywhere —
+    // unless a recent revocation put it on loan hold-off.
+    if (events_.now() < cpu.noLoanBefore)
+        return nullptr;
+    return popBestForeign(owner);
+}
+
+bool
+PisoScheduler::eligibleIdle(const Cpu &cpu, const Process *p) const
+{
+    // Any idle CPU may run any process (the base class still prefers
+    // a home CPU when one is idle), except foreigners during a loan
+    // hold-off window.
+    if (currentOwner(cpu) == p->spu())
+        return true;
+    return events_.now() >= cpu.noLoanBefore;
+}
+
+void
+PisoScheduler::onReadyNoIdle(Process *p)
+{
+    // All CPUs are busy. If one of this SPU's own CPUs is out on loan,
+    // claim it back: immediately under the IPI model, at the next
+    // clock tick (<= 10 ms) otherwise.
+    for (auto &c : cpus_) {
+        if (currentOwner(c) != p->spu() || !c.loaned)
+            continue;
+        if (ipiRevoke_) {
+            revoke(c);
+        } else {
+            c.revokePending = true;
+        }
+        return;
+    }
+}
+
+void
+PisoScheduler::revoke(Cpu &cpu)
+{
+    ++revocations_;
+    PISO_TRACE(TraceCat::Sched, events_.now(), "revoke loan of cpu",
+               cpu.id, " from ",
+               cpu.running ? cpu.running->name() : "<idle>");
+    if (loanHoldoff_ > 0)
+        cpu.noLoanBefore = events_.now() + loanHoldoff_;
+    preemptCpu(cpu);
+}
+
+void
+PisoScheduler::policyTick()
+{
+    QuotaScheduler::policyTick();
+    for (auto &c : cpus_) {
+        if (c.revokePending && c.loaned && c.running &&
+            readyCount(currentOwner(c)) > 0) {
+            revoke(c);
+        } else if (c.revokePending && !c.loaned) {
+            c.revokePending = false;
+        }
+    }
+}
+
+int
+PisoScheduler::loanedCount() const
+{
+    int n = 0;
+    for (const auto &c : cpus_)
+        n += c.loaned ? 1 : 0;
+    return n;
+}
+
+} // namespace piso

@@ -1,0 +1,64 @@
+#ifndef PISO_CORE_SCHED_PISO_HH
+#define PISO_CORE_SCHED_PISO_HH
+
+/**
+ * @file
+ * Performance-isolation CPU scheduling (Section 3.1).
+ *
+ * Like QuotaScheduler, CPUs are space/time-partitioned to home SPUs
+ * and always prefer home processes. The difference is sharing: an
+ * idle CPU with no home work is *loaned* — it picks the highest-
+ * priority process from any other SPU. When a home process becomes
+ * runnable and no home CPU is free, the loan is revoked at the next
+ * clock tick (<= 10 ms), or immediately when configured to model an
+ * inter-processor interrupt.
+ */
+
+#include "src/core/sched_quota.hh"
+
+namespace piso {
+
+/** Home-SPU scheduling with idle-CPU loans and bounded revocation. */
+class PisoScheduler : public QuotaScheduler
+{
+  public:
+    using QuotaScheduler::QuotaScheduler;
+
+    /**
+     * Revoke loans immediately (IPI model) instead of waiting for the
+     * next tick. The paper's default is tick-based (<= 10 ms).
+     */
+    void setIpiRevocation(bool on) { ipiRevoke_ = on; }
+
+    /**
+     * After a revocation, keep the CPU home-only for this long —
+     * Section 3.1's suggested refinement "preventing frequent
+     * reallocation of CPUs for sharing, if the algorithm detects that
+     * the allocation is being revoked frequently". 0 (default)
+     * re-loans immediately.
+     */
+    void setLoanHoldoff(Time holdoff) { loanHoldoff_ = holdoff; }
+
+    /** Number of CPUs currently loaned out. */
+    int loanedCount() const;
+
+    /** Cumulative count of loan revocations. */
+    std::uint64_t revocations() const { return revocations_; }
+
+  protected:
+    Process *selectNext(Cpu &cpu) override;
+    bool eligibleIdle(const Cpu &cpu, const Process *p) const override;
+    void onReadyNoIdle(Process *p) override;
+    void policyTick() override;
+
+  private:
+    void revoke(Cpu &cpu);
+
+    bool ipiRevoke_ = false;
+    Time loanHoldoff_ = 0;
+    std::uint64_t revocations_ = 0;
+};
+
+} // namespace piso
+
+#endif // PISO_CORE_SCHED_PISO_HH

@@ -1,0 +1,78 @@
+#include "src/core/sched_quota.hh"
+
+namespace piso {
+
+std::size_t
+QuotaScheduler::readyCount(SpuId spu) const
+{
+    auto it = ready_.find(spu);
+    return it == ready_.end() ? 0 : it->second.size();
+}
+
+void
+QuotaScheduler::enqueueReady(Process *p)
+{
+    ready_[p->spu()].push_back(p);
+}
+
+Process *
+QuotaScheduler::popBest(SpuId spu)
+{
+    auto it = ready_.find(spu);
+    if (it == ready_.end() || it->second.empty())
+        return nullptr;
+    auto &queue = it->second;
+    auto best = queue.begin();
+    for (auto q = std::next(queue.begin()); q != queue.end(); ++q) {
+        if (higherPriority(*q, *best))
+            best = q;
+    }
+    Process *p = *best;
+    queue.erase(best);
+    return p;
+}
+
+Process *
+QuotaScheduler::popBestForeign(SpuId exclude)
+{
+    Process *best = nullptr;
+    for (auto &[spu, queue] : ready_) {
+        if (spu == exclude)
+            continue;
+        for (Process *q : queue) {
+            if (!best || higherPriority(q, best))
+                best = q;
+        }
+    }
+    if (best)
+        ready_[best->spu()].remove(best);
+    return best;
+}
+
+Process *
+QuotaScheduler::selectNext(Cpu &cpu)
+{
+    return popBest(currentOwner(cpu));
+}
+
+bool
+QuotaScheduler::eligibleIdle(const Cpu &cpu, const Process *p) const
+{
+    return currentOwner(cpu) == p->spu();
+}
+
+void
+QuotaScheduler::policyTick()
+{
+    // Time-partitioned CPUs: when ownership rotates, evict a process
+    // of the previous owner if the new owner has work.
+    for (auto &c : cpus_) {
+        if (c.timeShares.empty() || !c.running)
+            continue;
+        const SpuId owner = currentOwner(c);
+        if (c.running->spu() != owner && readyCount(owner) > 0)
+            preemptCpu(c);
+    }
+}
+
+} // namespace piso

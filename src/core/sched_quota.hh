@@ -1,0 +1,48 @@
+#ifndef PISO_CORE_SCHED_QUOTA_HH
+#define PISO_CORE_SCHED_QUOTA_HH
+
+/**
+ * @file
+ * Fixed-quota CPU scheduling (the paper's "Quo" scheme).
+ *
+ * CPUs are space-partitioned to SPUs (with fractional shares
+ * time-multiplexed, Section 3.1); a CPU only ever runs processes of
+ * the SPU that owns it *right now*. Perfect isolation, no sharing: an
+ * idle CPU stays idle even when other SPUs starve.
+ */
+
+#include <list>
+#include <map>
+
+#include "src/os/scheduler.hh"
+
+namespace piso {
+
+/** Space/time-partitioned scheduler with no lending. */
+class QuotaScheduler : public CpuScheduler
+{
+  public:
+    using CpuScheduler::CpuScheduler;
+
+    /** Ready processes of @p spu. */
+    std::size_t readyCount(SpuId spu) const;
+
+  protected:
+    Process *selectNext(Cpu &cpu) override;
+    void enqueueReady(Process *p) override;
+    bool eligibleIdle(const Cpu &cpu, const Process *p) const override;
+    void policyTick() override;
+
+    /** Pop the highest-priority ready process of @p spu (nullptr if
+     *  none). */
+    Process *popBest(SpuId spu);
+
+    /** Best ready process across all SPUs except @p exclude. */
+    Process *popBestForeign(SpuId exclude);
+
+    std::map<SpuId, std::list<Process *>> ready_;
+};
+
+} // namespace piso
+
+#endif // PISO_CORE_SCHED_QUOTA_HH

@@ -1,0 +1,111 @@
+#include "src/core/spu.hh"
+
+#include "src/sim/log.hh"
+
+namespace piso {
+
+SpuManager::SpuManager()
+{
+    Spu kernel;
+    kernel.id = kKernelSpu;
+    kernel.name = "kernel";
+    spus_[kKernelSpu] = kernel;
+
+    Spu shared;
+    shared.id = kSharedSpu;
+    shared.name = "shared";
+    spus_[kSharedSpu] = shared;
+}
+
+SpuId
+SpuManager::create(const SpuSpec &spec)
+{
+    if (spec.share <= 0.0)
+        PISO_FATAL("SPU '", spec.name, "' has non-positive share ",
+                   spec.share);
+    Spu s;
+    s.id = next_++;
+    s.name = spec.name.empty() ? "spu" + std::to_string(s.id) : spec.name;
+    s.share = spec.share;
+    s.homeDisk = spec.homeDisk;
+    spus_[s.id] = s;
+    return s.id;
+}
+
+void
+SpuManager::destroy(SpuId spu)
+{
+    if (spu == kKernelSpu || spu == kSharedSpu)
+        PISO_FATAL("the default SPUs cannot be destroyed");
+    if (!spus_.erase(spu))
+        PISO_FATAL("destroying unknown SPU ", spu);
+}
+
+void
+SpuManager::suspend(SpuId spu)
+{
+    auto it = spus_.find(spu);
+    if (it == spus_.end() || spu < kFirstUserSpu)
+        PISO_FATAL("cannot suspend SPU ", spu);
+    it->second.state = SpuState::Suspended;
+}
+
+void
+SpuManager::resume(SpuId spu)
+{
+    auto it = spus_.find(spu);
+    if (it == spus_.end() || spu < kFirstUserSpu)
+        PISO_FATAL("cannot resume SPU ", spu);
+    it->second.state = SpuState::Active;
+}
+
+const Spu &
+SpuManager::spu(SpuId id) const
+{
+    auto it = spus_.find(id);
+    if (it == spus_.end())
+        PISO_FATAL("unknown SPU ", id);
+    return it->second;
+}
+
+bool
+SpuManager::exists(SpuId id) const
+{
+    return spus_.count(id) > 0;
+}
+
+std::vector<SpuId>
+SpuManager::userSpus() const
+{
+    std::vector<SpuId> out;
+    for (const auto &[id, s] : spus_) {
+        if (id >= kFirstUserSpu && s.state == SpuState::Active)
+            out.push_back(id);
+    }
+    return out;
+}
+
+double
+SpuManager::shareOf(SpuId spu) const
+{
+    const Spu &s = this->spu(spu);
+    if (s.state != SpuState::Active)
+        return 0.0;
+    double total = 0.0;
+    for (const auto &[id, other] : spus_) {
+        if (id >= kFirstUserSpu && other.state == SpuState::Active)
+            total += other.share;
+    }
+    return total == 0.0 ? 0.0 : s.share / total;
+}
+
+std::map<SpuId, double>
+SpuManager::cpuShares() const
+{
+    std::map<SpuId, double> shares;
+    for (SpuId id : userSpus())
+        shares[id] = shareOf(id);
+    return shares;
+}
+
+} // namespace piso

@@ -1,0 +1,98 @@
+#ifndef PISO_CORE_SPU_HH
+#define PISO_CORE_SPU_HH
+
+/**
+ * @file
+ * The Software Performance Unit (SPU) — the paper's central kernel
+ * abstraction (Section 2.1).
+ *
+ * An SPU groups processes and associates them with a share of the
+ * machine. The SpuManager maintains the registry, including the two
+ * default SPUs of Section 2.2: `kernel` (kernel processes and memory;
+ * unrestricted) and `shared` (resources referenced by multiple SPUs;
+ * lowest disk priority).
+ */
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/sim/ids.hh"
+
+namespace piso {
+
+/** Life-cycle state of an SPU (Section 2.1: SPUs can be created,
+ *  destroyed, suspended and awakened dynamically). */
+enum class SpuState
+{
+    Active,
+    Suspended,
+};
+
+/** Creation-time description of a user SPU. */
+struct SpuSpec
+{
+    std::string name;
+
+    /** Relative share of every resource (CPU, memory, disk BW);
+     *  normalised over active user SPUs. */
+    double share = 1.0;
+
+    /** Disk that holds this SPU's files and swap space. */
+    DiskId homeDisk = 0;
+};
+
+/** One SPU's registry entry. */
+struct Spu
+{
+    SpuId id = kNoSpu;
+    std::string name;
+    double share = 1.0;
+    DiskId homeDisk = 0;
+    SpuState state = SpuState::Active;
+};
+
+/** Registry of SPUs and their configured shares. */
+class SpuManager
+{
+  public:
+    /** Creates the default `kernel` and `shared` SPUs. */
+    SpuManager();
+
+    /** Create a user SPU. */
+    SpuId create(const SpuSpec &spec);
+
+    /** Remove a user SPU (it must have no processes left; the caller
+     *  is responsible for that invariant). */
+    void destroy(SpuId spu);
+
+    /** Suspend / resume participation in share normalisation. */
+    void suspend(SpuId spu);
+    void resume(SpuId spu);
+
+    const Spu &spu(SpuId id) const;
+    bool exists(SpuId id) const;
+
+    /** Active user SPUs, ascending by id. */
+    std::vector<SpuId> userSpus() const;
+
+    /** Count of active user SPUs. */
+    std::size_t userCount() const { return userSpus().size(); }
+
+    /** @p spu's share normalised over active user SPUs (0 when
+     *  suspended). */
+    double shareOf(SpuId spu) const;
+
+    /** Normalised CPU shares of active user SPUs, for
+     *  CpuScheduler::partitionCpus(). */
+    std::map<SpuId, double> cpuShares() const;
+
+  private:
+    std::map<SpuId, Spu> spus_;
+    SpuId next_ = kFirstUserSpu;
+};
+
+} // namespace piso
+
+#endif // PISO_CORE_SPU_HH

@@ -1,0 +1,120 @@
+#include "src/machine/disk.hh"
+
+#include "src/sim/log.hh"
+#include "src/sim/trace.hh"
+
+namespace piso {
+
+void
+DiskScheduler::onComplete(const DiskRequest &, Time)
+{
+}
+
+DiskDevice::DiskDevice(EventQueue &events, const DiskModel &model,
+                       std::unique_ptr<DiskScheduler> scheduler, Rng rng,
+                       std::string name)
+    : events_(events), model_(model), scheduler_(std::move(scheduler)),
+      rng_(rng), name_(std::move(name))
+{
+    if (!scheduler_)
+        PISO_FATAL("disk '", name_, "' constructed without a scheduler");
+}
+
+std::uint64_t
+DiskDevice::submit(DiskRequest req)
+{
+    if (req.sectors == 0)
+        PISO_PANIC("zero-length request submitted to ", name_);
+    if (req.startSector + req.sectors > model_.totalSectors())
+        PISO_PANIC("request beyond end of ", name_);
+
+    req.id = nextId_++;
+    req.issueTime = events_.now();
+    queue_.push_back(std::move(req));
+    if (!busy_)
+        startNext();
+    return nextId_ - 1;
+}
+
+void
+DiskDevice::setScheduler(std::unique_ptr<DiskScheduler> scheduler)
+{
+    if (!scheduler)
+        PISO_FATAL("null scheduler for disk '", name_, "'");
+    if (busy_ || !queue_.empty())
+        PISO_FATAL("cannot swap scheduler on active disk '", name_, "'");
+    scheduler_ = std::move(scheduler);
+}
+
+const SpuDiskStats &
+DiskDevice::spuStats(SpuId spu) const
+{
+    return spuStats_[spu];
+}
+
+void
+DiskDevice::startNext()
+{
+    if (queue_.empty())
+        return;
+
+    const std::size_t idx =
+        scheduler_->pick(queue_, headSector_, events_.now());
+    if (idx >= queue_.size())
+        PISO_PANIC("disk scheduler picked index ", idx, " of ",
+                   queue_.size());
+
+    DiskRequest req = std::move(queue_[idx]);
+    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(idx));
+
+    const DiskServiceTime st = model_.service(headSector_, req.startSector,
+                                              req.sectors, rng_);
+
+    const Time wait = events_.now() - req.issueTime;
+    stats_.waitMs.sample(toMillis(wait));
+    stats_.positionMs.sample(toMillis(st.seek + st.rotational));
+    stats_.seekMs.sample(toMillis(st.seek));
+
+    auto &ss = spuStats_[req.spu];
+    ss.waitMs.sample(toMillis(wait));
+    ss.serviceMs.sample(toMillis(st.total()));
+
+    busy_ = true;
+    events_.scheduleAfter(
+        st.total(),
+        [this, r = std::move(req), st]() mutable {
+            complete(std::move(r), st);
+        },
+        "diskComplete");
+}
+
+void
+DiskDevice::complete(DiskRequest req, DiskServiceTime st)
+{
+    PISO_TRACE(TraceCat::Disk, events_.now(), name_, " ",
+               req.write ? "write" : "read", " spu", req.spu, " [",
+               req.startSector, ",+", req.sectors, ") done");
+    headSector_ = req.startSector + req.sectors;
+    if (headSector_ >= model_.totalSectors())
+        headSector_ = 0;
+
+    stats_.requests.add();
+    stats_.sectors.add(req.sectors);
+    stats_.busyTime += st.total();
+
+    auto &ss = spuStats_[req.spu];
+    ss.requests.add();
+    ss.sectors.add(req.sectors);
+
+    scheduler_->onComplete(req, events_.now());
+    busy_ = false;
+
+    if (req.onComplete)
+        req.onComplete(req);
+
+    // The callback may have queued more work.
+    if (!busy_ && !queue_.empty())
+        startNext();
+}
+
+} // namespace piso

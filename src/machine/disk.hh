@@ -1,0 +1,168 @@
+#ifndef PISO_MACHINE_DISK_HH
+#define PISO_MACHINE_DISK_HH
+
+/**
+ * @file
+ * Disk device: request queue, pluggable scheduler, request lifecycle.
+ *
+ * The device services one request at a time. Whenever it goes idle and
+ * requests are queued, it asks its DiskScheduler to pick the next one —
+ * which is exactly the hook the paper's three policies (Pos / Iso /
+ * PIso, Section 3.3) plug into. Per-request and per-SPU statistics
+ * (queue wait, positioning latency, sectors moved) feed Tables 3 and 4.
+ */
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/machine/disk_model.hh"
+#include "src/sim/event_queue.hh"
+#include "src/sim/ids.hh"
+#include "src/sim/random.hh"
+#include "src/sim/stats.hh"
+
+namespace piso {
+
+/** One I/O request as seen by the device and its scheduler. */
+struct DiskRequest
+{
+    std::uint64_t id = 0;          //!< assigned by the device on submit
+    SpuId spu = kNoSpu;            //!< SPU this request is scheduled under
+    Pid pid = kNoPid;              //!< requesting process (kNoPid: daemon)
+    std::uint64_t startSector = 0;
+    std::uint32_t sectors = 0;
+    bool write = false;
+    Time issueTime = 0;            //!< filled in by the device
+
+    /** Invoked at completion time (after stats are recorded). */
+    std::function<void(const DiskRequest &)> onComplete;
+
+    /**
+     * Bandwidth charge breakdown. Normally empty, meaning all sectors
+     * are charged to @ref spu. Batched delayed writes are *scheduled*
+     * under the shared SPU but their pages are *charged* to the owning
+     * user SPUs (Section 3.3); such requests carry the per-SPU sector
+     * split here.
+     */
+    std::vector<std::pair<SpuId, std::uint32_t>> charges;
+};
+
+/**
+ * Policy deciding which queued request the head serves next.
+ * Implementations: CScanScheduler (IRIX "Pos"), IsoDiskScheduler
+ * (blind fairness) and PisoDiskScheduler (fairness + head position).
+ */
+class DiskScheduler
+{
+  public:
+    virtual ~DiskScheduler() = default;
+
+    /**
+     * Choose the next request to service.
+     * @param queue      Pending requests; never empty.
+     * @param headSector Sector the head currently sits after.
+     * @param now        Current simulated time.
+     * @return index into @p queue of the chosen request.
+     */
+    virtual std::size_t pick(const std::deque<DiskRequest> &queue,
+                             std::uint64_t headSector, Time now) = 0;
+
+    /**
+     * Notification that a request finished (the paper re-checks the
+     * fairness criterion "after each disk request"). Default: no-op.
+     */
+    virtual void onComplete(const DiskRequest &req, Time now);
+};
+
+/** Aggregated per-SPU statistics for one disk. */
+struct SpuDiskStats
+{
+    Counter requests;
+    Counter sectors;
+    Accumulator waitMs;     //!< queue wait per request, ms
+    Accumulator serviceMs;  //!< full service time per request, ms
+};
+
+/** Device-wide statistics. */
+struct DiskStats
+{
+    Counter requests;
+    Counter sectors;
+    Accumulator waitMs;        //!< queue wait, ms
+    Accumulator positionMs;    //!< seek + rotational per request, ms
+    Accumulator seekMs;        //!< seek only, ms
+    Time busyTime = 0;         //!< total time servicing requests
+};
+
+/**
+ * A single disk drive: HP97560-modelled mechanism plus a request queue
+ * drained under a pluggable scheduling policy.
+ */
+class DiskDevice
+{
+  public:
+    /**
+     * @param events    Simulation event queue (not owned).
+     * @param model     Service-time model (copied).
+     * @param scheduler Scheduling policy; must not be null.
+     * @param rng       Private random stream (rotational latency).
+     * @param name      Label for logs.
+     */
+    DiskDevice(EventQueue &events, const DiskModel &model,
+               std::unique_ptr<DiskScheduler> scheduler, Rng rng,
+               std::string name = "disk");
+
+    /** Enqueue a request; service begins immediately if idle.
+     *  @return the id assigned to the request. */
+    std::uint64_t submit(DiskRequest req);
+
+    /** Replace the scheduling policy (only while idle with empty queue —
+     *  used by experiment setup, not mid-run). */
+    void setScheduler(std::unique_ptr<DiskScheduler> scheduler);
+
+    /** Sector the head currently sits after. */
+    std::uint64_t headSector() const { return headSector_; }
+
+    /** Requests waiting (not counting the one in service). */
+    std::size_t queueDepth() const { return queue_.size(); }
+
+    /** True while a request is being serviced. */
+    bool busy() const { return busy_; }
+
+    /** Device-wide statistics. */
+    const DiskStats &stats() const { return stats_; }
+
+    /** Per-SPU statistics (empty entry if the SPU never did I/O). */
+    const SpuDiskStats &spuStats(SpuId spu) const;
+
+    /** The service-time model in use. */
+    const DiskModel &model() const { return model_; }
+
+    const std::string &name() const { return name_; }
+
+  private:
+    void startNext();
+    void complete(DiskRequest req, DiskServiceTime st);
+
+    EventQueue &events_;
+    DiskModel model_;
+    std::unique_ptr<DiskScheduler> scheduler_;
+    Rng rng_;
+    std::string name_;
+
+    std::deque<DiskRequest> queue_;
+    bool busy_ = false;
+    std::uint64_t headSector_ = 0;
+    std::uint64_t nextId_ = 1;
+
+    DiskStats stats_;
+    mutable std::map<SpuId, SpuDiskStats> spuStats_;
+};
+
+} // namespace piso
+
+#endif // PISO_MACHINE_DISK_HH

@@ -1,0 +1,103 @@
+#include "src/machine/disk_model.hh"
+
+#include <cmath>
+
+#include "src/sim/log.hh"
+
+namespace piso {
+
+DiskModel::DiskModel(const DiskParams &params)
+    : params_(params)
+{
+    if (params_.cylinders == 0 || params_.surfaces == 0 ||
+        params_.sectorsPerTrack == 0) {
+        PISO_FATAL("disk geometry has a zero dimension");
+    }
+    if (params_.rpm <= 0.0)
+        PISO_FATAL("disk rpm must be positive, got ", params_.rpm);
+    if (params_.seekScale <= 0.0)
+        PISO_FATAL("seekScale must be positive, got ", params_.seekScale);
+
+    totalSectors_ = static_cast<std::uint64_t>(params_.cylinders) *
+                    params_.surfaces * params_.sectorsPerTrack;
+    // (60 / rpm) seconds per rotation.
+    rotationTime_ = fromSeconds(60.0 / params_.rpm);
+    sectorTime_ = rotationTime_ / params_.sectorsPerTrack;
+}
+
+std::uint32_t
+DiskModel::cylinderOf(std::uint64_t sector) const
+{
+    if (sector >= totalSectors_) {
+        PISO_PANIC("sector ", sector, " beyond end of disk (",
+                   totalSectors_, ")");
+    }
+    const std::uint64_t per_cyl =
+        static_cast<std::uint64_t>(params_.surfaces) *
+        params_.sectorsPerTrack;
+    return static_cast<std::uint32_t>(sector / per_cyl);
+}
+
+Time
+DiskModel::seekTime(std::uint32_t fromCyl, std::uint32_t toCyl) const
+{
+    if (fromCyl == toCyl)
+        return 0;
+    const std::uint32_t d =
+        fromCyl > toCyl ? fromCyl - toCyl : toCyl - fromCyl;
+    double ms;
+    if (d <= params_.seekShortLimit) {
+        ms = params_.seekShortAMs +
+             params_.seekShortBMs * std::sqrt(static_cast<double>(d));
+    } else {
+        ms = params_.seekLongAMs +
+             params_.seekLongBMs * static_cast<double>(d);
+    }
+    return fromMillis(ms * params_.seekScale);
+}
+
+Time
+DiskModel::rotationalLatency(Rng &rng) const
+{
+    return rng.uniformTime(rotationTime_);
+}
+
+Time
+DiskModel::transferTime(std::uint64_t sectors) const
+{
+    if (sectors == 0)
+        return 0;
+    const Time media = sectorTime_ * sectors;
+    // A head switch each time the transfer crosses a track boundary.
+    const std::uint64_t switches = (sectors - 1) / params_.sectorsPerTrack;
+    return media + switches * fromMillis(params_.headSwitchMs);
+}
+
+DiskServiceTime
+DiskModel::service(std::uint64_t headSector, std::uint64_t startSector,
+                   std::uint64_t sectors, Rng &rng) const
+{
+    if (sectors == 0)
+        PISO_PANIC("zero-length disk request");
+    if (startSector + sectors > totalSectors_) {
+        PISO_PANIC("request [", startSector, ", +", sectors,
+                   ") beyond end of disk");
+    }
+
+    DiskServiceTime st;
+    const std::uint32_t from = cylinderOf(headSector);
+    const std::uint32_t to = cylinderOf(startSector);
+    st.seek = seekTime(from, to);
+    // Sequential continuation (same cylinder, adjacent start) skips the
+    // rotational delay: the head is already in position.
+    if (st.seek == 0 && startSector == headSector) {
+        st.rotational = 0;
+    } else {
+        st.rotational = rotationalLatency(rng);
+    }
+    st.transfer = transferTime(sectors);
+    st.overhead = fromMillis(params_.controllerOverheadMs);
+    return st;
+}
+
+} // namespace piso

@@ -1,0 +1,36 @@
+#include "src/machine/memory.hh"
+
+#include "src/sim/log.hh"
+
+namespace piso {
+
+PhysicalMemory::PhysicalMemory(std::uint64_t totalBytes,
+                               std::uint32_t pageBytes)
+    : pageBytes_(pageBytes)
+{
+    if (pageBytes_ == 0)
+        PISO_FATAL("page size must be non-zero");
+    totalPages_ = totalBytes / pageBytes_;
+    if (totalPages_ == 0)
+        PISO_FATAL("memory of ", totalBytes, " bytes holds no pages");
+    freePages_ = totalPages_;
+}
+
+bool
+PhysicalMemory::allocate(std::uint64_t n)
+{
+    if (n > freePages_)
+        return false;
+    freePages_ -= n;
+    return true;
+}
+
+void
+PhysicalMemory::release(std::uint64_t n)
+{
+    if (freePages_ + n > totalPages_)
+        PISO_PANIC("releasing ", n, " pages overflows the frame pool");
+    freePages_ += n;
+}
+
+} // namespace piso

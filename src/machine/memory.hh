@@ -1,0 +1,60 @@
+#ifndef PISO_MACHINE_MEMORY_HH
+#define PISO_MACHINE_MEMORY_HH
+
+/**
+ * @file
+ * Physical memory as a pool of page frames.
+ *
+ * Identity of individual frames is irrelevant to the paper's policies —
+ * only *counts* matter (how many frames each SPU holds against its
+ * entitled/allowed levels) — so this is a counted pool. Per-SPU
+ * accounting lives in the VM layer (src/os/vm) and the memory sharing
+ * policy (src/core/mem_policy).
+ */
+
+#include <cstdint>
+
+namespace piso {
+
+/** A counted pool of equal-sized page frames. */
+class PhysicalMemory
+{
+  public:
+    /**
+     * @param totalBytes Capacity of the machine's RAM.
+     * @param pageBytes  Frame size (default 4 KB).
+     */
+    explicit PhysicalMemory(std::uint64_t totalBytes,
+                            std::uint32_t pageBytes = 4096);
+
+    /** Frame size in bytes. */
+    std::uint32_t pageBytes() const { return pageBytes_; }
+
+    /** Total frames in the machine. */
+    std::uint64_t totalPages() const { return totalPages_; }
+
+    /** Frames currently unallocated. */
+    std::uint64_t freePages() const { return freePages_; }
+
+    /** Frames currently allocated. */
+    std::uint64_t usedPages() const { return totalPages_ - freePages_; }
+
+    /**
+     * Take @p n frames from the free pool.
+     * @return true on success; false (and no change) if fewer than
+     *         @p n frames are free.
+     */
+    bool allocate(std::uint64_t n = 1);
+
+    /** Return @p n frames to the free pool. */
+    void release(std::uint64_t n = 1);
+
+  private:
+    std::uint32_t pageBytes_;
+    std::uint64_t totalPages_;
+    std::uint64_t freePages_;
+};
+
+} // namespace piso
+
+#endif // PISO_MACHINE_MEMORY_HH

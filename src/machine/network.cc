@@ -1,0 +1,97 @@
+#include "src/machine/network.hh"
+
+#include "src/sim/log.hh"
+#include "src/sim/trace.hh"
+
+namespace piso {
+
+void
+NetScheduler::onComplete(const NetMessage &, Time)
+{
+}
+
+std::size_t
+FifoNetScheduler::pick(const std::deque<NetMessage> &, Time)
+{
+    return 0;
+}
+
+NetworkInterface::NetworkInterface(EventQueue &events, double bitsPerSec,
+                                   std::unique_ptr<NetScheduler> scheduler,
+                                   std::string name,
+                                   Time perMessageOverhead)
+    : events_(events), bitsPerSec_(bitsPerSec),
+      scheduler_(std::move(scheduler)), name_(std::move(name)),
+      overhead_(perMessageOverhead)
+{
+    if (bitsPerSec_ <= 0.0)
+        PISO_FATAL("link '", name_, "' bandwidth must be positive");
+    if (!scheduler_)
+        PISO_FATAL("link '", name_, "' constructed without a scheduler");
+}
+
+Time
+NetworkInterface::transmitTime(std::uint64_t bytes) const
+{
+    const double seconds =
+        static_cast<double>(bytes) * 8.0 / bitsPerSec_;
+    return overhead_ + fromSeconds(seconds);
+}
+
+std::uint64_t
+NetworkInterface::submit(NetMessage msg)
+{
+    if (msg.bytes == 0)
+        PISO_PANIC("zero-length message on ", name_);
+    msg.id = nextId_++;
+    msg.issueTime = events_.now();
+    queue_.push_back(std::move(msg));
+    if (!busy_)
+        startNext();
+    return nextId_ - 1;
+}
+
+const SpuNetStats &
+NetworkInterface::spuStats(SpuId spu) const
+{
+    return spuStats_[spu];
+}
+
+void
+NetworkInterface::startNext()
+{
+    if (queue_.empty())
+        return;
+
+    const std::size_t idx = scheduler_->pick(queue_, events_.now());
+    if (idx >= queue_.size())
+        PISO_PANIC("net scheduler picked index ", idx, " of ",
+                   queue_.size());
+
+    NetMessage msg = std::move(queue_[idx]);
+    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(idx));
+
+    auto &ss = spuStats_[msg.spu];
+    ss.waitMs.sample(toMillis(events_.now() - msg.issueTime));
+
+    busy_ = true;
+    events_.scheduleAfter(
+        transmitTime(msg.bytes),
+        [this, m = std::move(msg)]() mutable {
+            total_.add();
+            PISO_TRACE(TraceCat::Net, events_.now(), name_, " sent ",
+                       m.bytes, "B for spu", m.spu);
+            auto &stats = spuStats_[m.spu];
+            stats.messages.add();
+            stats.bytes.add(m.bytes);
+            scheduler_->onComplete(m, events_.now());
+            busy_ = false;
+            if (m.onComplete)
+                m.onComplete(m);
+            if (!busy_ && !queue_.empty())
+                startNext();
+        },
+        "netTx");
+}
+
+} // namespace piso

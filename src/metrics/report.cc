@@ -1,0 +1,238 @@
+#include "src/metrics/report.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "src/metrics/results.hh"
+#include "src/sim/log.hh"
+
+namespace piso {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+    if (header_.empty())
+        PISO_FATAL("table needs at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    if (row.size() != header_.size())
+        PISO_FATAL("row width ", row.size(), " != header width ",
+                   header_.size());
+    rows_.push_back(std::move(row));
+}
+
+std::string
+TextTable::num(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+std::string
+TextTable::str() const
+{
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        width[c] = header_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+    }
+
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << (c == 0 ? "" : "  ");
+            // Left-align the first column, right-align the rest.
+            if (c == 0) {
+                os << row[c]
+                   << std::string(width[c] - row[c].size(), ' ');
+            } else {
+                os << std::string(width[c] - row[c].size(), ' ')
+                   << row[c];
+            }
+        }
+        os << '\n';
+    };
+
+    emit(header_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < width.size(); ++c)
+        total += width[c] + (c == 0 ? 0 : 2);
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : rows_)
+        emit(row);
+    return os.str();
+}
+
+void
+TextTable::print() const
+{
+    std::fputs(str().c_str(), stdout);
+}
+
+double
+normalize(double value, double base)
+{
+    return base == 0.0 ? 0.0 : value / base * 100.0;
+}
+
+void
+printBanner(const std::string &title)
+{
+    std::printf("\n== %s ==\n", title.c_str());
+}
+
+std::string
+formatResults(const SimResults &r)
+{
+    std::ostringstream os;
+    os << "simulated time: " << formatTime(r.simulatedTime)
+       << (r.completed ? "" : "  [INCOMPLETE: hit maxTime]") << "\n\n";
+
+    TextTable jobs({"job", "spu", "start (s)", "response (s)", "done"});
+    for (const JobResult &j : r.jobs) {
+        jobs.addRow({j.name, std::to_string(j.spu),
+                     TextTable::num(toSeconds(j.start), 2),
+                     TextTable::num(j.responseSec(), 3),
+                     j.completed ? "yes" : "no"});
+    }
+    os << jobs.str() << '\n';
+
+    TextTable spus({"spu", "name", "cpu (s)", "mem used", "entitled"});
+    for (const auto &[id, s] : r.spus) {
+        spus.addRow({std::to_string(id), s.name,
+                     TextTable::num(toSeconds(s.cpuTime), 2),
+                     std::to_string(s.memUsedPages),
+                     std::to_string(s.memEntitledPages)});
+    }
+    os << spus.str() << '\n';
+
+    TextTable disks({"disk", "requests", "sectors", "wait (ms)",
+                     "position (ms)", "busy"});
+    for (const DiskResult &d : r.disks) {
+        disks.addRow({d.name, std::to_string(d.requests),
+                      std::to_string(d.sectors),
+                      TextTable::num(d.avgWaitMs, 1),
+                      TextTable::num(d.avgPositionMs, 2),
+                      TextTable::num(100.0 * d.busyFraction, 0) + "%"});
+    }
+    os << disks.str() << '\n';
+
+    os << "kernel: " << r.kernel.zeroFills.value() << " zero-fills, "
+       << r.kernel.refaults.value() << " refaults, "
+       << r.kernel.pageoutWrites.value() << " pageouts, "
+       << r.kernel.readRequests.value() << "+"
+       << r.kernel.readAheadRequests.value() << " reads(+ahead), "
+       << r.kernel.bdflushRequests.value() << " flush batches, "
+       << r.kernel.syncWriteRequests.value() << " sync writes\n";
+    return os.str();
+}
+
+void
+printResults(const SimResults &r)
+{
+    std::fputs(formatResults(r).c_str(), stdout);
+}
+
+namespace {
+
+/** Minimal JSON string escaping (quotes, backslashes, control). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+formatResultsJson(const SimResults &r)
+{
+    std::ostringstream os;
+    os << "{\"simulated_time_s\":" << toSeconds(r.simulatedTime)
+       << ",\"completed\":" << (r.completed ? "true" : "false");
+
+    os << ",\"jobs\":[";
+    for (std::size_t i = 0; i < r.jobs.size(); ++i) {
+        const JobResult &j = r.jobs[i];
+        os << (i ? "," : "") << "{\"name\":\"" << jsonEscape(j.name)
+           << "\",\"spu\":" << j.spu
+           << ",\"start_s\":" << toSeconds(j.start)
+           << ",\"response_s\":" << j.responseSec()
+           << ",\"completed\":" << (j.completed ? "true" : "false")
+           << "}";
+    }
+    os << "]";
+
+    os << ",\"spus\":[";
+    bool first = true;
+    for (const auto &[id, s] : r.spus) {
+        os << (first ? "" : ",") << "{\"id\":" << id << ",\"name\":\""
+           << jsonEscape(s.name)
+           << "\",\"cpu_s\":" << toSeconds(s.cpuTime)
+           << ",\"mem_used_pages\":" << s.memUsedPages
+           << ",\"mem_entitled_pages\":" << s.memEntitledPages << "}";
+        first = false;
+    }
+    os << "]";
+
+    os << ",\"disks\":[";
+    for (std::size_t i = 0; i < r.disks.size(); ++i) {
+        const DiskResult &d = r.disks[i];
+        os << (i ? "," : "") << "{\"name\":\"" << jsonEscape(d.name)
+           << "\",\"requests\":" << d.requests
+           << ",\"sectors\":" << d.sectors
+           << ",\"avg_wait_ms\":" << d.avgWaitMs
+           << ",\"avg_position_ms\":" << d.avgPositionMs
+           << ",\"busy_fraction\":" << d.busyFraction << "}";
+    }
+    os << "]";
+
+    os << ",\"kernel\":{\"zero_fills\":" << r.kernel.zeroFills.value()
+       << ",\"refaults\":" << r.kernel.refaults.value()
+       << ",\"pageout_writes\":" << r.kernel.pageoutWrites.value()
+       << ",\"read_requests\":" << r.kernel.readRequests.value()
+       << ",\"readahead_requests\":"
+       << r.kernel.readAheadRequests.value()
+       << ",\"bdflush_requests\":" << r.kernel.bdflushRequests.value()
+       << ",\"sync_writes\":" << r.kernel.syncWriteRequests.value()
+       << ",\"throttle_stalls\":" << r.kernel.throttleStalls.value()
+       << ",\"cache_hits\":" << r.kernel.cacheHits.value()
+       << ",\"cache_misses\":" << r.kernel.cacheMisses.value() << "}";
+
+    os << "}";
+    return os.str();
+}
+
+} // namespace piso

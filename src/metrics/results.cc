@@ -1,0 +1,48 @@
+#include "src/metrics/results.hh"
+
+#include <algorithm>
+
+#include "src/sim/log.hh"
+
+namespace piso {
+
+const JobResult &
+SimResults::job(const std::string &name) const
+{
+    for (const JobResult &j : jobs) {
+        if (j.name == name)
+            return j;
+    }
+    PISO_FATAL("no job named '", name, "' in the results");
+}
+
+double
+SimResults::meanResponseSec(const std::vector<SpuId> &spuIds) const
+{
+    double sum = 0.0;
+    int n = 0;
+    for (const JobResult &j : jobs) {
+        if (std::find(spuIds.begin(), spuIds.end(), j.spu) ==
+            spuIds.end())
+            continue;
+        sum += j.responseSec();
+        ++n;
+    }
+    return n == 0 ? 0.0 : sum / n;
+}
+
+double
+SimResults::meanResponseSecByPrefix(const std::string &prefix) const
+{
+    double sum = 0.0;
+    int n = 0;
+    for (const JobResult &j : jobs) {
+        if (j.name.rfind(prefix, 0) != 0)
+            continue;
+        sum += j.responseSec();
+        ++n;
+    }
+    return n == 0 ? 0.0 : sum / n;
+}
+
+} // namespace piso

@@ -1,0 +1,91 @@
+#ifndef PISO_METRICS_RESULTS_HH
+#define PISO_METRICS_RESULTS_HH
+
+/**
+ * @file
+ * Results of one simulation run, shaped for the paper's evaluation:
+ * per-job response times, per-SPU resource usage, per-disk request
+ * statistics.
+ */
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/os/kernel.hh"
+#include "src/sim/ids.hh"
+#include "src/sim/time.hh"
+
+namespace piso {
+
+/** One job's outcome. */
+struct JobResult
+{
+    JobId id = kNoJob;
+    std::string name;
+    SpuId spu = kNoSpu;
+    Time start = 0;
+    Time end = 0;
+    bool completed = false;
+
+    /** Response time (start of job to last process exit). */
+    Time response() const { return completed ? end - start : 0; }
+    double responseSec() const { return toSeconds(response()); }
+};
+
+/** One SPU's aggregate usage. */
+struct SpuResult
+{
+    SpuId id = kNoSpu;
+    std::string name;
+    Time cpuTime = 0;
+    std::uint64_t memUsedPages = 0;  //!< at end of run
+    std::uint64_t memEntitledPages = 0;
+};
+
+/** One SPU's view of one disk. */
+struct SpuDiskResult
+{
+    std::uint64_t requests = 0;
+    std::uint64_t sectors = 0;
+    double avgWaitMs = 0.0;     //!< mean queue wait per request
+    double avgServiceMs = 0.0;  //!< mean service time per request
+};
+
+/** One disk's aggregate behaviour. */
+struct DiskResult
+{
+    std::string name;
+    std::uint64_t requests = 0;
+    std::uint64_t sectors = 0;
+    double avgWaitMs = 0.0;
+    double avgPositionMs = 0.0;  //!< mean seek+rotation ("disk latency")
+    double avgSeekMs = 0.0;
+    double busyFraction = 0.0;
+    std::map<SpuId, SpuDiskResult> perSpu;
+};
+
+/** Everything measured in one run. */
+struct SimResults
+{
+    Time simulatedTime = 0;
+    bool completed = false;  //!< all jobs finished before maxTime
+    std::vector<JobResult> jobs;
+    std::map<SpuId, SpuResult> spus;
+    std::vector<DiskResult> disks;
+    KernelStats kernel;
+
+    /** Result of the job named @p name (fatal if absent). */
+    const JobResult &job(const std::string &name) const;
+
+    /** Mean response (seconds) over jobs belonging to @p spuIds. */
+    double meanResponseSec(const std::vector<SpuId> &spuIds) const;
+
+    /** Mean response (seconds) over jobs whose name starts with
+     *  @p prefix. */
+    double meanResponseSecByPrefix(const std::string &prefix) const;
+};
+
+} // namespace piso
+
+#endif // PISO_METRICS_RESULTS_HH

@@ -1,0 +1,129 @@
+#include "src/os/buffer_cache.hh"
+
+#include "src/sim/log.hh"
+
+namespace piso {
+
+CacheBlock *
+BufferCache::find(const BlockKey &key)
+{
+    auto it = blocks_.find(key);
+    return it == blocks_.end() ? nullptr : &it->second;
+}
+
+CacheBlock &
+BufferCache::insert(const BlockKey &key, SpuId owner, bool valid)
+{
+    auto [it, inserted] = blocks_.try_emplace(key);
+    if (!inserted)
+        PISO_PANIC("duplicate cache insert for file ", key.file,
+                   " block ", key.block);
+    CacheBlock &blk = it->second;
+    blk.key = key;
+    blk.owner = owner;
+    blk.valid = valid;
+    lru_.push_front(key);
+    blk.lruPos = lru_.begin();
+    ++perSpu_[owner];
+    return blk;
+}
+
+void
+BufferCache::touch(CacheBlock &blk)
+{
+    lru_.erase(blk.lruPos);
+    lru_.push_front(blk.key);
+    blk.lruPos = lru_.begin();
+}
+
+void
+BufferCache::setOwner(CacheBlock &blk, SpuId owner)
+{
+    if (blk.owner == owner)
+        return;
+    --perSpu_[blk.owner];
+    blk.owner = owner;
+    ++perSpu_[owner];
+}
+
+void
+BufferCache::remove(const BlockKey &key)
+{
+    auto it = blocks_.find(key);
+    if (it == blocks_.end())
+        PISO_PANIC("removing uncached block");
+    CacheBlock &blk = it->second;
+    if (!blk.waiters.empty())
+        PISO_PANIC("removing a block with waiters");
+    if (blk.dirty)
+        --dirty_;
+    --perSpu_[blk.owner];
+    lru_.erase(blk.lruPos);
+    blocks_.erase(it);
+}
+
+bool
+BufferCache::stealClean(SpuId victim, SpuId &owner)
+{
+    // Walk from least-recently-used towards the front.
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+        CacheBlock *blk = find(*it);
+        if (!blk)
+            PISO_PANIC("LRU entry without a block");
+        if (!blk->valid || blk->dirty || blk->flushing)
+            continue;
+        if (victim != kNoSpu && blk->owner != victim)
+            continue;
+        owner = blk->owner;
+        remove(blk->key);
+        return true;
+    }
+    return false;
+}
+
+void
+BufferCache::markValid(CacheBlock &blk)
+{
+    blk.valid = true;
+    auto waiters = std::move(blk.waiters);
+    blk.waiters.clear();
+    for (auto &fn : waiters)
+        fn();
+}
+
+void
+BufferCache::markDirty(CacheBlock &blk)
+{
+    if (!blk.dirty) {
+        blk.dirty = true;
+        ++dirty_;
+    }
+}
+
+void
+BufferCache::markClean(CacheBlock &blk)
+{
+    if (blk.dirty) {
+        blk.dirty = false;
+        --dirty_;
+    }
+    blk.flushing = false;
+}
+
+std::size_t
+BufferCache::pagesOf(SpuId spu) const
+{
+    auto it = perSpu_.find(spu);
+    return it == perSpu_.end() ? 0 : it->second;
+}
+
+void
+BufferCache::forEachDirty(const std::function<void(CacheBlock &)> &fn)
+{
+    for (auto &[key, blk] : blocks_) {
+        if (blk.valid && blk.dirty && !blk.flushing)
+            fn(blk);
+    }
+}
+
+} // namespace piso

@@ -1,0 +1,115 @@
+#ifndef PISO_OS_BUFFER_CACHE_HH
+#define PISO_OS_BUFFER_CACHE_HH
+
+/**
+ * @file
+ * File buffer cache bookkeeping.
+ *
+ * Tracks which file blocks are resident, their dirty/flushing state,
+ * the owning SPU of each page (pages touched by a second SPU get
+ * reclassified to the `shared` SPU by the Kernel, per Section 2.2),
+ * and LRU order for stealing. The cache holds *no* frames itself — the
+ * Kernel charges/uncharges frames through VirtualMemory and tells the
+ * cache what happened; this keeps all memory policy in one place.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <vector>
+
+#include "src/sim/ids.hh"
+
+namespace piso {
+
+/** Identifies one file block. */
+struct BlockKey
+{
+    FileId file = kNoFile;
+    std::uint64_t block = 0;
+
+    friend auto operator<=>(const BlockKey &, const BlockKey &) = default;
+};
+
+/** State of a cached block. */
+struct CacheBlock
+{
+    BlockKey key;
+    bool valid = false;     //!< data present (false: read in flight)
+    bool dirty = false;
+    bool flushing = false;  //!< write in flight; not stealable
+    SpuId owner = kNoSpu;   //!< SPU charged for the page
+
+    /** Callbacks run when an in-flight read completes. */
+    std::vector<std::function<void()>> waiters;
+
+    /** Position in the LRU list (most recent at front). */
+    std::list<BlockKey>::iterator lruPos;
+};
+
+/** Buffer-cache block table with LRU stealing. */
+class BufferCache
+{
+  public:
+    BufferCache() = default;
+    BufferCache(const BufferCache &) = delete;
+    BufferCache &operator=(const BufferCache &) = delete;
+
+    /** Look up a block; nullptr on miss. Does not touch LRU. */
+    CacheBlock *find(const BlockKey &key);
+
+    /**
+     * Insert a block whose frame the caller has already charged to
+     * @p owner. @p valid=false marks a read in flight.
+     */
+    CacheBlock &insert(const BlockKey &key, SpuId owner, bool valid);
+
+    /** Move @p blk to the front of the LRU list. */
+    void touch(CacheBlock &blk);
+
+    /** Remove a block (the caller uncharges the frame). */
+    void remove(const BlockKey &key);
+
+    /** Change the charged owner of @p blk (shared-page reclassification;
+     *  the caller moves the frame charge in VirtualMemory). */
+    void setOwner(CacheBlock &blk, SpuId owner);
+
+    /**
+     * Steal the least-recently-used *clean, valid, non-flushing* block
+     * owned by @p victim (or by anyone if @p victim == kNoSpu).
+     * The block is removed; its owner is returned through @p owner so
+     * the caller can transfer the frame charge.
+     * @return true if a block was stolen.
+     */
+    bool stealClean(SpuId victim, SpuId &owner);
+
+    /** Mark @p blk valid and run (and clear) its waiters. */
+    void markValid(CacheBlock &blk);
+
+    /** Dirty/clean transitions keep the dirty count exact. */
+    void markDirty(CacheBlock &blk);
+    void markClean(CacheBlock &blk);
+
+    /** Total cached blocks. */
+    std::size_t size() const { return blocks_.size(); }
+
+    /** Dirty (unflushed) blocks. */
+    std::size_t dirtyCount() const { return dirty_; }
+
+    /** Blocks charged to @p spu. */
+    std::size_t pagesOf(SpuId spu) const;
+
+    /** Invoke @p fn on every dirty, valid, non-flushing block. */
+    void forEachDirty(const std::function<void(CacheBlock &)> &fn);
+
+  private:
+    std::map<BlockKey, CacheBlock> blocks_;
+    std::list<BlockKey> lru_;  //!< front = most recently used
+    std::size_t dirty_ = 0;
+    std::map<SpuId, std::size_t> perSpu_;
+};
+
+} // namespace piso
+
+#endif // PISO_OS_BUFFER_CACHE_HH

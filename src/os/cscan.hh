@@ -1,0 +1,41 @@
+#ifndef PISO_OS_CSCAN_HH
+#define PISO_OS_CSCAN_HH
+
+/**
+ * @file
+ * The C-SCAN disk scheduler — IRIX 5.3's head-position-only policy,
+ * called "Pos" in the paper's disk experiments (Section 3.3).
+ *
+ * Requests are serviced in ascending sector order as the head sweeps
+ * from the first to the last sector; past the last queued request the
+ * head returns to the beginning. The requesting process (and SPU) play
+ * no part, which is exactly the lack of isolation the paper attacks:
+ * a large contiguous stream parks the head and locks everyone else
+ * out.
+ */
+
+#include "src/machine/disk.hh"
+
+namespace piso {
+
+/** Head-position-only (C-SCAN) scheduling. */
+class CScanScheduler : public DiskScheduler
+{
+  public:
+    std::size_t pick(const std::deque<DiskRequest> &queue,
+                     std::uint64_t headSector, Time now) override;
+
+    /**
+     * Shared helper: index of the C-SCAN choice among @p queue
+     * restricted to indices for which @p eligible returns true (used
+     * by the PIso policy to apply C-SCAN over the fair subset).
+     * @return queue.size() if no eligible request exists.
+     */
+    static std::size_t
+    pickAmong(const std::deque<DiskRequest> &queue, std::uint64_t headSector,
+              const std::function<bool(const DiskRequest &)> &eligible);
+};
+
+} // namespace piso
+
+#endif // PISO_OS_CSCAN_HH

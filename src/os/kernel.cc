@@ -1,0 +1,1187 @@
+#include "src/os/kernel.hh"
+
+#include <algorithm>
+
+#include "src/sim/log.hh"
+#include "src/sim/trace.hh"
+
+namespace piso {
+
+Kernel::Kernel(EventQueue &events, VirtualMemory &vm, BufferCache &cache,
+               FileSystem &fs, CpuScheduler &sched,
+               std::vector<DiskDevice *> disks, Rng rng,
+               KernelConfig config)
+    : events_(events), vm_(vm), cache_(cache), fs_(fs), sched_(sched),
+      disks_(std::move(disks)), rng_(rng), config_(config)
+{
+    if (disks_.empty())
+        PISO_FATAL("kernel needs at least one disk");
+    sched_.setClient(this);
+    vm_.registerSpu(kKernelSpu);
+    vm_.registerSpu(kSharedSpu);
+}
+
+void
+Kernel::setSpuDisk(SpuId spu, DiskId disk)
+{
+    if (disk < 0 || static_cast<std::size_t>(disk) >= disks_.size())
+        PISO_FATAL("SPU ", spu, " assigned to unknown disk ", disk);
+    spuDisk_[spu] = disk;
+}
+
+void
+Kernel::start()
+{
+    if (started_)
+        PISO_FATAL("kernel started twice");
+    started_ = true;
+    sched_.start();
+    events_.scheduleAfter(config_.bdflushPeriod,
+                          [this] { bdflushPeriodicHelper(); }, "bdflush");
+    events_.scheduleAfter(config_.pageoutPeriod,
+                          [this] { pageoutDaemonHelper(); }, "pageout");
+}
+
+// --------------------------------------------------------------------
+// Process management
+// --------------------------------------------------------------------
+
+Process *
+Kernel::createProcess(SpuId spu, JobId job, std::string name,
+                      std::unique_ptr<Behavior> behavior, Time startAt)
+{
+    vm_.registerSpu(spu);
+    auto proc = std::make_unique<Process>(nextPid_++, spu, job,
+                                          std::move(name),
+                                          std::move(behavior), rng_.fork());
+    Process *p = proc.get();
+    processes_.push_back(std::move(proc));
+    spuProcs_[spu].push_back(p);
+    ++live_;
+
+    p->startTime = startAt;
+    sched_.processCreated(p);
+    const Time when = std::max(startAt, events_.now());
+    events_.schedule(when, [this, p] { sched_.processReady(p); },
+                     "procStart");
+    return p;
+}
+
+Process *
+Kernel::process(Pid pid) const
+{
+    for (const auto &p : processes_) {
+        if (p->pid() == pid)
+            return p.get();
+    }
+    return nullptr;
+}
+
+int
+Kernel::createBarrier(int width)
+{
+    if (width < 1)
+        PISO_FATAL("barrier width must be >= 1, got ", width);
+    barriers_.push_back(Barrier{width, {}});
+    return static_cast<int>(barriers_.size()) - 1;
+}
+
+int
+Kernel::createLock(bool readersWriter)
+{
+    return locks_.create(readersWriter);
+}
+
+bool
+Kernel::ioIdle() const
+{
+    for (const DiskDevice *d : disks_) {
+        if (d->busy() || d->queueDepth() > 0)
+            return false;
+    }
+    return cache_.dirtyCount() == 0;
+}
+
+void
+Kernel::blockProcess(Process &p)
+{
+    sched_.processBlocked(&p);
+}
+
+void
+Kernel::wakeProcess(Process &p)
+{
+    if (p.state() == ProcState::Blocked)
+        sched_.processReady(&p);
+}
+
+// --------------------------------------------------------------------
+// SchedClient: segment execution
+// --------------------------------------------------------------------
+
+void
+Kernel::startRunning(Process &p)
+{
+    if (config_.cacheAffinityCost > 0) {
+        const Cpu &c = sched_.cpu(p.runningOn);
+        const bool migrated =
+            p.lastRanOn != kNoCpu && p.lastRanOn != p.runningOn;
+        const bool polluted =
+            c.lastSpu != kNoSpu && c.lastSpu != p.spu();
+        if (migrated || polluted) {
+            p.computeRemaining += config_.cacheAffinityCost;
+            stats_.affinityPenalties.add();
+        }
+    }
+    p.lastRanOn = p.runningOn;
+
+    p.segmentStart = events_.now();
+    if (p.computeRemaining > 0)
+        beginSegment(p);
+    else
+        advance(p);
+}
+
+void
+Kernel::stopRunning(Process &p)
+{
+    if (p.segmentEvent != kNoEvent) {
+        events_.cancel(p.segmentEvent);
+        p.segmentEvent = kNoEvent;
+    }
+    p.segmentFaults = false;
+    chargeSegment(p);
+}
+
+void
+Kernel::chargeSegment(Process &p)
+{
+    const Time elapsed = events_.now() - p.segmentStart;
+    p.cpuTime += elapsed;
+    p.computeRemaining -= std::min(elapsed, p.computeRemaining);
+    p.segmentStart = events_.now();
+}
+
+Time
+Kernel::sampleFaultTime(Process &p)
+{
+    if (p.workingSet == 0)
+        return kTimeNever;
+    // Growth phase: linear first-touch faulting.
+    if (p.everTouched < p.workingSet)
+        return p.rng().exponentialTime(p.growInterval);
+    if (p.resident >= p.workingSet)
+        return kTimeNever;
+    // Steady state: a touch refaults with probability (1 - res/ws).
+    const double deficit =
+        1.0 - static_cast<double>(p.resident) /
+                  static_cast<double>(p.workingSet);
+    const double mean = static_cast<double>(p.touchInterval) / deficit;
+    return static_cast<Time>(p.rng().exponential(mean));
+}
+
+void
+Kernel::beginSegment(Process &p)
+{
+    if (p.computeRemaining == 0)
+        PISO_PANIC("beginSegment with no compute for ", p.name());
+    if (p.state() != ProcState::Running)
+        PISO_PANIC("beginSegment on ", procStateName(p.state()),
+                   " process ", p.name());
+
+    const Time fault_in = sampleFaultTime(p);
+    Time seg;
+    if (fault_in < p.computeRemaining) {
+        seg = std::max<Time>(fault_in, 1);
+        p.segmentFaults = true;
+    } else {
+        seg = p.computeRemaining;
+        p.segmentFaults = false;
+    }
+    p.segmentStart = events_.now();
+    p.segmentEvent = events_.scheduleAfter(
+        seg, [this, &p] { segmentEnd(p); }, "segEnd");
+}
+
+void
+Kernel::segmentEnd(Process &p)
+{
+    p.segmentEvent = kNoEvent;
+    chargeSegment(p);
+
+    if (p.segmentFaults) {
+        p.segmentFaults = false;
+        pageFault(p);
+        return;
+    }
+
+    if (p.computeRemaining > 0) {
+        // Can only happen through rounding; just continue.
+        beginSegment(p);
+        return;
+    }
+
+    if (p.lockHeld >= 0) {
+        auto granted = locks_.release(p.lockHeld, &p);
+        p.lockHeld = -1;
+        // Undo any inherited priority boost.
+        auto boosted = boostedNice_.find(&p);
+        if (boosted != boostedNice_.end()) {
+            p.nice = boosted->second;
+            boostedNice_.erase(boosted);
+        }
+        for (Process *q : granted)
+            wakeProcess(*q);
+    }
+    advance(p);
+}
+
+void
+Kernel::advance(Process &p)
+{
+    int guard = 0;
+    while (true) {
+        if (++guard > 100000)
+            PISO_PANIC("process ", p.name(),
+                       " spins on zero-cost actions");
+
+        Action a;
+        if (p.pendingAction) {
+            a = *p.pendingAction;
+            p.pendingAction.reset();
+        } else {
+            BehaviorContext ctx{events_.now(), p.rng()};
+            a = p.behavior().next(p, ctx);
+        }
+
+        switch (execute(p, a)) {
+          case Exec::Continue:
+            continue;
+          case Exec::Compute:
+            beginSegment(p);
+            return;
+          case Exec::Blocked:
+            return;
+        }
+    }
+}
+
+Kernel::Exec
+Kernel::execute(Process &p, const Action &a)
+{
+    return std::visit(
+        [&](const auto &act) -> Exec {
+            using T = std::decay_t<decltype(act)>;
+            if constexpr (std::is_same_v<T, ComputeAction>) {
+                p.computeRemaining = std::max<Time>(act.duration, 1);
+                return Exec::Compute;
+            } else if constexpr (std::is_same_v<T, ReadAction>) {
+                return doRead(p, act);
+            } else if constexpr (std::is_same_v<T, WriteAction>) {
+                return doWrite(p, act);
+            } else if constexpr (std::is_same_v<T, GrowMemAction>) {
+                p.workingSet += act.pages;
+                return Exec::Continue;
+            } else if constexpr (std::is_same_v<T, ShrinkMemAction>) {
+                const std::uint64_t drop =
+                    std::min(act.pages, p.resident);
+                for (std::uint64_t i = 0; i < drop; ++i)
+                    vm_.uncharge(p.spu());
+                p.resident -= drop;
+                p.workingSet -= std::min(act.pages, p.workingSet);
+                p.everTouched = std::min(p.everTouched, p.workingSet);
+                return Exec::Continue;
+            } else if constexpr (std::is_same_v<T, SleepAction>) {
+                events_.scheduleAfter(
+                    act.duration, [this, &p] { wakeProcess(p); },
+                    "sleepWake");
+                blockProcess(p);
+                return Exec::Blocked;
+            } else if constexpr (std::is_same_v<T, BarrierAction>) {
+                return doBarrier(p, act);
+            } else if constexpr (std::is_same_v<T, LockAction>) {
+                return doLock(p, act);
+            } else if constexpr (std::is_same_v<T, SendAction>) {
+                if (!net_)
+                    PISO_FATAL("SendAction without a network interface "
+                               "(set SystemConfig::networkBitsPerSec)");
+                NetMessage msg;
+                msg.spu = p.spu();
+                msg.pid = p.pid();
+                msg.bytes = act.bytes;
+                msg.onComplete = [this, &p](const NetMessage &) {
+                    wakeProcess(p);
+                };
+                net_->submit(std::move(msg));
+                blockProcess(p);
+                return Exec::Blocked;
+            } else {
+                static_assert(std::is_same_v<T, ExitAction>);
+                doExit(p);
+                return Exec::Blocked;
+            }
+        },
+        a);
+}
+
+Kernel::Exec
+Kernel::doBarrier(Process &p, const BarrierAction &a)
+{
+    if (a.barrier < 0 ||
+        static_cast<std::size_t>(a.barrier) >= barriers_.size())
+        PISO_PANIC("unknown barrier ", a.barrier);
+    Barrier &b = barriers_[static_cast<std::size_t>(a.barrier)];
+
+    if (static_cast<int>(b.waiting.size()) + 1 >= b.width) {
+        auto waiting = std::move(b.waiting);
+        b.waiting.clear();
+        for (Process *q : waiting)
+            releaseFromBarrier(*q);
+        return Exec::Continue;
+    }
+    b.waiting.push_back(&p);
+    if (a.spin) {
+        // Busy-wait: keep the CPU and burn cycles until released.
+        p.spinning = true;
+        p.computeRemaining = kTimeNever / 2;
+        return Exec::Compute;
+    }
+    blockProcess(p);
+    return Exec::Blocked;
+}
+
+void
+Kernel::releaseFromBarrier(Process &q)
+{
+    if (!q.spinning) {
+        wakeProcess(q);
+        return;
+    }
+    q.spinning = false;
+    q.computeRemaining = 0;
+    if (q.state() == ProcState::Running) {
+        // Stop the spin segment and move on to the next action.
+        if (q.segmentEvent != kNoEvent) {
+            events_.cancel(q.segmentEvent);
+            q.segmentEvent = kNoEvent;
+        }
+        q.segmentFaults = false;
+        const Time elapsed = events_.now() - q.segmentStart;
+        q.cpuTime += elapsed;
+        q.segmentStart = events_.now();
+        advance(q);
+    }
+    // If Ready (preempted mid-spin), computeRemaining is now zero, so
+    // the next dispatch advances straight to the next action.
+}
+
+Kernel::Exec
+Kernel::doLock(Process &p, const LockAction &a)
+{
+    // The hold time executes as a compute segment; release happens in
+    // segmentEnd when the hold completes.
+    p.computeRemaining = std::max<Time>(a.hold, kUs);
+    p.lockHeld = a.lock;
+    if (locks_.acquire(a.lock, &p, a.exclusive))
+        return Exec::Compute;
+
+    // Priority inheritance (Section 3.4): transfer the blocked
+    // process's priority to the holders so a starved holder cannot
+    // stall a high-priority waiter.
+    PISO_TRACE(TraceCat::Lock, events_.now(), p.name(),
+               " blocks on lock", a.lock);
+    if (config_.lockPriorityInheritance) {
+        for (Process *q : locks_.holdersOf(a.lock)) {
+            if (q->priority() > p.priority()) {
+                PISO_TRACE(TraceCat::Lock, events_.now(), q->name(),
+                           " inherits priority of ", p.name());
+                boostedNice_.try_emplace(q, q->nice);
+                // Inherit the waiter's priority and keep it through
+                // the rest of the critical section (the holder's own
+                // usage during the hold must not re-demote it).
+                q->nice -= (q->priority() - p.priority()) +
+                           toSeconds(q->computeRemaining);
+            }
+        }
+    }
+    blockProcess(p);
+    return Exec::Blocked;
+}
+
+void
+Kernel::doExit(Process &p)
+{
+    for (std::uint64_t i = 0; i < p.resident; ++i)
+        vm_.uncharge(p.spu());
+    p.resident = 0;
+    p.workingSet = 0;
+    p.everTouched = 0;
+
+    auto &procs = spuProcs_[p.spu()];
+    procs.erase(std::remove(procs.begin(), procs.end(), &p), procs.end());
+
+    PISO_TRACE(TraceCat::Kernel, events_.now(), "exit ", p.name(),
+               " cpu=", formatTime(p.cpuTime), " blocked=",
+               formatTime(p.blockedTime));
+    --live_;
+    sched_.processExited(&p);
+    if (onProcessExit)
+        onProcessExit(p);
+}
+
+// --------------------------------------------------------------------
+// Memory management
+// --------------------------------------------------------------------
+
+void
+Kernel::swapLocation(SpuId spu, DiskId &disk, std::uint64_t &sector,
+                     Rng &rng, std::uint64_t pages)
+{
+    auto dIt = spuDisk_.find(spu);
+    disk = dIt == spuDisk_.end() ? 0 : dIt->second;
+
+    auto it = swapExtent_.find(spu);
+    if (it == swapExtent_.end()) {
+        const std::uint64_t bytes =
+            config_.swapExtentPages *
+            static_cast<std::uint64_t>(fs_.blockBytes());
+        FileId ext = fs_.createExtent("swap-spu" + std::to_string(spu),
+                                      disk, bytes);
+        it = swapExtent_.emplace(spu, ext).first;
+    }
+    const FileInfo &f = fs_.file(it->second);
+    const std::uint32_t spb = fs_.sectorsPerBlock();
+    const std::uint64_t extentPages = f.sectors / spb;
+    if (pages > extentPages)
+        PISO_PANIC("pageout cluster of ", pages,
+                   " pages exceeds the swap extent");
+    // Clamp so a multi-page cluster stays inside the extent.
+    const std::uint64_t lastStart = extentPages - pages;
+    sector = f.startSector + rng.uniformInt(lastStart + 1) * spb;
+    disk = f.disk;
+}
+
+Kernel::Reclaimed
+Kernel::reclaimPage(SpuId victim)
+{
+    Reclaimed r;
+
+    // 1. A clean buffer-cache page of the victim: free and instant.
+    SpuId owner = kNoSpu;
+    if (cache_.stealClean(victim, owner)) {
+        r.found = true;
+        r.dirty = false;
+        r.from = owner;
+        return r;
+    }
+
+    // 2. An anonymous page of the victim's largest process.
+    auto it = spuProcs_.find(victim);
+    if (it != spuProcs_.end()) {
+        Process *vp = nullptr;
+        for (Process *q : it->second) {
+            if (q->resident > 0 && (!vp || q->resident > vp->resident))
+                vp = q;
+        }
+        if (vp) {
+            --vp->resident;
+            r.found = true;
+            r.from = victim;
+            r.dirty = vp->rng().chance(vp->dirtyFraction);
+            if (r.dirty)
+                swapLocation(victim, r.disk, r.sector, vp->rng());
+            return r;
+        }
+    }
+
+    // 3. A dirty buffer-cache page of the victim: must be written to
+    //    its home location first.
+    CacheBlock *dirtyBlk = nullptr;
+    cache_.forEachDirty([&](CacheBlock &blk) {
+        if (!dirtyBlk && blk.owner == victim && blk.waiters.empty())
+            dirtyBlk = &blk;
+    });
+    if (dirtyBlk) {
+        const FileInfo &f = fs_.file(dirtyBlk->key.file);
+        r.found = true;
+        r.dirty = true;
+        r.from = victim;
+        r.disk = f.disk;
+        r.sector = fs_.blockSector(dirtyBlk->key.file,
+                                   dirtyBlk->key.block);
+        // The block leaves the cache now; the data is written from
+        // limbo (the frame is reused once the write completes).
+        cache_.markClean(*dirtyBlk);
+        cache_.remove(dirtyBlk->key);
+        return r;
+    }
+
+    return r;
+}
+
+Kernel::Reclaimed
+Kernel::reclaimAny(SpuId requester)
+{
+    SpuId first = vm_.victimSpu(requester);
+    // Self-reclaim (isolation) and over-allowed reclaim (revocation)
+    // are deterministic; a plain global shortage victimises SPUs in
+    // proportion to their footprint, like global LRU.
+    if (first != kNoSpu && first != requester &&
+        vm_.overAllowed(first) == 0) {
+        const SpuId weighted = vm_.weightedVictim(rng_);
+        if (weighted != kNoSpu)
+            first = weighted;
+    }
+    if (first != kNoSpu) {
+        Reclaimed r = reclaimPage(first);
+        if (r.found)
+            return r;
+    }
+    // Fall back to the largest non-kernel users.
+    std::vector<SpuId> order = vm_.spus();
+    std::sort(order.begin(), order.end(), [this](SpuId a, SpuId b) {
+        return vm_.levels(a).used > vm_.levels(b).used;
+    });
+    for (SpuId spu : order) {
+        if (spu == kKernelSpu || spu == first)
+            continue;
+        Reclaimed r = reclaimPage(spu);
+        if (r.found)
+            return r;
+    }
+    return Reclaimed{};
+}
+
+void
+Kernel::writeReclaimedPage(const Reclaimed &r, std::function<void()> done)
+{
+    stats_.pageoutWrites.add();
+    DiskRequest req;
+    req.spu = kSharedSpu;
+    req.startSector = r.sector;
+    req.sectors = fs_.sectorsPerBlock();
+    req.write = true;
+    req.charges = {{r.from, fs_.sectorsPerBlock()}};
+    req.onComplete = [done = std::move(done)](const DiskRequest &) {
+        done();
+    };
+    disks_.at(static_cast<std::size_t>(r.disk))->submit(std::move(req));
+}
+
+bool
+Kernel::acquireFrame(Process &p, std::function<void()> onGranted)
+{
+    const SpuId spu = p.spu();
+    if (vm_.tryCharge(spu))
+        return true;
+    if (vm_.atLimit(spu))
+        vm_.notePressure(spu);
+
+    Reclaimed r = reclaimAny(spu);
+    if (!r.found)
+        PISO_FATAL("no reclaimable memory anywhere (machine too small "
+                   "for the workload)");
+    PISO_TRACE(TraceCat::Mem, events_.now(), "reclaim from spu", r.from,
+               r.dirty ? " (dirty, writeback)" : " (clean)", " for ",
+               p.name());
+
+    if (!r.dirty) {
+        vm_.transferCharge(r.from, spu);
+        return true;
+    }
+
+    writeReclaimedPage(
+        r, [this, spu, from = r.from, fn = std::move(onGranted)] {
+            vm_.transferCharge(from, spu);
+            fn();
+        });
+    return false;
+}
+
+bool
+Kernel::frameForCache(SpuId spu)
+{
+    if (vm_.tryCharge(spu))
+        return true;
+
+    SpuId owner = kNoSpu;
+    if (vm_.atLimit(spu)) {
+        vm_.notePressure(spu);
+        // Isolation: recycle only the SPU's own clean cache pages.
+        if (cache_.stealClean(spu, owner))
+            return true; // charge stays with the same SPU
+        return false;
+    }
+    // Global shortage: steal any clean cache page.
+    if (cache_.stealClean(kNoSpu, owner)) {
+        vm_.transferCharge(owner, spu);
+        return true;
+    }
+    return false;
+}
+
+void
+Kernel::pageFault(Process &p)
+{
+    const bool zero_fill = p.everTouched < p.workingSet;
+
+    PISO_TRACE(TraceCat::Mem, events_.now(), "fault ", p.name(),
+               zero_fill ? " (zero-fill)" : " (refault)", " resident=",
+               p.resident, "/", p.workingSet);
+    if (zero_fill) {
+        stats_.zeroFills.add();
+        ++p.zeroFillFaults;
+        auto finish = [this, &p] {
+            ++p.everTouched;
+            ++p.resident;
+            wakeProcess(p);
+        };
+        if (acquireFrame(p, finish)) {
+            ++p.everTouched;
+            ++p.resident;
+            p.computeRemaining += config_.zeroFillCost;
+            beginSegment(p);
+            return;
+        }
+        blockProcess(p);
+        return;
+    }
+
+    // Refault: get a frame, then read the page back from swap.
+    stats_.refaults.add();
+    ++p.refaults;
+    auto swap_in = [this, &p] {
+        DiskId d;
+        std::uint64_t sector;
+        swapLocation(p.spu(), d, sector, p.rng());
+        DiskRequest req;
+        req.spu = p.spu();
+        req.pid = p.pid();
+        req.startSector = sector;
+        req.sectors = fs_.sectorsPerBlock();
+        req.write = false;
+        req.onComplete = [this, &p](const DiskRequest &) {
+            ++p.resident;
+            wakeProcess(p);
+        };
+        ++p.diskReads;
+        disks_.at(static_cast<std::size_t>(d))->submit(std::move(req));
+    };
+
+    const bool have_frame = acquireFrame(p, swap_in);
+    blockProcess(p);
+    if (have_frame)
+        swap_in();
+}
+
+void
+Kernel::flushClusteredPageouts(
+    const std::map<std::pair<SpuId, DiskId>, std::uint64_t> &dirty)
+{
+    // Real pagers cluster pageouts: contiguous swap slots, one large
+    // request instead of a random single-page write per victim page.
+    const std::uint32_t spb = fs_.sectorsPerBlock();
+    const std::uint64_t maxPages = config_.maxIoSectors / spb;
+    for (const auto &[key, total] : dirty) {
+        const auto [spu, diskId] = key;
+        std::uint64_t remaining = total;
+        while (remaining > 0) {
+            const std::uint64_t n = std::min(remaining, maxPages);
+            remaining -= n;
+            DiskId d;
+            std::uint64_t sector;
+            swapLocation(spu, d, sector, rng_, n);
+            stats_.pageoutWrites.add(n);
+            DiskRequest req;
+            req.spu = kSharedSpu;
+            req.startSector = sector;
+            req.sectors = static_cast<std::uint32_t>(n * spb);
+            req.write = true;
+            req.charges = {
+                {spu, static_cast<std::uint32_t>(n * spb)}};
+            req.onComplete = [this, spu = spu, n](const DiskRequest &) {
+                for (std::uint64_t i = 0; i < n; ++i)
+                    vm_.uncharge(spu);
+            };
+            disks_.at(static_cast<std::size_t>(d))
+                ->submit(std::move(req));
+        }
+    }
+}
+
+void
+Kernel::pageoutDaemon()
+{
+    // Dirty evictions are accumulated per (SPU, disk) and written as
+    // clustered requests at the end of the pass.
+    std::map<std::pair<SpuId, DiskId>, std::uint64_t> dirty;
+    auto spuDisk = [this](SpuId spu) {
+        auto it = spuDisk_.find(spu);
+        return it == spuDisk_.end() ? DiskId{0} : it->second;
+    };
+
+    // 1. Enforce allowed levels: reclaim from over-allowed SPUs
+    //    (revocation of lent memory, Section 3.2).
+    for (SpuId spu : vm_.spus()) {
+        if (spu == kKernelSpu)
+            continue;
+        std::uint64_t over = vm_.overAllowed(spu);
+        std::uint64_t n = std::min(over, config_.pageoutBatch);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            Reclaimed r = reclaimPage(spu);
+            if (!r.found)
+                break;
+            if (!r.dirty)
+                vm_.uncharge(r.from);
+            else
+                ++dirty[{r.from, spuDisk(r.from)}];
+        }
+    }
+
+    // 2. SMP-style global replacement with hysteresis: wake when free
+    //    drops under half the reserve, refill to the full reserve.
+    if (config_.globalReplacement &&
+        vm_.freePages() < vm_.reservePages() / 2) {
+        std::uint64_t guard = config_.pageoutBatch;
+        while (vm_.freePages() + pendingPageouts(dirty) <
+                   vm_.reservePages() &&
+               guard-- > 0) {
+            Reclaimed r = reclaimAny(kNoSpu);
+            if (!r.found)
+                break;
+            if (!r.dirty)
+                vm_.uncharge(r.from);
+            else
+                ++dirty[{r.from, spuDisk(r.from)}];
+        }
+    }
+
+    flushClusteredPageouts(dirty);
+}
+
+std::uint64_t
+Kernel::pendingPageouts(
+    const std::map<std::pair<SpuId, DiskId>, std::uint64_t> &dirty)
+{
+    std::uint64_t n = 0;
+    for (const auto &[key, count] : dirty)
+        n += count;
+    return n;
+}
+
+// --------------------------------------------------------------------
+// I/O path
+// --------------------------------------------------------------------
+
+void
+Kernel::ioArrived(Process &p)
+{
+    if (p.pendingIo <= 0)
+        PISO_PANIC("spurious I/O completion for ", p.name());
+    if (--p.pendingIo == 0)
+        wakeProcess(p);
+}
+
+namespace {
+
+/** Contiguous run of block numbers. */
+struct BlockRun
+{
+    std::uint64_t first = 0;
+    std::uint64_t count = 0;
+};
+
+/** Split a sorted block list into contiguous runs of <= maxBlocks. */
+std::vector<BlockRun>
+makeRuns(const std::vector<std::uint64_t> &blocks, std::uint64_t maxBlocks)
+{
+    std::vector<BlockRun> runs;
+    for (std::uint64_t b : blocks) {
+        if (!runs.empty() && runs.back().first + runs.back().count == b &&
+            runs.back().count < maxBlocks) {
+            ++runs.back().count;
+        } else {
+            runs.push_back(BlockRun{b, 1});
+        }
+    }
+    return runs;
+}
+
+} // namespace
+
+Kernel::Exec
+Kernel::doRead(Process &p, const ReadAction &a)
+{
+    const FileInfo &f = fs_.file(a.file);
+    const std::uint64_t first = a.offset / fs_.blockBytes();
+    const std::uint64_t nblocks = fs_.blockCount(a.file, a.offset, a.bytes);
+    const std::uint32_t spb = fs_.sectorsPerBlock();
+    const std::uint64_t maxBlocks = config_.maxIoSectors / spb;
+
+    std::vector<std::uint64_t> missing;
+    for (std::uint64_t b = first; b < first + nblocks; ++b) {
+        BlockKey key{a.file, b};
+        CacheBlock *blk = cache_.find(key);
+        if (blk) {
+            cache_.touch(*blk);
+            if (blk->owner != p.spu() && blk->owner != kSharedSpu &&
+                blk->owner != kNoSpu) {
+                // Second SPU touches the page: reclassify as shared.
+                vm_.transferCharge(blk->owner, kSharedSpu);
+                cache_.setOwner(*blk, kSharedSpu);
+            }
+            if (blk->valid) {
+                stats_.cacheHits.add();
+            } else {
+                // In flight (read-ahead); wait for it.
+                stats_.cacheMisses.add();
+                ++p.pendingIo;
+                blk->waiters.push_back([this, &p] { ioArrived(p); });
+            }
+            continue;
+        }
+        stats_.cacheMisses.add();
+        missing.push_back(b);
+    }
+
+    for (const BlockRun &run : makeRuns(missing, maxBlocks)) {
+        // Insert cache entries for the blocks we can hold; blocks with
+        // no frame are read but not cached (bypass).
+        std::vector<BlockKey> cached;
+        for (std::uint64_t i = 0; i < run.count; ++i) {
+            BlockKey key{a.file, run.first + i};
+            if (frameForCache(p.spu())) {
+                cache_.insert(key, p.spu(), false);
+                cached.push_back(key);
+            }
+        }
+        DiskRequest req;
+        req.spu = p.spu();
+        req.pid = p.pid();
+        req.startSector = fs_.blockSector(a.file, run.first);
+        req.sectors = static_cast<std::uint32_t>(run.count * spb);
+        req.write = false;
+        req.onComplete = [this, &p,
+                          cached = std::move(cached)](const DiskRequest &) {
+            for (const BlockKey &key : cached) {
+                if (CacheBlock *blk = cache_.find(key))
+                    cache_.markValid(*blk);
+            }
+            ioArrived(p);
+        };
+        ++p.pendingIo;
+        ++p.diskReads;
+        stats_.readRequests.add();
+        disks_.at(static_cast<std::size_t>(f.disk))->submit(std::move(req));
+    }
+
+    maybeReadAhead(p, a.file, first + nblocks);
+
+    // Copying between cache and user buffers costs CPU; it runs as a
+    // compute segment once any blocking I/O has completed.
+    p.computeRemaining += nblocks * config_.copyCostPerBlock;
+
+    if (p.pendingIo > 0) {
+        blockProcess(p);
+        return Exec::Blocked;
+    }
+    return p.computeRemaining > 0 ? Exec::Compute : Exec::Continue;
+}
+
+void
+Kernel::maybeReadAhead(Process &p, FileId file, std::uint64_t endBlock)
+{
+    const auto key = std::make_pair(p.pid(), file);
+    auto it = readCursor_.find(key);
+    const bool sequential = it != readCursor_.end() &&
+                            it->second <= endBlock &&
+                            endBlock - it->second <=
+                                config_.readAheadBlocks;
+    readCursor_[key] = endBlock;
+    if (!sequential)
+        return;
+
+    const FileInfo &f = fs_.file(file);
+    const std::uint32_t spb = fs_.sectorsPerBlock();
+    const std::uint64_t fileBlocks = f.sectors / spb;
+    const std::uint64_t last =
+        std::min<std::uint64_t>(endBlock + config_.readAheadBlocks,
+                                fileBlocks);
+
+    std::vector<std::uint64_t> toFetch;
+    for (std::uint64_t b = endBlock; b < last; ++b) {
+        BlockKey bkey{file, b};
+        if (cache_.find(bkey))
+            continue;
+        if (!frameForCache(p.spu()))
+            break; // no memory: stop prefetching
+        cache_.insert(bkey, p.spu(), false);
+        toFetch.push_back(b);
+    }
+
+    const std::uint64_t maxBlocks = config_.maxIoSectors / spb;
+    for (const BlockRun &run : makeRuns(toFetch, maxBlocks)) {
+        DiskRequest req;
+        req.spu = p.spu();
+        req.pid = p.pid();
+        req.startSector = fs_.blockSector(file, run.first);
+        req.sectors = static_cast<std::uint32_t>(run.count * spb);
+        req.write = false;
+        req.onComplete = [this, file, run](const DiskRequest &) {
+            for (std::uint64_t i = 0; i < run.count; ++i) {
+                BlockKey k{file, run.first + i};
+                if (CacheBlock *blk = cache_.find(k))
+                    cache_.markValid(*blk);
+            }
+        };
+        stats_.readAheadRequests.add();
+        disks_.at(static_cast<std::size_t>(f.disk))->submit(std::move(req));
+    }
+}
+
+bool
+Kernel::throttled(DiskId disk) const
+{
+    auto it = flushBacklog_.find(disk);
+    return it != flushBacklog_.end() &&
+           it->second > config_.writeThrottleSectors;
+}
+
+void
+Kernel::submitFlushWrite(DiskId disk, DiskRequest req)
+{
+    flushBacklog_[disk] += req.sectors;
+    auto inner = std::move(req.onComplete);
+    req.onComplete = [this, disk, sectors = req.sectors,
+                      inner = std::move(inner)](const DiskRequest &r) {
+        flushBacklog_[disk] -= sectors;
+        if (inner)
+            inner(r);
+        wakeThrottled(disk);
+    };
+    disks_.at(static_cast<std::size_t>(disk))->submit(std::move(req));
+}
+
+void
+Kernel::wakeThrottled(DiskId disk)
+{
+    if (flushBacklog_[disk] > config_.writeThrottleSectors / 2)
+        return;
+    auto it = throttleWaiters_.find(disk);
+    if (it == throttleWaiters_.end() || it->second.empty())
+        return;
+    auto waiters = std::move(it->second);
+    it->second.clear();
+    for (Process *q : waiters)
+        wakeProcess(*q);
+}
+
+Kernel::Exec
+Kernel::doWrite(Process &p, const WriteAction &a)
+{
+    const FileInfo &f = fs_.file(a.file);
+
+    // Delayed-write throttling: too much flush backlog on this disk
+    // parks the writer until the queue half-drains.
+    if (!a.sync && throttled(f.disk)) {
+        PISO_TRACE(TraceCat::Disk, events_.now(), p.name(),
+                   " throttled on disk", f.disk);
+        stats_.throttleStalls.add();
+        p.pendingAction = a;
+        throttleWaiters_[f.disk].push_back(&p);
+        blockProcess(p);
+        return Exec::Blocked;
+    }
+
+    const std::uint64_t first = a.offset / fs_.blockBytes();
+    const std::uint64_t nblocks = fs_.blockCount(a.file, a.offset, a.bytes);
+    const std::uint32_t spb = fs_.sectorsPerBlock();
+    const std::uint64_t maxBlocks = config_.maxIoSectors / spb;
+
+    std::vector<std::uint64_t> bypass;
+    std::vector<std::uint64_t> dirtied;
+    for (std::uint64_t b = first; b < first + nblocks; ++b) {
+        BlockKey key{a.file, b};
+        CacheBlock *blk = cache_.find(key);
+        if (blk) {
+            cache_.touch(*blk);
+            if (blk->owner != p.spu() && blk->owner != kSharedSpu &&
+                blk->owner != kNoSpu) {
+                vm_.transferCharge(blk->owner, kSharedSpu);
+                cache_.setOwner(*blk, kSharedSpu);
+            }
+            cache_.markDirty(*blk);
+            dirtied.push_back(b);
+        } else if (frameForCache(p.spu())) {
+            CacheBlock &nb = cache_.insert(key, p.spu(), true);
+            cache_.markDirty(nb);
+            dirtied.push_back(b);
+        } else {
+            bypass.push_back(b);
+        }
+    }
+
+    // Write-through for blocks that found no frame: the process's own
+    // (blocking) requests.
+    for (const BlockRun &run : makeRuns(bypass, maxBlocks)) {
+        DiskRequest req;
+        req.spu = p.spu();
+        req.pid = p.pid();
+        req.startSector = fs_.blockSector(a.file, run.first);
+        req.sectors = static_cast<std::uint32_t>(run.count * spb);
+        req.write = true;
+        req.onComplete = [this, &p](const DiskRequest &) {
+            ioArrived(p);
+        };
+        ++p.pendingIo;
+        ++p.diskWrites;
+        stats_.bypassWrites.add();
+        disks_.at(static_cast<std::size_t>(f.disk))->submit(std::move(req));
+    }
+
+    if (a.sync) {
+        // Force this action's cached blocks to disk under the
+        // process's own SPU (metadata-style synchronous writes).
+        for (const BlockRun &run : makeRuns(dirtied, maxBlocks)) {
+            std::vector<BlockKey> keys;
+            for (std::uint64_t i = 0; i < run.count; ++i) {
+                BlockKey k{a.file, run.first + i};
+                if (CacheBlock *blk = cache_.find(k)) {
+                    blk->flushing = true;
+                    keys.push_back(k);
+                }
+            }
+            DiskRequest req;
+            req.spu = p.spu();
+            req.pid = p.pid();
+            req.startSector = fs_.blockSector(a.file, run.first);
+            req.sectors = static_cast<std::uint32_t>(run.count * spb);
+            req.write = true;
+            req.onComplete = [this, &p,
+                              keys = std::move(keys)](const DiskRequest &) {
+                for (const BlockKey &k : keys) {
+                    if (CacheBlock *blk = cache_.find(k))
+                        cache_.markClean(*blk);
+                }
+                ioArrived(p);
+            };
+            ++p.pendingIo;
+            ++p.diskWrites;
+            stats_.syncWriteRequests.add();
+            disks_.at(static_cast<std::size_t>(f.disk))
+                ->submit(std::move(req));
+        }
+    }
+
+    if (cache_.dirtyCount() >
+        static_cast<std::size_t>(config_.dirtyHighWater *
+                                 static_cast<double>(vm_.totalPages()))) {
+        kickBdflush();
+    }
+
+    p.computeRemaining += nblocks * config_.copyCostPerBlock;
+
+    if (p.pendingIo > 0) {
+        blockProcess(p);
+        return Exec::Blocked;
+    }
+    return p.computeRemaining > 0 ? Exec::Compute : Exec::Continue;
+}
+
+void
+Kernel::kickBdflush()
+{
+    if (bdflushPending_)
+        return;
+    bdflushPending_ = true;
+    events_.scheduleAfter(
+        kMs, [this] { bdflush(); }, "bdflushKick");
+}
+
+void
+Kernel::bdflushPeriodicHelper()
+{
+    bdflush();
+    events_.scheduleAfter(config_.bdflushPeriod,
+                          [this] { bdflushPeriodicHelper(); }, "bdflush");
+}
+
+void
+Kernel::pageoutDaemonHelper()
+{
+    pageoutDaemon();
+    events_.scheduleAfter(config_.pageoutPeriod,
+                          [this] { pageoutDaemonHelper(); }, "pageout");
+}
+
+void
+Kernel::bdflush()
+{
+    bdflushPending_ = false;
+
+    // Gather dirty blocks per disk, sorted by sector, and batch them
+    // into shared-SPU write requests (Section 3.3: shared delayed
+    // writes scheduled under the shared SPU, pages charged to the
+    // owning user SPUs once the write is done).
+    struct Item
+    {
+        std::uint64_t sector;
+        BlockKey key;
+        SpuId owner;
+    };
+    std::map<DiskId, std::vector<Item>> perDisk;
+    cache_.forEachDirty([&](CacheBlock &blk) {
+        const FileInfo &f = fs_.file(blk.key.file);
+        perDisk[f.disk].push_back(
+            Item{fs_.blockSector(blk.key.file, blk.key.block), blk.key,
+                 blk.owner});
+    });
+
+    const std::uint32_t spb = fs_.sectorsPerBlock();
+    for (auto &[disk, items] : perDisk) {
+        std::sort(items.begin(), items.end(),
+                  [](const Item &x, const Item &y) {
+                      return x.sector < y.sector;
+                  });
+        std::size_t i = 0;
+        while (i < items.size()) {
+            // Coalesce a contiguous sector run.
+            std::size_t j = i + 1;
+            while (j < items.size() &&
+                   items[j].sector == items[j - 1].sector + spb &&
+                   (j - i + 1) * spb <= config_.maxIoSectors) {
+                ++j;
+            }
+
+            std::vector<BlockKey> keys;
+            std::map<SpuId, std::uint32_t> chargeMap;
+            for (std::size_t k = i; k < j; ++k) {
+                keys.push_back(items[k].key);
+                chargeMap[items[k].owner] += spb;
+                if (CacheBlock *blk = cache_.find(items[k].key))
+                    blk->flushing = true;
+            }
+
+            DiskRequest req;
+            req.spu = kSharedSpu;
+            req.startSector = items[i].sector;
+            req.sectors = static_cast<std::uint32_t>((j - i) * spb);
+            req.write = true;
+            req.charges.assign(chargeMap.begin(), chargeMap.end());
+            req.onComplete = [this,
+                              keys = std::move(keys)](const DiskRequest &) {
+                for (const BlockKey &k : keys) {
+                    if (CacheBlock *blk = cache_.find(k))
+                        cache_.markClean(*blk);
+                }
+            };
+            stats_.bdflushRequests.add();
+            PISO_TRACE(TraceCat::Disk, events_.now(), "bdflush disk",
+                       disk, " sectors=", req.sectors);
+            submitFlushWrite(disk, std::move(req));
+            i = j;
+        }
+    }
+}
+
+} // namespace piso

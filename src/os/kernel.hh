@@ -1,0 +1,349 @@
+#ifndef PISO_OS_KERNEL_HH
+#define PISO_OS_KERNEL_HH
+
+/**
+ * @file
+ * The simulated operating-system kernel.
+ *
+ * The Kernel is the orchestrator: it interprets process Actions
+ * (compute, file I/O, memory growth, barriers, locks), implements the
+ * page-fault and reclaim paths, runs the pageout and bdflush daemons,
+ * and drives the CPU scheduler as its SchedClient. Everything
+ * policy-specific (which scheduler, which disk scheduler, who moves
+ * the allowed memory levels) is plugged in from outside, so the same
+ * kernel runs the SMP, Quota, and PIso schemes.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/machine/disk.hh"
+#include "src/machine/memory.hh"
+#include "src/machine/network.hh"
+#include "src/os/buffer_cache.hh"
+#include "src/os/filesystem.hh"
+#include "src/os/locks.hh"
+#include "src/os/process.hh"
+#include "src/os/scheduler.hh"
+#include "src/os/vm.hh"
+#include "src/sim/event_queue.hh"
+#include "src/sim/random.hh"
+#include "src/sim/stats.hh"
+
+namespace piso {
+
+/** Tunables of the OS substrate. */
+struct KernelConfig
+{
+    /** CPU cost of servicing a zero-fill (first-touch) page fault. */
+    Time zeroFillCost = 60 * kUs;
+
+    /** CPU cost per file block copied between user and cache buffers
+     *  on reads and writes. */
+    Time copyCostPerBlock = 10 * kUs;
+
+    /**
+     * Cache-affinity penalty (Section 3.1's "hidden costs to
+     * reallocating CPUs, such as cache pollution"): extra compute
+     * charged when a process resumes on a different CPU than it last
+     * used, or on a CPU whose last occupant belonged to another SPU.
+     * 0 disables the model (the default; the paper experiments do not
+     * quantify it — see bench/ablation_loan_holdoff).
+     */
+    Time cacheAffinityCost = 0;
+
+    /** Period of the delayed-write flush daemon. */
+    Time bdflushPeriod = kSec;
+
+    /** Period of the pageout daemon. */
+    Time pageoutPeriod = 250 * kMs;
+
+    /** Max pages the pageout daemon reclaims per SPU per cycle. */
+    std::uint64_t pageoutBatch = 256;
+
+    /** Blocks prefetched ahead of a sequential reader. */
+    std::uint32_t readAheadBlocks = 16;
+
+    /** Largest single disk request (sectors); larger runs split. */
+    std::uint32_t maxIoSectors = 128;
+
+    /** Dirty-block fraction of total memory that triggers an
+     *  immediate flush. */
+    double dirtyHighWater = 0.20;
+
+    /** Outstanding kernel-generated write sectors per disk above which
+     *  writers are throttled (blocked until half-drained). */
+    std::uint64_t writeThrottleSectors = 4096;
+
+    /** Pages of swap space auto-reserved per SPU on first fault. */
+    std::uint64_t swapExtentPages = 8192;
+
+    /**
+     * SMP-scheme behaviour: the pageout daemon maintains the free
+     * reserve by stealing from the largest users (global page
+     * replacement). Off for Quota/PIso, where the daemon only
+     * enforces per-SPU allowed levels.
+     */
+    bool globalReplacement = false;
+
+    /**
+     * Priority inheritance on kernel locks (Section 3.4 / [SRL90]): a
+     * process blocking on a semaphore transfers its priority to the
+     * holder until release, so a starved holder cannot stall a
+     * high-priority waiter indefinitely.
+     */
+    bool lockPriorityInheritance = true;
+};
+
+/** Aggregate kernel statistics. */
+struct KernelStats
+{
+    Counter zeroFills;
+    Counter refaults;
+    Counter pageoutWrites;    //!< pages written by reclaim
+    Counter bdflushRequests;  //!< batched delayed-write requests
+    Counter syncWriteRequests;
+    Counter bypassWrites;     //!< writes that found no cache frame
+    Counter readRequests;
+    Counter readAheadRequests;
+    Counter throttleStalls;
+    Counter cacheHits;
+    Counter cacheMisses;
+    Counter affinityPenalties;
+};
+
+/**
+ * The OS kernel: action interpreter, memory manager, I/O path, and
+ * daemons. One instance per simulated machine.
+ */
+class Kernel : public SchedClient
+{
+  public:
+    /**
+     * Wire the kernel to its machine and substrate. All references
+     * must outlive the kernel. Registers itself as the scheduler's
+     * client.
+     */
+    Kernel(EventQueue &events, VirtualMemory &vm, BufferCache &cache,
+           FileSystem &fs, CpuScheduler &sched,
+           std::vector<DiskDevice *> disks, Rng rng,
+           KernelConfig config = {});
+
+    Kernel(const Kernel &) = delete;
+    Kernel &operator=(const Kernel &) = delete;
+
+    /** @name Configuration (before start()) */
+    /// @{
+    /** Disk that holds @p spu's files and swap space (default 0). */
+    void setSpuDisk(SpuId spu, DiskId disk);
+
+    /** Attach the machine's network interface (optional; SendActions
+     *  are rejected without one). Not owned. */
+    void setNetwork(NetworkInterface *net) { net_ = net; }
+
+    /** The attached network interface, or nullptr. */
+    NetworkInterface *network() { return net_; }
+
+    /** Begin daemons and scheduler ticks. */
+    void start();
+    /// @}
+
+    /** @name Process and synchronisation management */
+    /// @{
+    /**
+     * Create a process in @p spu, becoming runnable at @p startAt.
+     * The kernel owns the process.
+     */
+    Process *createProcess(SpuId spu, JobId job, std::string name,
+                           std::unique_ptr<Behavior> behavior,
+                           Time startAt = 0);
+
+    /** Create a cyclic barrier of @p width parties.
+     *  @return barrier id for BarrierAction. */
+    int createBarrier(int width);
+
+    /** Create a kernel lock. @return lock id for LockAction. */
+    int createLock(bool readersWriter);
+
+    LockTable &locks() { return locks_; }
+    /// @}
+
+    /** @name SchedClient interface (called by the CpuScheduler) */
+    /// @{
+    void startRunning(Process &p) override;
+    void stopRunning(Process &p) override;
+    /// @}
+
+    /** @name Queries */
+    /// @{
+    /** Processes not yet exited. */
+    std::size_t liveProcesses() const { return live_; }
+
+    Process *process(Pid pid) const;
+
+    const KernelStats &stats() const { return stats_; }
+
+    VirtualMemory &vm() { return vm_; }
+    FileSystem &fs() { return fs_; }
+    BufferCache &cache() { return cache_; }
+    EventQueue &events() { return events_; }
+    CpuScheduler &scheduler() { return sched_; }
+    DiskDevice &disk(DiskId d) { return *disks_.at(static_cast<std::size_t>(d)); }
+    std::size_t diskCount() const { return disks_.size(); }
+    /// @}
+
+    /** Kick a flush of every dirty block (end-of-run sync). */
+    void syncAll() { bdflush(); }
+
+    /** True when no disk is busy or queued and no dirty block
+     *  remains — the I/O system is fully drained. */
+    bool ioIdle() const;
+
+    /** Invoked whenever a process exits (job tracking). */
+    std::function<void(Process &)> onProcessExit;
+
+  private:
+    struct Barrier
+    {
+        int width = 0;
+        std::vector<Process *> waiting;
+    };
+
+    /** Result of reclaiming one page from an SPU. */
+    struct Reclaimed
+    {
+        bool found = false;
+        bool dirty = false;
+        SpuId from = kNoSpu;
+        /** Where a dirty page must be written (file block for cache
+         *  pages, swap space for anonymous pages). */
+        DiskId disk = 0;
+        std::uint64_t sector = 0;
+    };
+
+    /** Outcome of executing one action. */
+    enum class Exec
+    {
+        Continue,  //!< completed instantly; fetch the next action
+        Compute,   //!< computeRemaining was set; begin a segment
+        Blocked,   //!< the process blocked (or exited)
+    };
+
+    /** @name Action interpretation */
+    /// @{
+    void advance(Process &p);
+    void beginSegment(Process &p);
+    void segmentEnd(Process &p);
+    void chargeSegment(Process &p);
+    Exec execute(Process &p, const Action &a);
+    Exec doRead(Process &p, const ReadAction &a);
+    Exec doWrite(Process &p, const WriteAction &a);
+    Exec doBarrier(Process &p, const BarrierAction &a);
+    /** Release one barrier waiter (blocked or spinning). */
+    void releaseFromBarrier(Process &q);
+    Exec doLock(Process &p, const LockAction &a);
+    void doExit(Process &p);
+    /// @}
+
+    /** @name Memory management */
+    /// @{
+    Time sampleFaultTime(Process &p);
+    void pageFault(Process &p);
+    /**
+     * Obtain a frame charged to @p p's SPU. Returns true when the
+     * frame is available synchronously. Returns false when a dirty
+     * page must be written first: the caller must block @p p, and
+     * @p onGranted runs (with the charge already transferred) when
+     * the writeback completes.
+     */
+    bool acquireFrame(Process &p, std::function<void()> onGranted);
+
+    /** Reclaim one page from @p victim (clean-cache first, then anon,
+     *  then dirty-cache). Does not touch the free pool: the caller
+     *  transfers or releases the charge. */
+    Reclaimed reclaimPage(SpuId victim);
+
+    /** reclaimPage over a victim preference order starting at the
+     *  VM's suggestion for @p requester. */
+    Reclaimed reclaimAny(SpuId requester);
+
+    /** Get a frame for a cache page without blocking: free pool, then
+     *  clean-cache steal (own SPU, then any). kNoSpu return = failed. */
+    bool frameForCache(SpuId spu);
+
+    /** Sector to use for paging I/O of @p pages contiguous pages of
+     *  @p spu (lazily reserves a swap extent on the SPU's disk; the
+     *  location is clamped so the run stays inside the extent). */
+    void swapLocation(SpuId spu, DiskId &disk, std::uint64_t &sector,
+                      Rng &rng, std::uint64_t pages = 1);
+
+    void pageoutDaemon();
+    /** Write one reclaimed dirty page; runs @p done on completion. */
+    void writeReclaimedPage(const Reclaimed &r, std::function<void()> done);
+    /** Issue the daemon's dirty evictions as clustered swap writes. */
+    void flushClusteredPageouts(
+        const std::map<std::pair<SpuId, DiskId>, std::uint64_t> &dirty);
+    static std::uint64_t pendingPageouts(
+        const std::map<std::pair<SpuId, DiskId>, std::uint64_t> &dirty);
+    /// @}
+
+    /** @name I/O path */
+    /// @{
+    void ioArrived(Process &p);
+    void bdflush();
+    void kickBdflush();
+    void bdflushPeriodicHelper();
+    void pageoutDaemonHelper();
+    bool throttled(DiskId disk) const;
+    void submitFlushWrite(DiskId disk, DiskRequest req);
+    void wakeThrottled(DiskId disk);
+    void maybeReadAhead(Process &p, FileId file, std::uint64_t endBlock);
+    /// @}
+
+    void blockProcess(Process &p);
+    void wakeProcess(Process &p);
+
+    EventQueue &events_;
+    VirtualMemory &vm_;
+    BufferCache &cache_;
+    FileSystem &fs_;
+    CpuScheduler &sched_;
+    std::vector<DiskDevice *> disks_;
+    Rng rng_;
+    KernelConfig config_;
+
+    std::vector<std::unique_ptr<Process>> processes_;
+    std::map<SpuId, std::vector<Process *>> spuProcs_;
+    std::size_t live_ = 0;
+    Pid nextPid_ = 1;
+
+    std::vector<Barrier> barriers_;
+    LockTable locks_;
+    /** Original nice values of priority-boosted lock holders. */
+    std::map<Process *, double> boostedNice_;
+
+    NetworkInterface *net_ = nullptr;
+
+    std::map<SpuId, DiskId> spuDisk_;
+    std::map<SpuId, FileId> swapExtent_;
+
+    /** Outstanding kernel-write sectors per disk (throttling). */
+    std::map<DiskId, std::uint64_t> flushBacklog_;
+    std::map<DiskId, std::vector<Process *>> throttleWaiters_;
+    bool bdflushPending_ = false;
+
+    /** Sequential-read detection: (pid, file) -> next expected block. */
+    std::map<std::pair<Pid, FileId>, std::uint64_t> readCursor_;
+
+    KernelStats stats_;
+    bool started_ = false;
+};
+
+} // namespace piso
+
+#endif // PISO_OS_KERNEL_HH

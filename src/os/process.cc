@@ -1,0 +1,34 @@
+#include "src/os/process.hh"
+
+#include "src/sim/log.hh"
+
+namespace piso {
+
+const char *
+procStateName(ProcState s)
+{
+    switch (s) {
+      case ProcState::Embryo:
+        return "embryo";
+      case ProcState::Ready:
+        return "ready";
+      case ProcState::Running:
+        return "running";
+      case ProcState::Blocked:
+        return "blocked";
+      case ProcState::Exited:
+        return "exited";
+    }
+    return "?";
+}
+
+Process::Process(Pid pid, SpuId spu, JobId job, std::string name,
+                 std::unique_ptr<Behavior> behavior, Rng rng)
+    : pid_(pid), spu_(spu), job_(job), name_(std::move(name)),
+      behavior_(std::move(behavior)), rng_(rng)
+{
+    if (!behavior_)
+        PISO_FATAL("process '", name_, "' created without a behavior");
+}
+
+} // namespace piso

@@ -1,0 +1,145 @@
+#ifndef PISO_OS_PROCESS_HH
+#define PISO_OS_PROCESS_HH
+
+/**
+ * @file
+ * The simulated process: scheduling state, memory footprint, accounting.
+ *
+ * A Process is pure state; the Kernel and CpuScheduler drive it. Its
+ * Behavior supplies what it does next.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/os/action.hh"
+#include "src/os/behavior.hh"
+#include "src/sim/event_queue.hh"
+#include "src/sim/ids.hh"
+#include "src/sim/time.hh"
+
+namespace piso {
+
+/** Life-cycle states. */
+enum class ProcState : std::uint8_t
+{
+    Embryo,   //!< created, not yet started
+    Ready,    //!< runnable, waiting for a CPU
+    Running,  //!< on a CPU
+    Blocked,  //!< waiting for I/O, memory, a barrier, a lock, or sleep
+    Exited,   //!< done
+};
+
+/** Human-readable state name (for logs and tests). */
+const char *procStateName(ProcState s);
+
+/**
+ * One schedulable process.
+ *
+ * Memory is modelled by counts: @ref workingSet is how many distinct
+ * pages the process touches; @ref resident how many frames it holds;
+ * @ref everTouched the high-water mark distinguishing first-touch
+ * (zero-fill) faults from refaults that need a disk read.
+ */
+class Process
+{
+  public:
+    Process(Pid pid, SpuId spu, JobId job, std::string name,
+            std::unique_ptr<Behavior> behavior, Rng rng);
+
+    Process(const Process &) = delete;
+    Process &operator=(const Process &) = delete;
+
+    Pid pid() const { return pid_; }
+    SpuId spu() const { return spu_; }
+    JobId job() const { return job_; }
+    const std::string &name() const { return name_; }
+
+    ProcState state() const { return state_; }
+    void setState(ProcState s) { state_ = s; }
+
+    Behavior &behavior() { return *behavior_; }
+    Rng &rng() { return rng_; }
+
+    /** @name Scheduling state (owned by the CpuScheduler) */
+    /// @{
+    /** Decayed recent CPU usage; lower means higher priority. */
+    double recentCpu = 0.0;
+    /** Static priority bias added to recentCpu. */
+    double nice = 0.0;
+    /** CPU currently running this process (kNoCpu when not running). */
+    CpuId runningOn = kNoCpu;
+    /** CPU this process last executed on (cache affinity). */
+    CpuId lastRanOn = kNoCpu;
+    /** Time used in the current 30 ms slice. */
+    Time sliceUsed = 0;
+    /** When the process entered the ready queue (FIFO tie-break). */
+    Time readySince = 0;
+    /// @}
+
+    /** @name Execution state (owned by the Kernel) */
+    /// @{
+    /** Remaining compute in the current ComputeAction. */
+    Time computeRemaining = 0;
+    /** Wall-clock start of the segment currently running on a CPU. */
+    Time segmentStart = 0;
+    /** Pending segment-end event while Running. */
+    EventId segmentEvent = kNoEvent;
+    /** True when the current segment will end in a page fault. */
+    bool segmentFaults = false;
+    /** Outstanding I/O operations this process is blocked on. */
+    int pendingIo = 0;
+    /** Lock to release when the current hold-compute finishes. */
+    int lockHeld = -1;
+    /** Action to retry on next advance (set when an action had to
+     *  block before it could execute, e.g. write throttling). */
+    std::optional<Action> pendingAction;
+    /** Busy-waiting at a spin barrier (burning CPU until release). */
+    bool spinning = false;
+    /// @}
+
+    /** @name Memory model */
+    /// @{
+    std::uint64_t workingSet = 0;   //!< pages the process wants resident
+    std::uint64_t resident = 0;     //!< frames currently held
+    std::uint64_t everTouched = 0;  //!< first-touch high-water mark
+    /** Probability an evicted page is dirty (needs writeback). */
+    double dirtyFraction = 0.5;
+    /** Mean compute time between page touches (refault-rate scale). */
+    Time touchInterval = 3 * kMs;
+    /** Mean compute time between first-touch (zero-fill) faults while
+     *  the working set is still growing. */
+    Time growInterval = 200 * kUs;
+    /// @}
+
+    /** @name Accounting */
+    /// @{
+    Time startTime = 0;       //!< when the process became runnable
+    Time endTime = 0;         //!< when it exited
+    Time cpuTime = 0;         //!< total CPU consumed
+    Time blockedTime = 0;     //!< total time spent Blocked
+    Time lastBlockStart = 0;
+    std::uint64_t zeroFillFaults = 0;
+    std::uint64_t refaults = 0;
+    std::uint64_t diskReads = 0;
+    std::uint64_t diskWrites = 0;
+    /// @}
+
+    /** Effective scheduling priority; smaller is better. */
+    double priority() const { return nice + recentCpu; }
+
+  private:
+    Pid pid_;
+    SpuId spu_;
+    JobId job_;
+    std::string name_;
+    std::unique_ptr<Behavior> behavior_;
+    Rng rng_;
+    ProcState state_ = ProcState::Embryo;
+};
+
+} // namespace piso
+
+#endif // PISO_OS_PROCESS_HH

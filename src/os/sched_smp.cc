@@ -1,0 +1,32 @@
+#include "src/os/sched_smp.hh"
+
+namespace piso {
+
+Process *
+SmpScheduler::selectNext(Cpu &)
+{
+    if (ready_.empty())
+        return nullptr;
+    auto best = ready_.begin();
+    for (auto it = std::next(ready_.begin()); it != ready_.end(); ++it) {
+        if (higherPriority(*it, *best))
+            best = it;
+    }
+    Process *p = *best;
+    ready_.erase(best);
+    return p;
+}
+
+void
+SmpScheduler::enqueueReady(Process *p)
+{
+    ready_.push_back(p);
+}
+
+bool
+SmpScheduler::eligibleIdle(const Cpu &, const Process *) const
+{
+    return true;
+}
+
+} // namespace piso

@@ -1,0 +1,343 @@
+#include "src/os/scheduler.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/sim/log.hh"
+#include "src/sim/trace.hh"
+
+namespace piso {
+
+CpuScheduler::CpuScheduler(EventQueue &events, int numCpus, Time tickPeriod,
+                           Time timeSlice)
+    : events_(events), tickPeriod_(tickPeriod), timeSlice_(timeSlice)
+{
+    if (numCpus < 1)
+        PISO_FATAL("machine needs at least one CPU, got ", numCpus);
+    if (tickPeriod_ == 0 || timeSlice_ == 0)
+        PISO_FATAL("tick period and time slice must be non-zero");
+
+    cpus_.resize(static_cast<std::size_t>(numCpus));
+    for (int i = 0; i < numCpus; ++i)
+        cpus_[static_cast<std::size_t>(i)].id = i;
+}
+
+void
+CpuScheduler::start()
+{
+    if (!client_)
+        PISO_FATAL("scheduler started without a client");
+    lastDecay_ = events_.now();
+    for (auto &c : cpus_)
+        c.idleSince = events_.now();
+    events_.scheduleAfter(tickPeriod_, [this] { tick(); }, "schedTick");
+}
+
+void
+CpuScheduler::processCreated(Process *p)
+{
+    all_.push_back(p);
+}
+
+bool
+CpuScheduler::higherPriority(const Process *a, const Process *b)
+{
+    if (a->priority() != b->priority())
+        return a->priority() < b->priority();
+    return a->readySince < b->readySince;
+}
+
+void
+CpuScheduler::processReady(Process *p)
+{
+    if (p->state() == ProcState::Ready || p->state() == ProcState::Running)
+        PISO_PANIC("processReady on ", procStateName(p->state()),
+                   " process ", p->name());
+
+    p->setState(ProcState::Ready);
+    p->readySince = events_.now();
+
+    // Prefer an idle CPU this process is eligible for. Scan home CPUs
+    // implicitly: eligibleIdle() encodes the policy, and we prefer a
+    // CPU whose home SPU matches to keep loans short.
+    Cpu *fallback = nullptr;
+    for (auto &c : cpus_) {
+        if (c.running || !eligibleIdle(c, p))
+            continue;
+        if (c.homeSpu == p->spu() || c.homeSpu == kNoSpu) {
+            enqueueReady(p);
+            dispatch(c);
+            return;
+        }
+        if (!fallback)
+            fallback = &c;
+    }
+    if (fallback) {
+        enqueueReady(p);
+        dispatch(*fallback);
+        return;
+    }
+
+    enqueueReady(p);
+    onReadyNoIdle(p);
+}
+
+void
+CpuScheduler::freeCpu(Process *p, bool requeue)
+{
+    if (p->runningOn == kNoCpu)
+        PISO_PANIC("freeing CPU of non-running process ", p->name());
+
+    Cpu &c = cpus_.at(static_cast<std::size_t>(p->runningOn));
+    const Time busy = events_.now() - c.lastDispatch;
+    c.busyTime += busy;
+    spuCpuTime_[p->spu()] += busy;
+
+    c.running = nullptr;
+    c.loaned = false;
+    c.idleSince = events_.now();
+    p->runningOn = kNoCpu;
+
+    if (requeue)
+        enqueueReady(p);
+    dispatch(c);
+}
+
+void
+CpuScheduler::processBlocked(Process *p)
+{
+    if (p->state() != ProcState::Running)
+        PISO_PANIC("processBlocked on ", procStateName(p->state()),
+                   " process ", p->name());
+    p->setState(ProcState::Blocked);
+    p->lastBlockStart = events_.now();
+    freeCpu(p, false);
+}
+
+void
+CpuScheduler::processExited(Process *p)
+{
+    if (p->state() != ProcState::Running)
+        PISO_PANIC("processExited on ", procStateName(p->state()),
+                   " process ", p->name());
+    p->setState(ProcState::Exited);
+    p->endTime = events_.now();
+    all_.erase(std::remove(all_.begin(), all_.end(), p), all_.end());
+    freeCpu(p, false);
+}
+
+void
+CpuScheduler::dispatch(Cpu &cpu)
+{
+    if (cpu.running)
+        PISO_PANIC("dispatch on busy cpu", cpu.id);
+
+    Process *p = selectNext(cpu);
+    if (!p) {
+        cpu.revokePending = false;
+        return;
+    }
+
+    cpu.idleTime += events_.now() - cpu.idleSince;
+    cpu.running = p;
+    cpu.lastDispatch = events_.now();
+    cpu.loaned = cpu.homeSpu != kNoSpu && p->spu() != cpu.homeSpu;
+    if (!cpu.loaned)
+        cpu.revokePending = false;
+
+    PISO_TRACE(TraceCat::Sched, events_.now(), "dispatch ", p->name(),
+               " on cpu", cpu.id, cpu.loaned ? " (loan)" : "");
+    p->runningOn = cpu.id;
+    p->setState(ProcState::Running);
+    p->sliceUsed = 0;
+    if (p->lastBlockStart != 0) {
+        p->blockedTime += events_.now() - p->lastBlockStart;
+        p->lastBlockStart = 0;
+    }
+    // The client reads cpu.lastSpu (previous cache occupant) inside
+    // startRunning; update it afterwards — unless p already blocked
+    // and a nested dispatch filled the CPU with someone else.
+    client_->startRunning(*p);
+    if (cpu.running == p)
+        cpu.lastSpu = p->spu();
+}
+
+void
+CpuScheduler::preemptCpu(Cpu &cpu)
+{
+    Process *p = cpu.running;
+    if (!p)
+        return;
+    PISO_TRACE(TraceCat::Sched, events_.now(), "preempt ", p->name(),
+               " on cpu", cpu.id);
+    client_->stopRunning(*p);
+    p->setState(ProcState::Ready);
+    p->readySince = events_.now();
+    freeCpu(p, true);
+}
+
+SpuId
+CpuScheduler::currentOwner(const Cpu &cpu) const
+{
+    if (cpu.timeShares.empty())
+        return cpu.homeSpu;
+    const double pos =
+        static_cast<double>(events_.now() % sharePeriod_) /
+        static_cast<double>(sharePeriod_);
+    double acc = 0.0;
+    for (const auto &[spu, frac] : cpu.timeShares) {
+        acc += frac;
+        if (pos < acc)
+            return spu;
+    }
+    return cpu.timeShares.back().first;
+}
+
+void
+CpuScheduler::onReadyNoIdle(Process *)
+{
+}
+
+void
+CpuScheduler::policyTick()
+{
+}
+
+void
+CpuScheduler::tick()
+{
+    const Time now = events_.now();
+
+    // Charge the tick to whoever is running (degrading priorities).
+    for (auto &c : cpus_) {
+        if (c.running) {
+            c.running->recentCpu += toSeconds(tickPeriod_);
+            c.running->sliceUsed += tickPeriod_;
+        }
+    }
+
+    // Decay recent usage by half every second, IRIX-style.
+    if (now - lastDecay_ >= decayPeriod_) {
+        for (auto *p : all_)
+            p->recentCpu *= 0.5;
+        lastDecay_ = now;
+    }
+
+    // Expired slices: round-robin among equal-priority processes. The
+    // re-dispatch picks the best ready process, which may be the same
+    // one if nothing better waits.
+    for (auto &c : cpus_) {
+        if (c.running && c.running->sliceUsed >= timeSlice_)
+            preemptCpu(c);
+    }
+
+    policyTick();
+
+    // Idle CPUs whose eligibility changed since they went idle (time
+    // partition rotated, a loan hold-off expired) have no other event
+    // to wake them: give them a dispatch chance every tick.
+    for (auto &c : cpus_) {
+        if (!c.running)
+            dispatch(c);
+    }
+
+    events_.scheduleAfter(tickPeriod_, [this] { tick(); }, "schedTick");
+}
+
+Time
+CpuScheduler::spuCpuTime(SpuId spu) const
+{
+    auto it = spuCpuTime_.find(spu);
+    Time t = it == spuCpuTime_.end() ? 0 : it->second;
+    // Include the in-flight portion of currently running processes.
+    for (const auto &c : cpus_) {
+        if (c.running && c.running->spu() == spu)
+            t += events_.now() - c.lastDispatch;
+    }
+    return t;
+}
+
+Time
+CpuScheduler::totalIdleTime() const
+{
+    Time t = 0;
+    for (const auto &c : cpus_) {
+        t += c.idleTime;
+        if (!c.running)
+            t += events_.now() - c.idleSince;
+    }
+    return t;
+}
+
+void
+CpuScheduler::repartitionCpus(const std::map<SpuId, double> &cpuShares)
+{
+    for (auto &c : cpus_) {
+        c.homeSpu = kNoSpu;
+        c.timeShares.clear();
+        c.revokePending = false;
+        // A previously loaned CPU may now be home for its process.
+        if (c.running)
+            c.loaned = false;
+    }
+    partitionCpus(cpuShares);
+    for (auto &c : cpus_) {
+        if (c.running && c.homeSpu != kNoSpu)
+            c.loaned = c.running->spu() != c.homeSpu;
+    }
+    // CPUs that changed hands while idle must pick up their new
+    // owner's waiting work now.
+    for (auto &c : cpus_) {
+        if (!c.running)
+            dispatch(c);
+    }
+}
+
+void
+CpuScheduler::partitionCpus(const std::map<SpuId, double> &cpuShares)
+{
+    if (cpuShares.empty())
+        return;
+
+    double total = 0.0;
+    for (const auto &[spu, share] : cpuShares)
+        total += share;
+    if (total <= 0.0)
+        PISO_FATAL("CPU shares sum to zero");
+
+    // Scale shares to CPU counts.
+    const double scale = static_cast<double>(numCpus()) / total;
+    std::size_t next = 0;
+
+    // First pass: dedicated CPUs for the integral part of each share.
+    std::vector<std::pair<SpuId, double>> fractions;
+    for (const auto &[spu, share] : cpuShares) {
+        const double cpus = share * scale;
+        auto whole = static_cast<std::size_t>(std::floor(cpus + 1e-9));
+        for (std::size_t i = 0; i < whole && next < cpus_.size(); ++i)
+            cpus_[next++].homeSpu = spu;
+        const double frac = cpus - static_cast<double>(whole);
+        if (frac > 1e-9)
+            fractions.emplace_back(spu, frac);
+    }
+
+    // Second pass: pack fractional remainders onto the leftover CPUs as
+    // time shares (Section 3.1's time partitioning of remainder CPUs).
+    for (; next < cpus_.size(); ++next) {
+        Cpu &c = cpus_[next];
+        double room = 1.0;
+        while (!fractions.empty() && room > 1e-9) {
+            auto &[spu, frac] = fractions.front();
+            const double take = std::min(room, frac);
+            c.timeShares.emplace_back(spu, take);
+            room -= take;
+            frac -= take;
+            if (frac <= 1e-9)
+                fractions.erase(fractions.begin());
+        }
+        if (!c.timeShares.empty())
+            c.homeSpu = c.timeShares.front().first;
+    }
+}
+
+} // namespace piso

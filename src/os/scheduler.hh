@@ -1,0 +1,218 @@
+#ifndef PISO_OS_SCHEDULER_HH
+#define PISO_OS_SCHEDULER_HH
+
+/**
+ * @file
+ * CPU scheduling framework.
+ *
+ * The base CpuScheduler models the parts of IRIX scheduling the paper
+ * keeps: 30 ms time slices, a 10 ms clock tick, and degrading
+ * priorities (recent CPU usage raises a process's priority number,
+ * i.e. lowers its precedence; usage decays by half every second).
+ *
+ * Policies differ only in *which* ready process a CPU may take:
+ *  - SmpScheduler (src/os):    any process, global queue — IRIX "SMP".
+ *  - QuotaScheduler (src/core): home-SPU only — fixed quotas, "Quo".
+ *  - PisoScheduler (src/core):  home-SPU first, idle CPUs loaned to
+ *    other SPUs with <=10 ms revocation — "PIso" (Section 3.1).
+ *
+ * The scheduler assigns CPUs; the Kernel (a SchedClient) executes the
+ * processes' compute segments and tells the scheduler about blocking.
+ */
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/os/process.hh"
+#include "src/sim/event_queue.hh"
+#include "src/sim/ids.hh"
+#include "src/sim/time.hh"
+
+namespace piso {
+
+/**
+ * Executes processes on behalf of the scheduler (implemented by the
+ * Kernel). The contract: after startRunning() the process is executing
+ * a segment; the client reports back via processBlocked()/
+ * processExited() when it stops on its own, and must halt the segment
+ * synchronously when the scheduler calls stopRunning() (preemption).
+ */
+class SchedClient
+{
+  public:
+    virtual ~SchedClient() = default;
+
+    /** Begin or resume executing @p p (already marked Running). */
+    virtual void startRunning(Process &p) = 0;
+
+    /** Preempt @p p mid-segment: cancel its pending segment-end event
+     *  and account the partial progress. Called before re-queueing. */
+    virtual void stopRunning(Process &p) = 0;
+};
+
+/** Per-CPU scheduling state. */
+struct Cpu
+{
+    CpuId id = 0;
+
+    /** SPU owning this CPU under space partitioning (kNoSpu = none,
+     *  i.e. the SMP scheme). */
+    SpuId homeSpu = kNoSpu;
+
+    /**
+     * Time-partition shares for a CPU split between SPUs (the paper's
+     * hybrid policy: fractions of a CPU are time-multiplexed). Empty
+     * for dedicated or unpartitioned CPUs.
+     */
+    std::vector<std::pair<SpuId, double>> timeShares;
+
+    Process *running = nullptr;
+
+    /** PIso: currently running a process from a foreign SPU. */
+    bool loaned = false;
+
+    /** PIso: a home process awaits this CPU; revoke at next tick. */
+    bool revokePending = false;
+
+    /** SPU of the last process that executed here (cache contents). */
+    SpuId lastSpu = kNoSpu;
+
+    /** PIso loan hold-off: no foreign process may be placed here
+     *  before this time (limits cache-polluting reallocation churn). */
+    Time noLoanBefore = 0;
+
+    Time lastDispatch = 0;
+    Time idleSince = 0;
+    Time busyTime = 0;
+    Time idleTime = 0;
+};
+
+/**
+ * Base scheduler: owns the CPUs, the clock tick, time slices, priority
+ * decay, and all accounting. Subclasses provide the ready-queue
+ * structure and the eligibility rules.
+ */
+class CpuScheduler
+{
+  public:
+    /**
+     * @param events     Simulation event queue.
+     * @param numCpus    Number of CPUs in the machine.
+     * @param tickPeriod Clock-tick interval (IRIX: 10 ms).
+     * @param timeSlice  Scheduling quantum (IRIX: 30 ms).
+     */
+    CpuScheduler(EventQueue &events, int numCpus,
+                 Time tickPeriod = 10 * kMs, Time timeSlice = 30 * kMs);
+    virtual ~CpuScheduler() = default;
+
+    CpuScheduler(const CpuScheduler &) = delete;
+    CpuScheduler &operator=(const CpuScheduler &) = delete;
+
+    /** Attach the execution client (the Kernel). Must precede start(). */
+    void setClient(SchedClient *client) { client_ = client; }
+
+    /** Begin ticking. Call once, before the first process is ready. */
+    void start();
+
+    /** @name Kernel-facing process transitions */
+    /// @{
+    /** Register a process (any state) with the scheduler. */
+    void processCreated(Process *p);
+
+    /** Mark @p p runnable (Embryo or Blocked -> Ready) and try to place
+     *  it on a CPU. */
+    void processReady(Process *p);
+
+    /** The running process @p p blocked; frees its CPU. */
+    void processBlocked(Process *p);
+
+    /** The running process @p p exited; frees its CPU. */
+    void processExited(Process *p);
+    /// @}
+
+    /** @name Queries and accounting */
+    /// @{
+    int numCpus() const { return static_cast<int>(cpus_.size()); }
+    const Cpu &cpu(CpuId id) const { return cpus_.at(id); }
+    Cpu &cpu(CpuId id) { return cpus_.at(id); }
+
+    /** Total CPU time consumed by processes of @p spu. */
+    Time spuCpuTime(SpuId spu) const;
+
+    /** Sum of idle time across CPUs (updated through the last
+     *  dispatch/idle transition). */
+    Time totalIdleTime() const;
+
+    Time tickPeriod() const { return tickPeriod_; }
+    Time timeSlice() const { return timeSlice_; }
+    /// @}
+
+    /** Assign home SPUs to CPUs from per-SPU CPU shares (the hybrid
+     *  space/time partition of Section 3.1): each SPU gets
+     *  floor(share) dedicated CPUs; fractional remainders are packed
+     *  onto shared CPUs as time shares. No-op for an empty map. */
+    void partitionCpus(const std::map<SpuId, double> &cpuShares);
+
+    /**
+     * Re-run the partition mid-run (SPUs created, destroyed,
+     * suspended, or resumed — Section 2.1's dynamic SPU life cycle).
+     * Running processes are not preempted here; ownership takes
+     * effect through the normal tick/slice machinery.
+     */
+    void repartitionCpus(const std::map<SpuId, double> &cpuShares);
+
+  protected:
+    /** Pick (and remove from the ready structures) the next process for
+     *  @p cpu, or nullptr to leave it idle. */
+    virtual Process *selectNext(Cpu &cpu) = 0;
+
+    /** Add @p p to the ready structures. */
+    virtual void enqueueReady(Process *p) = 0;
+
+    /** May @p p be placed on idle CPU @p cpu right now? */
+    virtual bool eligibleIdle(const Cpu &cpu, const Process *p) const = 0;
+
+    /** Hook: @p p became ready but no idle CPU accepted it. */
+    virtual void onReadyNoIdle(Process *p);
+
+    /** Hook: per-tick policy work (revocation, owner rotation). Runs
+     *  after the base slice handling. */
+    virtual void policyTick();
+
+    /** Place the best eligible process (if any) on @p cpu. */
+    void dispatch(Cpu &cpu);
+
+    /** Preempt whatever runs on @p cpu and re-dispatch. */
+    void preemptCpu(Cpu &cpu);
+
+    /** SPU whose turn it is on a time-partitioned CPU (the CPU's home
+     *  SPU for dedicated CPUs). */
+    SpuId currentOwner(const Cpu &cpu) const;
+
+    /** Priority comparison helper: true if a should run before b. */
+    static bool higherPriority(const Process *a, const Process *b);
+
+    EventQueue &events_;
+    SchedClient *client_ = nullptr;
+    std::vector<Cpu> cpus_;
+    std::vector<Process *> all_;
+
+  private:
+    void tick();
+    void freeCpu(Process *p, bool requeue);
+
+    Time tickPeriod_;
+    Time timeSlice_;
+    Time decayPeriod_ = kSec;
+    Time lastDecay_ = 0;
+    /** Rotation period for time-partitioned CPUs. */
+    Time sharePeriod_ = 100 * kMs;
+
+    std::map<SpuId, Time> spuCpuTime_;
+};
+
+} // namespace piso
+
+#endif // PISO_OS_SCHEDULER_HH

@@ -1,0 +1,190 @@
+#include "src/os/vm.hh"
+
+#include "src/sim/log.hh"
+
+namespace piso {
+
+VirtualMemory::VirtualMemory(PhysicalMemory &phys)
+    : phys_(phys)
+{
+}
+
+void
+VirtualMemory::registerSpu(SpuId spu)
+{
+    spus_.try_emplace(spu);
+}
+
+const VirtualMemory::Entry &
+VirtualMemory::entry(SpuId spu) const
+{
+    auto it = spus_.find(spu);
+    if (it == spus_.end())
+        PISO_PANIC("unknown SPU ", spu);
+    return it->second;
+}
+
+VirtualMemory::Entry &
+VirtualMemory::entry(SpuId spu)
+{
+    return const_cast<Entry &>(
+        static_cast<const VirtualMemory *>(this)->entry(spu));
+}
+
+void
+VirtualMemory::setEntitled(SpuId spu, std::uint64_t pages)
+{
+    entry(spu).levels.entitled = pages;
+}
+
+void
+VirtualMemory::setAllowed(SpuId spu, std::uint64_t pages)
+{
+    entry(spu).levels.allowed = pages;
+}
+
+const MemLevels &
+VirtualMemory::levels(SpuId spu) const
+{
+    return entry(spu).levels;
+}
+
+bool
+VirtualMemory::tryCharge(SpuId spu)
+{
+    Entry &e = entry(spu);
+    if (e.levels.used >= e.levels.allowed)
+        return false;
+    if (!phys_.allocate(1))
+        return false;
+    ++e.levels.used;
+    return true;
+}
+
+void
+VirtualMemory::uncharge(SpuId spu)
+{
+    Entry &e = entry(spu);
+    if (e.levels.used == 0)
+        PISO_PANIC("uncharge of SPU ", spu, " with zero used pages");
+    --e.levels.used;
+    phys_.release(1);
+}
+
+void
+VirtualMemory::transferCharge(SpuId from, SpuId to)
+{
+    Entry &src = entry(from);
+    if (src.levels.used == 0)
+        PISO_PANIC("transfer from SPU ", from, " with zero used pages");
+    --src.levels.used;
+    ++entry(to).levels.used;
+}
+
+bool
+VirtualMemory::atLimit(SpuId spu) const
+{
+    const MemLevels &l = entry(spu).levels;
+    return l.used >= l.allowed;
+}
+
+std::uint64_t
+VirtualMemory::overAllowed(SpuId spu) const
+{
+    const MemLevels &l = entry(spu).levels;
+    return l.used > l.allowed ? l.used - l.allowed : 0;
+}
+
+SpuId
+VirtualMemory::victimSpu(SpuId requester) const
+{
+    // Isolation: an SPU at its own cap pays for itself.
+    auto req = spus_.find(requester);
+    if (req != spus_.end() &&
+        req->second.levels.used >= req->second.levels.allowed &&
+        req->second.levels.used > 0) {
+        return requester;
+    }
+
+    // Global shortage: most-over-allowed SPU first (borrowers being
+    // revoked), then the largest non-kernel holder (SMP behaviour).
+    SpuId best = kNoSpu;
+    std::uint64_t bestOver = 0;
+    for (const auto &[spu, e] : spus_) {
+        const std::uint64_t over =
+            e.levels.used > e.levels.allowed
+                ? e.levels.used - e.levels.allowed
+                : 0;
+        if (over > bestOver) {
+            bestOver = over;
+            best = spu;
+        }
+    }
+    if (best != kNoSpu)
+        return best;
+
+    std::uint64_t bestUsed = 0;
+    for (const auto &[spu, e] : spus_) {
+        if (spu == kKernelSpu)
+            continue;
+        if (e.levels.used > bestUsed) {
+            bestUsed = e.levels.used;
+            best = spu;
+        }
+    }
+    return best;
+}
+
+SpuId
+VirtualMemory::weightedVictim(Rng &rng) const
+{
+    std::uint64_t total = 0;
+    for (const auto &[spu, e] : spus_) {
+        if (spu != kKernelSpu)
+            total += e.levels.used;
+    }
+    if (total == 0)
+        return kNoSpu;
+    std::uint64_t pick = rng.uniformInt(total);
+    for (const auto &[spu, e] : spus_) {
+        if (spu == kKernelSpu)
+            continue;
+        if (pick < e.levels.used)
+            return spu;
+        pick -= e.levels.used;
+    }
+    return kNoSpu;
+}
+
+void
+VirtualMemory::notePressure(SpuId spu)
+{
+    ++entry(spu).pressure;
+}
+
+std::uint64_t
+VirtualMemory::takePressure(SpuId spu)
+{
+    Entry &e = entry(spu);
+    const std::uint64_t v = e.pressure;
+    e.pressure = 0;
+    return v;
+}
+
+std::uint64_t
+VirtualMemory::pressure(SpuId spu) const
+{
+    return entry(spu).pressure;
+}
+
+std::vector<SpuId>
+VirtualMemory::spus() const
+{
+    std::vector<SpuId> out;
+    out.reserve(spus_.size());
+    for (const auto &[spu, e] : spus_)
+        out.push_back(spu);
+    return out;
+}
+
+} // namespace piso

@@ -1,0 +1,41 @@
+#ifndef PISO_PISO_HH
+#define PISO_PISO_HH
+
+/**
+ * @file
+ * Umbrella header: everything a user of the performance-isolation
+ * library needs.
+ *
+ * The library reproduces "Performance Isolation: Sharing and
+ * Isolation in Shared-Memory Multiprocessors" (Verghese, Gupta,
+ * Rosenblum; ASPLOS 1998): an SMP operating-system simulator with the
+ * paper's SPU abstraction and the SMP / Quota / PIso resource
+ * allocation schemes for CPU time, memory, and disk bandwidth.
+ */
+
+#include "src/core/disk_fair.hh"
+#include "src/core/mem_policy.hh"
+#include "src/core/net_fair.hh"
+#include "src/core/sched_piso.hh"
+#include "src/core/sched_quota.hh"
+#include "src/core/scheme.hh"
+#include "src/core/spu.hh"
+#include "src/machine/disk.hh"
+#include "src/machine/disk_model.hh"
+#include "src/machine/memory.hh"
+#include "src/machine/network.hh"
+#include "src/metrics/monitor.hh"
+#include "src/metrics/report.hh"
+#include "src/metrics/results.hh"
+#include "src/os/cscan.hh"
+#include "src/os/kernel.hh"
+#include "src/os/sched_smp.hh"
+#include "src/simulation.hh"
+#include "src/workload/filecopy.hh"
+#include "src/workload/oltp.hh"
+#include "src/workload/pmake.hh"
+#include "src/workload/scientific.hh"
+#include "src/workload/synthetic.hh"
+#include "src/workload/webserver.hh"
+
+#endif // PISO_PISO_HH

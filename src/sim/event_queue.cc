@@ -1,0 +1,88 @@
+#include "src/sim/event_queue.hh"
+
+#include "src/sim/log.hh"
+
+namespace piso {
+
+EventId
+EventQueue::schedule(Time when, Callback cb, const char *name)
+{
+    if (when < now_) {
+        PISO_PANIC("event '", name, "' scheduled in the past (",
+                   formatTime(when), " < now=", formatTime(now_), ")");
+    }
+    if (!cb)
+        PISO_PANIC("event '", name, "' scheduled with empty callback");
+
+    EventId id = nextId_++;
+    heap_.push(Entry{when, nextSeq_++, id, std::move(cb), name});
+    liveIds_.insert(id);
+    ++live_;
+    return id;
+}
+
+bool
+EventQueue::cancel(EventId id)
+{
+    if (id == kNoEvent || liveIds_.find(id) == liveIds_.end())
+        return false;
+    liveIds_.erase(id);
+    cancelled_.insert(id);
+    --live_;
+    return true;
+}
+
+bool
+EventQueue::pendingEvent(EventId id) const
+{
+    return id != kNoEvent && liveIds_.find(id) != liveIds_.end();
+}
+
+void
+EventQueue::skipCancelled() const
+{
+    while (!heap_.empty()) {
+        auto it = cancelled_.find(heap_.top().id);
+        if (it == cancelled_.end())
+            break;
+        cancelled_.erase(it);
+        heap_.pop();
+    }
+}
+
+Time
+EventQueue::nextEventTime() const
+{
+    skipCancelled();
+    return heap_.empty() ? kTimeNever : heap_.top().when;
+}
+
+bool
+EventQueue::runOne()
+{
+    skipCancelled();
+    if (heap_.empty())
+        return false;
+
+    // Move the entry out before popping so the callback may freely
+    // schedule (and even cancel) other events.
+    Entry entry = std::move(const_cast<Entry &>(heap_.top()));
+    heap_.pop();
+    liveIds_.erase(entry.id);
+    --live_;
+
+    now_ = entry.when;
+    entry.cb();
+    return true;
+}
+
+std::size_t
+EventQueue::runAll(Time limit)
+{
+    std::size_t count = 0;
+    while (nextEventTime() <= limit && runOne())
+        ++count;
+    return count;
+}
+
+} // namespace piso

@@ -1,0 +1,133 @@
+#ifndef PISO_SIM_EVENT_QUEUE_HH
+#define PISO_SIM_EVENT_QUEUE_HH
+
+/**
+ * @file
+ * Discrete-event simulation engine.
+ *
+ * The EventQueue is the heart of the simulator: every hardware and OS
+ * activity (clock ticks, disk completions, compute-slice expiries,
+ * policy daemons) is an event. Events scheduled for the same instant
+ * fire in scheduling order, which keeps runs fully deterministic.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "src/sim/time.hh"
+
+namespace piso {
+
+/** Opaque handle identifying a scheduled event; used for cancellation. */
+using EventId = std::uint64_t;
+
+/** EventId value meaning "no event". */
+inline constexpr EventId kNoEvent = 0;
+
+/**
+ * A deterministic, cancellable discrete-event queue.
+ *
+ * Ordering is (time, scheduling sequence number); cancellation is lazy
+ * (cancelled entries are discarded when they reach the head), which
+ * makes cancel() O(1) while keeping pop() amortised O(log n).
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Time now() const { return now_; }
+
+    /**
+     * Schedule @p cb to run at absolute time @p when.
+     * @param when Absolute firing time; must be >= now().
+     * @param cb   Callback executed when the event fires.
+     * @param name Optional label used in debug traces.
+     * @return Handle usable with cancel().
+     */
+    EventId schedule(Time when, Callback cb, const char *name = "");
+
+    /** Schedule @p cb to run @p delay after the current time. */
+    EventId
+    scheduleAfter(Time delay, Callback cb, const char *name = "")
+    {
+        return schedule(now_ + delay, std::move(cb), name);
+    }
+
+    /**
+     * Cancel a previously scheduled event. Cancelling an event that has
+     * already fired (or kNoEvent) is a harmless no-op.
+     * @return true if the event was still pending.
+     */
+    bool cancel(EventId id);
+
+    /** True if a given event is still pending (scheduled, not fired). */
+    bool pendingEvent(EventId id) const;
+
+    /** Number of live (non-cancelled) events still queued. */
+    std::size_t pending() const { return live_; }
+
+    /** True when no live events remain. */
+    bool empty() const { return live_ == 0; }
+
+    /**
+     * Pop and execute the next event, advancing now().
+     * @return false if the queue was empty.
+     */
+    bool runOne();
+
+    /**
+     * Run events until the queue drains or @p limit is reached, whichever
+     * comes first. Time advances to each event as it fires.
+     * @return number of events executed.
+     */
+    std::size_t runAll(Time limit = kTimeNever);
+
+    /** Firing time of the next live event, or kTimeNever if none. */
+    Time nextEventTime() const;
+
+  private:
+    struct Entry
+    {
+        Time when;
+        std::uint64_t seq;
+        EventId id;
+        Callback cb;
+        std::string name;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    /** Drop cancelled entries sitting at the head of the heap. */
+    void skipCancelled() const;
+
+    mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    mutable std::unordered_set<EventId> cancelled_;
+    std::unordered_set<EventId> liveIds_;
+    Time now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    EventId nextId_ = 1;
+    std::size_t live_ = 0;
+};
+
+} // namespace piso
+
+#endif // PISO_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,70 @@
+#include "src/sim/log.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "src/sim/time.hh"
+
+namespace piso {
+
+namespace {
+LogLevel gLevel = LogLevel::Quiet;
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    gLevel = level;
+}
+
+LogLevel
+logLevel()
+{
+    return gLevel;
+}
+
+std::string
+formatTime(Time t)
+{
+    char buf[64];
+    if (t >= kSec) {
+        std::snprintf(buf, sizeof(buf), "%.3fs", toSeconds(t));
+    } else if (t >= kMs) {
+        std::snprintf(buf, sizeof(buf), "%.3fms", toMillis(t));
+    } else if (t >= kUs) {
+        std::snprintf(buf, sizeof(buf), "%.3fus",
+                      static_cast<double>(t) / static_cast<double>(kUs));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%lluns",
+                      static_cast<unsigned long long>(t));
+    }
+    return buf;
+}
+
+namespace detail {
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    // Throwing (rather than exit()) keeps fatal conditions testable.
+    throw std::runtime_error("fatal: " + msg);
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+void
+logImpl(LogLevel level, const std::string &msg)
+{
+    if (static_cast<int>(level) <= static_cast<int>(gLevel))
+        std::fprintf(stderr, "%s\n", msg.c_str());
+}
+
+} // namespace detail
+} // namespace piso

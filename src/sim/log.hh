@@ -1,0 +1,69 @@
+#ifndef PISO_SIM_LOG_HH
+#define PISO_SIM_LOG_HH
+
+/**
+ * @file
+ * Minimal logging and error-termination helpers.
+ *
+ * Follows the gem5 convention: fatal() is for user errors (bad
+ * configuration, impossible workload parameters) and exits cleanly;
+ * panic() is for internal invariant violations (simulator bugs) and
+ * aborts so a core dump / debugger can capture the state.
+ */
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace piso {
+
+/** Verbosity levels for runtime logging. */
+enum class LogLevel : std::uint8_t { Quiet = 0, Info = 1, Debug = 2 };
+
+/** Set the global log verbosity (default: Quiet). */
+void setLogLevel(LogLevel level);
+
+/** Current global log verbosity. */
+LogLevel logLevel();
+
+namespace detail {
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+void logImpl(LogLevel level, const std::string &msg);
+
+/** Fold a parameter pack into one string via operator<<. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+} // namespace detail
+
+} // namespace piso
+
+/** Terminate: unrecoverable *user* error (bad config, bad arguments). */
+#define PISO_FATAL(...)                                                     \
+    ::piso::detail::fatalImpl(__FILE__, __LINE__,                           \
+                              ::piso::detail::concat(__VA_ARGS__))
+
+/** Terminate: internal invariant violation (a simulator bug). */
+#define PISO_PANIC(...)                                                     \
+    ::piso::detail::panicImpl(__FILE__, __LINE__,                           \
+                              ::piso::detail::concat(__VA_ARGS__))
+
+/** Informational message, shown at LogLevel::Info and above. */
+#define PISO_INFO(...)                                                      \
+    ::piso::detail::logImpl(::piso::LogLevel::Info,                         \
+                            ::piso::detail::concat(__VA_ARGS__))
+
+/** Debug trace, shown only at LogLevel::Debug. */
+#define PISO_DEBUG(...)                                                     \
+    ::piso::detail::logImpl(::piso::LogLevel::Debug,                        \
+                            ::piso::detail::concat(__VA_ARGS__))
+
+#endif // PISO_SIM_LOG_HH

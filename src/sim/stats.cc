@@ -1,0 +1,87 @@
+#include "src/sim/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/sim/log.hh"
+
+namespace piso {
+
+void
+Accumulator::sample(double v)
+{
+    ++count_;
+    sum_ += v;
+    if (count_ == 1) {
+        min_ = max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    const double delta = v - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (v - mean_);
+}
+
+double
+Accumulator::stddev() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return std::sqrt(m2_ / static_cast<double>(count_));
+}
+
+void
+Accumulator::reset()
+{
+    *this = Accumulator{};
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0)
+{
+    if (buckets < 1)
+        PISO_FATAL("Histogram needs at least one bucket");
+    if (hi <= lo)
+        PISO_FATAL("Histogram range is empty: [", lo, ", ", hi, ")");
+}
+
+void
+Histogram::sample(double v)
+{
+    ++total_;
+    if (v < lo_) {
+        ++underflow_;
+        return;
+    }
+    const auto idx = static_cast<std::size_t>((v - lo_) / width_);
+    if (idx >= counts_.size()) {
+        ++overflow_;
+        return;
+    }
+    ++counts_[idx];
+}
+
+double
+Histogram::percentile(double fraction) const
+{
+    if (total_ == 0)
+        return lo_;
+    fraction = std::clamp(fraction, 0.0, 1.0);
+    const double target = fraction * static_cast<double>(total_);
+    double running = static_cast<double>(underflow_);
+    if (running >= target && underflow_ > 0)
+        return lo_;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const double in_bucket = static_cast<double>(counts_[i]);
+        if (running + in_bucket >= target && in_bucket > 0) {
+            const double frac_in = (target - running) / in_bucket;
+            return lo_ + width_ * (static_cast<double>(i) + frac_in);
+        }
+        running += in_bucket;
+    }
+    return lo_ + width_ * static_cast<double>(counts_.size());
+}
+
+} // namespace piso

@@ -1,0 +1,71 @@
+#ifndef PISO_SIM_TIME_HH
+#define PISO_SIM_TIME_HH
+
+/**
+ * @file
+ * Simulated-time representation for the performance-isolation simulator.
+ *
+ * All simulated time is kept as an unsigned 64-bit count of nanoseconds.
+ * At nanosecond resolution a uint64_t covers ~584 years of simulated
+ * time, far beyond any workload in this repository.
+ */
+
+#include <cstdint>
+#include <string>
+
+namespace piso {
+
+/** Simulated time, in nanoseconds since simulation start. */
+using Time = std::uint64_t;
+
+/** One nanosecond (the base unit). */
+inline constexpr Time kNs = 1;
+/** One microsecond in Time units. */
+inline constexpr Time kUs = 1000 * kNs;
+/** One millisecond in Time units. */
+inline constexpr Time kMs = 1000 * kUs;
+/** One second in Time units. */
+inline constexpr Time kSec = 1000 * kMs;
+
+/** Sentinel meaning "no deadline / never". */
+inline constexpr Time kTimeNever = ~Time{0};
+
+/** Convert a Time to floating-point seconds (for reporting only). */
+inline double
+toSeconds(Time t)
+{
+    return static_cast<double>(t) / static_cast<double>(kSec);
+}
+
+/** Convert a Time to floating-point milliseconds (for reporting only). */
+inline double
+toMillis(Time t)
+{
+    return static_cast<double>(t) / static_cast<double>(kMs);
+}
+
+/** Convert floating-point seconds to a Time (clamped at zero). */
+inline Time
+fromSeconds(double s)
+{
+    return s <= 0.0 ? Time{0}
+                    : static_cast<Time>(s * static_cast<double>(kSec));
+}
+
+/** Convert floating-point milliseconds to a Time (clamped at zero). */
+inline Time
+fromMillis(double ms)
+{
+    return ms <= 0.0 ? Time{0}
+                     : static_cast<Time>(ms * static_cast<double>(kMs));
+}
+
+/**
+ * Render a Time with an auto-selected unit, e.g. "12.5ms" or "3.2s".
+ * Intended for log messages and reports.
+ */
+std::string formatTime(Time t);
+
+} // namespace piso
+
+#endif // PISO_SIM_TIME_HH

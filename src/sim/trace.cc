@@ -1,0 +1,71 @@
+#include "src/sim/trace.hh"
+
+#include <cstdio>
+
+namespace piso {
+
+namespace {
+TraceCat gMask = TraceCat::None;
+TraceSink gSink;
+} // namespace
+
+void
+traceEnable(TraceCat mask)
+{
+    gMask = mask;
+}
+
+void
+traceDisable()
+{
+    gMask = TraceCat::None;
+}
+
+TraceCat
+traceMask()
+{
+    return gMask;
+}
+
+void
+traceSetSink(TraceSink sink)
+{
+    gSink = std::move(sink);
+}
+
+const char *
+traceCatName(TraceCat cat)
+{
+    switch (cat) {
+      case TraceCat::Sched:
+        return "sched";
+      case TraceCat::Mem:
+        return "mem";
+      case TraceCat::Disk:
+        return "disk";
+      case TraceCat::Net:
+        return "net";
+      case TraceCat::Lock:
+        return "lock";
+      case TraceCat::Kernel:
+        return "kernel";
+      default:
+        return "trace";
+    }
+}
+
+namespace detail {
+
+void
+traceEmit(TraceCat cat, Time when, const std::string &msg)
+{
+    if (gSink) {
+        gSink(when, cat, msg);
+        return;
+    }
+    std::fprintf(stderr, "%12s [%s] %s\n", formatTime(when).c_str(),
+                 traceCatName(cat), msg.c_str());
+}
+
+} // namespace detail
+} // namespace piso

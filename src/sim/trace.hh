@@ -1,0 +1,90 @@
+#ifndef PISO_SIM_TRACE_HH
+#define PISO_SIM_TRACE_HH
+
+/**
+ * @file
+ * Category-gated execution tracing (in the spirit of gem5's debug
+ * flags). Tracing is off by default and costs one branch per site;
+ * when a category is enabled, each site formats a line and hands it
+ * to the active sink (stderr by default, or a capturing sink in
+ * tests).
+ *
+ * @code
+ *   traceEnable(TraceCat::Sched | TraceCat::Mem);
+ *   ...
+ *   PISO_TRACE(TraceCat::Sched, now, "dispatch p", pid, " on cpu", c);
+ * @endcode
+ */
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/sim/log.hh"
+#include "src/sim/time.hh"
+
+namespace piso {
+
+/** Trace categories; combine with |. */
+enum class TraceCat : std::uint32_t
+{
+    None = 0,
+    Sched = 1u << 0,   //!< dispatch, preemption, loans, revocation
+    Mem = 1u << 1,     //!< faults, reclaim, allowed-level moves
+    Disk = 1u << 2,    //!< request submit/complete
+    Net = 1u << 3,     //!< message submit/complete
+    Lock = 1u << 4,    //!< contention, inheritance
+    Kernel = 1u << 5,  //!< daemons, barriers, process lifecycle
+    All = ~0u,
+};
+
+constexpr TraceCat
+operator|(TraceCat a, TraceCat b)
+{
+    return static_cast<TraceCat>(static_cast<std::uint32_t>(a) |
+                                 static_cast<std::uint32_t>(b));
+}
+
+/** Sink receiving formatted trace lines. */
+using TraceSink =
+    std::function<void(Time when, TraceCat cat, const std::string &)>;
+
+/** Enable the given categories (replaces the current mask). */
+void traceEnable(TraceCat mask);
+
+/** Disable all tracing. */
+void traceDisable();
+
+/** Currently enabled categories. */
+TraceCat traceMask();
+
+/** True when @p cat is enabled (the cheap per-site check). */
+inline bool
+traceActive(TraceCat cat)
+{
+    return (static_cast<std::uint32_t>(traceMask()) &
+            static_cast<std::uint32_t>(cat)) != 0;
+}
+
+/** Route trace lines to @p sink (nullptr restores stderr). */
+void traceSetSink(TraceSink sink);
+
+/** Short name of a category ("sched", "mem", ...). */
+const char *traceCatName(TraceCat cat);
+
+namespace detail {
+void traceEmit(TraceCat cat, Time when, const std::string &msg);
+} // namespace detail
+
+} // namespace piso
+
+/** Emit a trace line if @p cat is enabled. */
+#define PISO_TRACE(cat, when, ...)                                         \
+    do {                                                                   \
+        if (::piso::traceActive(cat)) {                                    \
+            ::piso::detail::traceEmit(                                     \
+                cat, when, ::piso::detail::concat(__VA_ARGS__));           \
+        }                                                                  \
+    } while (0)
+
+#endif // PISO_SIM_TRACE_HH

@@ -1,0 +1,442 @@
+#include "src/simulation.hh"
+
+#include <algorithm>
+
+#include "src/core/disk_fair.hh"
+#include "src/core/net_fair.hh"
+#include "src/core/sched_piso.hh"
+#include "src/core/sched_quota.hh"
+#include "src/machine/disk.hh"
+#include "src/machine/memory.hh"
+#include "src/os/buffer_cache.hh"
+#include "src/os/cscan.hh"
+#include "src/os/filesystem.hh"
+#include "src/os/sched_smp.hh"
+#include "src/os/vm.hh"
+#include "src/sim/event_queue.hh"
+#include "src/sim/log.hh"
+#include "src/workload/job.hh"
+
+namespace piso {
+
+namespace {
+
+DiskPolicy
+resolveDiskPolicy(const SystemConfig &cfg)
+{
+    if (cfg.diskPolicy != DiskPolicy::SchemeDefault)
+        return cfg.diskPolicy;
+    switch (cfg.scheme) {
+      case Scheme::Smp:
+        return DiskPolicy::HeadPosition;
+      case Scheme::Quota:
+        return DiskPolicy::BlindFair;
+      case Scheme::PIso:
+        return DiskPolicy::FairPosition;
+    }
+    return DiskPolicy::HeadPosition;
+}
+
+} // namespace
+
+struct Simulation::Impl
+{
+    SystemConfig cfg;
+    Rng rng;
+
+    EventQueue events;
+    PhysicalMemory phys;
+    VirtualMemory vm;
+    BufferCache cache;
+    FileSystem fs;
+    SpuManager spuMgr;
+
+    std::vector<std::unique_ptr<DiskDevice>> disks;
+    std::vector<FairDiskScheduler *> fairSchedulers;
+    std::unique_ptr<NetworkInterface> network;
+    FairNetScheduler *fairNet = nullptr;
+
+    std::unique_ptr<CpuScheduler> sched;
+    std::unique_ptr<Kernel> kernel;
+    std::unique_ptr<MemorySharingPolicy> memPolicy;
+
+    struct PendingJob
+    {
+        SpuId spu;
+        JobSpec spec;
+    };
+    std::vector<PendingJob> pendingJobs;
+    std::vector<Job> jobs;
+    bool ran = false;
+
+    explicit Impl(const SystemConfig &c)
+        : cfg(c), rng(c.seed), phys(c.memoryBytes), vm(phys),
+          fs(c.diskParams.sectorBytes, 4096, rng.next())
+    {
+        if (cfg.diskCount < 1)
+            PISO_FATAL("the machine needs at least one disk");
+
+        const DiskPolicy policy = resolveDiskPolicy(cfg);
+        DiskModel model(cfg.diskParams);
+        for (int d = 0; d < cfg.diskCount; ++d) {
+            std::unique_ptr<DiskScheduler> dsched;
+            switch (policy) {
+              case DiskPolicy::HeadPosition:
+                dsched = std::make_unique<CScanScheduler>();
+                break;
+              case DiskPolicy::BlindFair: {
+                auto s = std::make_unique<IsoDiskScheduler>(
+                    cfg.bwHalfLife);
+                fairSchedulers.push_back(s.get());
+                dsched = std::move(s);
+                break;
+              }
+              case DiskPolicy::FairPosition: {
+                auto s = std::make_unique<PisoDiskScheduler>(
+                    cfg.bwThresholdSectors, cfg.bwHalfLife);
+                fairSchedulers.push_back(s.get());
+                dsched = std::move(s);
+                break;
+              }
+              case DiskPolicy::SchemeDefault:
+                PISO_PANIC("unresolved disk policy");
+            }
+            disks.push_back(std::make_unique<DiskDevice>(
+                events, model, std::move(dsched), rng.fork(),
+                "disk" + std::to_string(d)));
+            fs.addDisk(d, model.totalSectors());
+        }
+
+        switch (cfg.scheme) {
+          case Scheme::Smp:
+            sched = std::make_unique<SmpScheduler>(
+                events, cfg.cpus, cfg.tickPeriod, cfg.timeSlice);
+            break;
+          case Scheme::Quota:
+            sched = std::make_unique<QuotaScheduler>(
+                events, cfg.cpus, cfg.tickPeriod, cfg.timeSlice);
+            break;
+          case Scheme::PIso: {
+            auto s = std::make_unique<PisoScheduler>(
+                events, cfg.cpus, cfg.tickPeriod, cfg.timeSlice);
+            s->setIpiRevocation(cfg.ipiRevocation);
+            s->setLoanHoldoff(cfg.loanHoldoff);
+            sched = std::move(s);
+            break;
+          }
+        }
+
+        KernelConfig kc = cfg.kernel;
+        kc.globalReplacement = cfg.scheme == Scheme::Smp;
+
+        std::vector<DiskDevice *> diskPtrs;
+        for (auto &d : disks)
+            diskPtrs.push_back(d.get());
+        kernel = std::make_unique<Kernel>(events, vm, cache, fs, *sched,
+                                          std::move(diskPtrs), rng.fork(),
+                                          kc);
+
+        if (cfg.networkBitsPerSec > 0.0) {
+            std::unique_ptr<NetScheduler> nsched;
+            if (cfg.scheme == Scheme::Smp) {
+                nsched = std::make_unique<FifoNetScheduler>();
+            } else {
+                auto fair =
+                    std::make_unique<FairNetScheduler>(cfg.bwHalfLife);
+                fairNet = fair.get();
+                nsched = std::move(fair);
+            }
+            network = std::make_unique<NetworkInterface>(
+                events, cfg.networkBitsPerSec, std::move(nsched));
+            kernel->setNetwork(network.get());
+        }
+
+        if (cfg.scheme == Scheme::PIso) {
+            memPolicy = std::make_unique<MemorySharingPolicy>(
+                events, vm, spuMgr, cfg.memPolicy);
+        }
+    }
+};
+
+Simulation::Simulation(const SystemConfig &cfg)
+    : impl_(std::make_unique<Impl>(cfg))
+{
+}
+
+Simulation::~Simulation() = default;
+
+SpuId
+Simulation::addSpu(const SpuSpec &spec)
+{
+    if (impl_->ran)
+        PISO_FATAL("addSpu after run()");
+    if (spec.homeDisk < 0 || spec.homeDisk >= impl_->cfg.diskCount)
+        PISO_FATAL("SPU '", spec.name, "' placed on unknown disk ",
+                   spec.homeDisk);
+    const SpuId id = impl_->spuMgr.create(spec);
+    impl_->vm.registerSpu(id);
+    impl_->kernel->setSpuDisk(id, spec.homeDisk);
+    return id;
+}
+
+JobId
+Simulation::addJob(SpuId spu, JobSpec spec)
+{
+    if (impl_->ran)
+        PISO_FATAL("addJob after run()");
+    if (!impl_->spuMgr.exists(spu) || spu < kFirstUserSpu)
+        PISO_FATAL("job '", spec.name, "' added to invalid SPU ", spu);
+    impl_->pendingJobs.push_back(Impl::PendingJob{spu, std::move(spec)});
+    return static_cast<JobId>(impl_->pendingJobs.size()) - 1;
+}
+
+void
+Simulation::rebalanceSpus()
+{
+    Impl &im = *impl_;
+    if (im.cfg.scheme != Scheme::Smp)
+        im.sched->repartitionCpus(im.spuMgr.cpuShares());
+    const auto users = im.spuMgr.userSpus();
+    for (FairDiskScheduler *fds : im.fairSchedulers) {
+        for (SpuId spu : users)
+            fds->tracker().setShare(spu, im.spuMgr.shareOf(spu));
+    }
+    if (im.fairNet) {
+        for (SpuId spu : users)
+            im.fairNet->tracker().setShare(spu, im.spuMgr.shareOf(spu));
+    }
+}
+
+Kernel &
+Simulation::kernel()
+{
+    return *impl_->kernel;
+}
+
+EventQueue &
+Simulation::events()
+{
+    return impl_->events;
+}
+
+SpuManager &
+Simulation::spus()
+{
+    return impl_->spuMgr;
+}
+
+FileSystem &
+Simulation::fs()
+{
+    return impl_->fs;
+}
+
+VirtualMemory &
+Simulation::vm()
+{
+    return impl_->vm;
+}
+
+CpuScheduler &
+Simulation::scheduler()
+{
+    return *impl_->sched;
+}
+
+NetworkInterface *
+Simulation::network()
+{
+    return impl_->network.get();
+}
+
+const SystemConfig &
+Simulation::config() const
+{
+    return impl_->cfg;
+}
+
+SimResults
+Simulation::run()
+{
+    Impl &im = *impl_;
+    if (im.ran)
+        PISO_FATAL("Simulation::run() called twice");
+    im.ran = true;
+
+    const auto users = im.spuMgr.userSpus();
+    if (users.empty())
+        PISO_FATAL("no SPUs configured");
+
+    // --- Memory levels ---------------------------------------------
+    const std::uint64_t total = im.vm.totalPages();
+    im.vm.setEntitled(kKernelSpu, 0);
+    im.vm.setAllowed(kKernelSpu, total);
+    im.vm.setEntitled(kSharedSpu, 0);
+    im.vm.setAllowed(kSharedSpu, total);
+
+    // Pin boot-time kernel memory.
+    const std::uint64_t kernelPages =
+        im.cfg.kernelResidentBytes / im.phys.pageBytes();
+    for (std::uint64_t i = 0; i < kernelPages; ++i) {
+        if (!im.vm.tryCharge(kKernelSpu))
+            PISO_FATAL("machine too small for the pinned kernel memory");
+    }
+
+    const auto reserve = static_cast<std::uint64_t>(
+        im.cfg.memPolicy.reserveFraction * static_cast<double>(total));
+
+    switch (im.cfg.scheme) {
+      case Scheme::Smp:
+        // No per-SPU limits; the pageout daemon keeps the reserve via
+        // global replacement.
+        im.vm.setReservePages(reserve);
+        for (SpuId spu : users) {
+            im.vm.setEntitled(spu, total);
+            im.vm.setAllowed(spu, total);
+        }
+        break;
+      case Scheme::Quota: {
+        // Fixed quotas: equal/weighted shares of non-kernel memory,
+        // never adjusted.
+        im.vm.setReservePages(0);
+        const std::uint64_t divisible = total - kernelPages;
+        for (SpuId spu : users) {
+            const auto share = static_cast<std::uint64_t>(
+                im.spuMgr.shareOf(spu) *
+                static_cast<double>(divisible));
+            im.vm.setEntitled(spu, share);
+            im.vm.setAllowed(spu, share);
+        }
+        break;
+      }
+      case Scheme::PIso:
+        // Levels are owned by the sharing policy (started below).
+        break;
+    }
+
+    // --- CPU partition ---------------------------------------------
+    if (im.cfg.scheme != Scheme::Smp)
+        im.sched->partitionCpus(im.spuMgr.cpuShares());
+
+    // --- Disk and network bandwidth shares ---------------------------
+    for (FairDiskScheduler *fds : im.fairSchedulers) {
+        for (SpuId spu : users)
+            fds->tracker().setShare(spu, im.spuMgr.shareOf(spu));
+    }
+    if (im.fairNet) {
+        for (SpuId spu : users)
+            im.fairNet->tracker().setShare(spu, im.spuMgr.shareOf(spu));
+    }
+
+    // --- Jobs --------------------------------------------------------
+    im.jobs.reserve(im.pendingJobs.size());
+    for (std::size_t i = 0; i < im.pendingJobs.size(); ++i) {
+        auto &pj = im.pendingJobs[i];
+        const Spu &spu = im.spuMgr.spu(pj.spu);
+        im.jobs.emplace_back(static_cast<JobId>(i), pj.spec.name, pj.spu,
+                             pj.spec.startAt);
+        if (!pj.spec.build)
+            PISO_FATAL("job '", pj.spec.name, "' has no build function");
+
+        WorkloadEnv env{im.fs, im.rng.fork(), spu.homeDisk,
+                        im.phys.pageBytes()};
+        auto procs = pj.spec.build(*im.kernel, env);
+        if (procs.empty())
+            PISO_FATAL("job '", pj.spec.name, "' built no processes");
+        for (auto &ps : procs) {
+            im.jobs.back().addProcess();
+            Process *p = im.kernel->createProcess(
+                pj.spu, static_cast<JobId>(i), std::move(ps.name),
+                std::move(ps.behavior), pj.spec.startAt);
+            if (ps.touchInterval > 0)
+                p->touchInterval = ps.touchInterval;
+            if (ps.dirtyFraction >= 0.0)
+                p->dirtyFraction = ps.dirtyFraction;
+        }
+    }
+
+    im.kernel->onProcessExit = [&im](Process &p) {
+        if (p.job() != kNoJob)
+            im.jobs[static_cast<std::size_t>(p.job())].processExited(
+                im.events.now());
+    };
+
+    // --- Go ----------------------------------------------------------
+    im.kernel->start();
+    if (im.memPolicy)
+        im.memPolicy->start();
+
+    while (im.kernel->liveProcesses() > 0 &&
+           im.events.now() <= im.cfg.maxTime) {
+        if (!im.events.runOne())
+            break;
+    }
+
+    // Drain: push every delayed write to disk so the measured disk
+    // traffic reflects all the data the workload produced (the jobs
+    // have already exited; their response times are unaffected).
+    im.kernel->syncAll();
+    while (!im.kernel->ioIdle() && im.events.now() <= im.cfg.maxTime) {
+        if (!im.events.runOne())
+            break;
+    }
+
+    // --- Collect ------------------------------------------------------
+    SimResults res;
+    res.simulatedTime = im.events.now();
+    res.completed = im.kernel->liveProcesses() == 0;
+    res.kernel = im.kernel->stats();
+
+    for (const Job &job : im.jobs) {
+        JobResult jr;
+        jr.id = job.id();
+        jr.name = job.name();
+        jr.spu = job.spu();
+        jr.start = job.startAt();
+        jr.end = job.endTime();
+        jr.completed = job.completed();
+        res.jobs.push_back(jr);
+    }
+
+    for (SpuId spu : im.vm.spus()) {
+        SpuResult sr;
+        sr.id = spu;
+        sr.name = im.spuMgr.exists(spu) ? im.spuMgr.spu(spu).name
+                                        : "spu" + std::to_string(spu);
+        sr.cpuTime = im.sched->spuCpuTime(spu);
+        sr.memUsedPages = im.vm.levels(spu).used;
+        sr.memEntitledPages = im.vm.levels(spu).entitled;
+        res.spus[spu] = sr;
+    }
+
+    for (const auto &dev : im.disks) {
+        DiskResult dr;
+        dr.name = dev->name();
+        const DiskStats &ds = dev->stats();
+        dr.requests = ds.requests.value();
+        dr.sectors = ds.sectors.value();
+        dr.avgWaitMs = ds.waitMs.mean();
+        dr.avgPositionMs = ds.positionMs.mean();
+        dr.avgSeekMs = ds.seekMs.mean();
+        dr.busyFraction =
+            res.simulatedTime == 0
+                ? 0.0
+                : toSeconds(ds.busyTime) / toSeconds(res.simulatedTime);
+        for (SpuId spu : im.vm.spus()) {
+            const SpuDiskStats &ss = dev->spuStats(spu);
+            if (ss.requests.value() == 0 && ss.waitMs.count() == 0)
+                continue;
+            SpuDiskResult sdr;
+            sdr.requests = ss.requests.value();
+            sdr.sectors = ss.sectors.value();
+            sdr.avgWaitMs = ss.waitMs.mean();
+            sdr.avgServiceMs = ss.serviceMs.mean();
+            dr.perSpu[spu] = sdr;
+        }
+        res.disks.push_back(std::move(dr));
+    }
+
+    return res;
+}
+
+} // namespace piso

@@ -1,0 +1,150 @@
+#ifndef PISO_SIMULATION_HH
+#define PISO_SIMULATION_HH
+
+/**
+ * @file
+ * Public facade of the performance-isolation simulator.
+ *
+ * Typical use:
+ * @code
+ *   SystemConfig cfg;
+ *   cfg.cpus = 8;
+ *   cfg.memoryBytes = 44 * piso::kMiB;
+ *   cfg.diskCount = 8;
+ *   cfg.scheme = Scheme::PIso;
+ *
+ *   Simulation sim(cfg);
+ *   SpuId user = sim.addSpu({.name = "user1", .homeDisk = 0});
+ *   sim.addJob(user, makePmake("pm1"));
+ *   SimResults r = sim.run();
+ * @endcode
+ */
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/mem_policy.hh"
+#include "src/core/scheme.hh"
+#include "src/core/spu.hh"
+#include "src/machine/disk_model.hh"
+#include "src/metrics/results.hh"
+#include "src/os/kernel.hh"
+#include "src/workload/job.hh"
+
+namespace piso {
+
+/** Convenience byte units. */
+inline constexpr std::uint64_t kKiB = 1024;
+inline constexpr std::uint64_t kMiB = 1024 * kKiB;
+
+/** Full description of a simulated machine + scheme. */
+struct SystemConfig
+{
+    /** @name Hardware */
+    /// @{
+    int cpus = 8;
+    std::uint64_t memoryBytes = 64 * kMiB;
+    int diskCount = 1;
+    DiskParams diskParams{};  //!< applied to every disk
+    /// @}
+
+    /** @name Resource-allocation scheme */
+    /// @{
+    Scheme scheme = Scheme::PIso;
+    DiskPolicy diskPolicy = DiskPolicy::SchemeDefault;
+
+    /** BW difference threshold of the PIso disk policy (decayed
+     *  sectors per unit share). */
+    double bwThresholdSectors = 256.0;
+
+    /** Decay half-life of disk bandwidth counts (paper: 500 ms). */
+    Time bwHalfLife = 500 * kMs;
+
+    /** Network link speed; 0 disables the interface. The link is
+     *  scheduled FIFO under the Smp scheme and fairly (decayed per-SPU
+     *  byte counts, Section 5's sketched extension) otherwise. */
+    double networkBitsPerSec = 0.0;
+
+    /** Revoke loaned CPUs immediately (IPI) instead of at the next
+     *  10 ms tick. */
+    bool ipiRevocation = false;
+
+    /** After a revocation, keep the CPU home-only for this long (the
+     *  Section 3.1 anti-churn refinement; 0 = off). */
+    Time loanHoldoff = 0;
+
+    MemPolicyConfig memPolicy{};
+    /// @}
+
+    /** @name OS substrate */
+    /// @{
+    KernelConfig kernel{};
+    Time tickPeriod = 10 * kMs;
+    Time timeSlice = 30 * kMs;
+
+    /** Pinned kernel memory charged to the kernel SPU at boot. */
+    std::uint64_t kernelResidentBytes = 2 * kMiB;
+    /// @}
+
+    /** @name Run control */
+    /// @{
+    std::uint64_t seed = 1;
+
+    /** Hard stop; a run that hits it reports completed = false. */
+    Time maxTime = 600 * kSec;
+    /// @}
+};
+
+/**
+ * Owns a full simulated machine: hardware, OS, SPU policies, and
+ * workloads. Configure, add SPUs and jobs, then run() once.
+ */
+class Simulation
+{
+  public:
+    explicit Simulation(const SystemConfig &cfg);
+    ~Simulation();
+
+    Simulation(const Simulation &) = delete;
+    Simulation &operator=(const Simulation &) = delete;
+
+    /** Create a user SPU. Must precede run(). */
+    SpuId addSpu(const SpuSpec &spec);
+
+    /** Queue a job to run in @p spu. Must precede run(). */
+    JobId addJob(SpuId spu, JobSpec spec);
+
+    /**
+     * Recompute CPU partition and bandwidth shares from the current
+     * SPU registry. Call (e.g. from a scheduled event) after
+     * suspending, resuming, creating, or destroying SPUs mid-run;
+     * PIso memory entitlements follow automatically at the sharing
+     * policy's next period.
+     */
+    void rebalanceSpus();
+
+    /** Execute the whole workload. Call once. */
+    SimResults run();
+
+    /** @name Component access (tests, examples, advanced setups) */
+    /// @{
+    Kernel &kernel();
+    EventQueue &events();
+    SpuManager &spus();
+    FileSystem &fs();
+    VirtualMemory &vm();
+    CpuScheduler &scheduler();
+    /** The machine's network interface (nullptr when disabled). */
+    NetworkInterface *network();
+    const SystemConfig &config() const;
+    /// @}
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+} // namespace piso
+
+#endif // PISO_SIMULATION_HH

@@ -1,0 +1,42 @@
+#ifndef PISO_WORKLOAD_FILECOPY_HH
+#define PISO_WORKLOAD_FILECOPY_HH
+
+/**
+ * @file
+ * The file-copy workloads of the disk experiments (Section 4.5): a
+ * single process streaming a contiguous source file into a new
+ * destination file. Reads enjoy kernel read-ahead (multiple
+ * outstanding requests just ahead of the head); writes dirty the
+ * buffer cache and reach the disk as batched delayed writes — the
+ * exact pattern that lets a 20 MB copy monopolise a C-SCAN disk.
+ */
+
+#include <string>
+
+#include "src/workload/job.hh"
+
+namespace piso {
+
+/** Parameters of a file-copy job. */
+struct FileCopyConfig
+{
+    /** Size of the file to copy (paper: 20 MB, 5 MB, 500 KB). */
+    std::uint64_t bytes = 20 * 1024 * 1024;
+
+    /** Application read/write chunk. */
+    std::uint64_t chunkBytes = 32 * 1024;
+
+    /** Per-chunk CPU (buffer shuffling). */
+    Time cpuPerChunk = 200 * kUs;
+
+    /** Copy working set (I/O buffers). */
+    std::uint64_t wsPages = 64;
+};
+
+/** Build a copy job; source and destination are laid out contiguously
+ *  on the SPU's home disk at build time. */
+JobSpec makeFileCopy(std::string name, const FileCopyConfig &cfg = {});
+
+} // namespace piso
+
+#endif // PISO_WORKLOAD_FILECOPY_HH

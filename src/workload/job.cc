@@ -1,0 +1,20 @@
+#include "src/workload/job.hh"
+
+#include "src/sim/log.hh"
+
+namespace piso {
+
+bool
+Job::processExited(Time now)
+{
+    if (remaining_ <= 0)
+        PISO_PANIC("job '", name_, "' has no processes left to exit");
+    started_ = true;
+    if (--remaining_ == 0) {
+        endTime_ = now;
+        return true;
+    }
+    return false;
+}
+
+} // namespace piso

@@ -1,0 +1,61 @@
+#ifndef PISO_WORKLOAD_OLTP_HH
+#define PISO_WORKLOAD_OLTP_HH
+
+/**
+ * @file
+ * An OLTP-style database server workload.
+ *
+ * The paper motivates performance isolation with general-purpose
+ * compute servers running "unrelated jobs belonging to various
+ * groupings". A transaction-processing service is the classic such
+ * tenant: several server processes execute short transactions — a
+ * shared-mode index lookup, a random table-page read, a little
+ * compute, and (for update transactions) an exclusive-mode log append
+ * written synchronously. It exercises every resource dimension at
+ * once: CPU bursts, buffer-cache-unfriendly random reads, sequential
+ * synchronous log writes, and kernel-lock contention.
+ */
+
+#include <string>
+
+#include "src/workload/job.hh"
+
+namespace piso {
+
+/** Parameters of one database job. */
+struct OltpConfig
+{
+    /** Concurrent server processes. */
+    int servers = 4;
+
+    /** Transactions executed per server. */
+    int transactionsPerServer = 100;
+
+    /** Size of the table file (random page reads land in it). */
+    std::uint64_t tableBytes = 64 * 1024 * 1024;
+
+    /** CPU burned per transaction (jittered +-30%). */
+    Time txnCpu = 2 * kMs;
+
+    /** Fraction of transactions that append to the log. */
+    double updateFraction = 0.3;
+
+    /** Bytes appended to the log per update (written synchronously). */
+    std::uint64_t logAppendBytes = 2048;
+
+    /** Server process working set (buffer pool share). */
+    std::uint64_t wsPages = 400;
+
+    /** Index lock hold per transaction (shared mode; exclusive for
+     *  updates). Created by the caller, or -1 to skip locking. */
+    int indexLock = -1;
+    Time lockHold = 50 * kUs;
+};
+
+/** Build an OLTP JobSpec; the table and log are laid out on the
+ *  SPU's home disk at build time. */
+JobSpec makeOltp(std::string name, const OltpConfig &cfg = {});
+
+} // namespace piso
+
+#endif // PISO_WORKLOAD_OLTP_HH

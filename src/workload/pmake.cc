@@ -1,0 +1,70 @@
+#include "src/workload/pmake.hh"
+
+#include "src/sim/log.hh"
+#include "src/workload/synthetic.hh"
+
+namespace piso {
+
+JobSpec
+makePmake(std::string name, const PmakeConfig &cfg)
+{
+    if (cfg.parallelism < 1 || cfg.filesPerWorker < 1)
+        PISO_FATAL("pmake '", name, "' needs >=1 worker and >=1 file");
+
+    JobSpec job;
+    job.name = std::move(name);
+    job.build = [cfg, jobName = job.name](Kernel &,
+                                          WorkloadEnv &env) {
+        // One shared metadata block per job: every worker rewrites it,
+        // so the disk sees repeated writes to a single sector.
+        const FileId meta = env.fs.createFile(jobName + ".meta", env.disk,
+                                              512);
+
+        std::vector<ProcessSpec> procs;
+        for (int w = 0; w < cfg.parallelism; ++w) {
+            std::vector<Action> script;
+            script.push_back(GrowMemAction{cfg.workerWsPages});
+
+            for (int i = 0; i < cfg.filesPerWorker; ++i) {
+                const std::string stem = jobName + ".w" +
+                                         std::to_string(w) + ".f" +
+                                         std::to_string(i);
+                const FileId src =
+                    env.fs.createFile(stem + ".c", env.disk, cfg.srcBytes,
+                                      FilePlacement::Scattered);
+                const FileId obj =
+                    env.fs.createFile(stem + ".o", env.disk, cfg.objBytes,
+                                      FilePlacement::Scattered);
+
+                if (cfg.inodeLock >= 0) {
+                    script.push_back(
+                        LockAction{cfg.inodeLock, false, cfg.lockHold});
+                }
+                script.push_back(ReadAction{src, 0, cfg.srcBytes});
+
+                const double f = env.rng.uniformRange(0.8, 1.2);
+                script.push_back(ComputeAction{static_cast<Time>(
+                    static_cast<double>(cfg.compileCpu) * f)});
+
+                script.push_back(WriteAction{obj, 0, cfg.objBytes, false});
+                if (cfg.inodeLock >= 0) {
+                    script.push_back(
+                        LockAction{cfg.inodeLock, true, cfg.lockHold});
+                }
+                script.push_back(
+                    WriteAction{meta, 0, 512, cfg.metadataSync});
+            }
+
+            ProcessSpec spec;
+            spec.name = jobName + ".cc" + std::to_string(w);
+            spec.behavior =
+                std::make_unique<ScriptBehavior>(std::move(script));
+            spec.touchInterval = cfg.touchInterval;
+            procs.push_back(std::move(spec));
+        }
+        return procs;
+    };
+    return job;
+}
+
+} // namespace piso

@@ -1,0 +1,64 @@
+#ifndef PISO_WORKLOAD_PMAKE_HH
+#define PISO_WORKLOAD_PMAKE_HH
+
+/**
+ * @file
+ * The pmake workload model.
+ *
+ * A pmake job is a parallel make: several concurrent compile workers,
+ * each compiling a list of source files. Per file a worker reads the
+ * (scattered) source, burns compile CPU, writes the object file, and
+ * synchronously rewrites one shared metadata sector — reproducing the
+ * paper's observed pattern of ~300 non-contiguous disk requests per
+ * pmake with "many repeated writes of meta-data to a single sector"
+ * (Section 4.5). Workers can optionally contend on a shared
+ * inode-lock (Section 3.4).
+ */
+
+#include <string>
+
+#include "src/workload/job.hh"
+
+namespace piso {
+
+/** Parameters of one pmake job. */
+struct PmakeConfig
+{
+    /** Concurrent compile workers ("two parallel compiles" in the
+     *  Pmake8 workload, four in the memory-isolation workload). */
+    int parallelism = 2;
+
+    /** Source files compiled per worker. */
+    int filesPerWorker = 12;
+
+    std::uint64_t srcBytes = 16 * 1024;
+    std::uint64_t objBytes = 8 * 1024;
+
+    /** Mean compile CPU per file (uniformly jittered +-20%). */
+    Time compileCpu = 120 * kMs;
+
+    /** Worker working-set pages (compiler heap). */
+    std::uint64_t workerWsPages = 600;
+
+    /** Synchronous metadata write after each object file. */
+    bool metadataSync = true;
+
+    /** Kernel lock contended around metadata operations (-1: none).
+     *  Created by the caller via Kernel::createLock(). */
+    int inodeLock = -1;
+
+    /** Hold time of the inode lock per metadata operation. */
+    Time lockHold = 100 * kUs;
+
+    /** Memory locality of the compile workers (mean compute between
+     *  page touches; see Process::touchInterval). */
+    Time touchInterval = 8 * kMs;
+};
+
+/** Build a pmake JobSpec. Files are laid out on the SPU's home disk
+ *  at build time (sources scattered, objects near the frontier). */
+JobSpec makePmake(std::string name, const PmakeConfig &cfg = {});
+
+} // namespace piso
+
+#endif // PISO_WORKLOAD_PMAKE_HH

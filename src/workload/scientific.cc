@@ -1,0 +1,61 @@
+#include "src/workload/scientific.hh"
+
+#include "src/os/kernel.hh"
+#include "src/sim/log.hh"
+
+namespace piso {
+
+JobSpec
+makeOcean(std::string name, const OceanConfig &cfg)
+{
+    if (cfg.processes < 1 || cfg.iterations < 1)
+        PISO_FATAL("ocean '", name, "' needs >=1 process and iteration");
+
+    JobSpec job;
+    job.name = std::move(name);
+    job.build = [cfg, jobName = job.name](Kernel &kernel,
+                                          WorkloadEnv &env) {
+        const int barrier = kernel.createBarrier(cfg.processes);
+
+        std::vector<ProcessSpec> procs;
+        for (int r = 0; r < cfg.processes; ++r) {
+            std::vector<Action> script;
+            script.push_back(GrowMemAction{cfg.wsPagesPerProc});
+            for (int i = 0; i < cfg.iterations; ++i) {
+                const double f = env.rng.uniformRange(1.0 - cfg.jitter,
+                                                      1.0 + cfg.jitter);
+                script.push_back(ComputeAction{static_cast<Time>(
+                    static_cast<double>(cfg.grain) * f)});
+                script.push_back(
+                    BarrierAction{barrier, cfg.spinBarriers});
+            }
+            procs.push_back(ProcessSpec{
+                jobName + ".r" + std::to_string(r),
+                std::make_unique<ScriptBehavior>(std::move(script))});
+        }
+        return procs;
+    };
+    return job;
+}
+
+JobSpec
+makeFlashlite(std::string name, Time totalCpu, std::uint64_t wsPages)
+{
+    ComputeSpec spec;
+    spec.totalCpu = totalCpu;
+    spec.wsPages = wsPages;
+    spec.chunk = 50 * kMs;
+    return makeComputeJob(std::move(name), spec);
+}
+
+JobSpec
+makeVcs(std::string name, Time totalCpu, std::uint64_t wsPages)
+{
+    ComputeSpec spec;
+    spec.totalCpu = totalCpu;
+    spec.wsPages = wsPages;
+    spec.chunk = 80 * kMs;
+    return makeComputeJob(std::move(name), spec);
+}
+
+} // namespace piso

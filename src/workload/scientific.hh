@@ -1,0 +1,59 @@
+#ifndef PISO_WORKLOAD_SCIENTIFIC_HH
+#define PISO_WORKLOAD_SCIENTIFIC_HH
+
+/**
+ * @file
+ * Compute-intensive scientific/engineering workloads of the CPU
+ * isolation experiment (Section 4.3): Ocean (a barrier-synchronised
+ * parallel SPLASH-2 code) and the single-process Flashlite and VCS
+ * simulators.
+ */
+
+#include <string>
+
+#include "src/workload/job.hh"
+#include "src/workload/synthetic.hh"
+
+namespace piso {
+
+/** Parameters of a barrier-synchronised parallel job. */
+struct OceanConfig
+{
+    int processes = 4;
+
+    /** Compute phases separated by all-process barriers. */
+    int iterations = 400;
+
+    /** Mean compute per phase per process (jittered +-10%: slight
+     *  imbalance is what makes descheduling hurt). */
+    Time grain = 20 * kMs;
+
+    /** Working set per process. */
+    std::uint64_t wsPagesPerProc = 512;
+
+    double jitter = 0.10;
+
+    /** SPLASH-2 style user-level spin barriers (waiters burn CPU and
+     *  keep their processors). False: blocking kernel barriers. */
+    bool spinBarriers = true;
+};
+
+/**
+ * Build an Ocean-style job: @ref OceanConfig::processes processes,
+ * each alternating compute and a barrier. With fewer CPUs than
+ * processes the whole gang runs at the pace of its slowest member —
+ * exactly why Ocean suffers interference under the SMP scheme.
+ */
+JobSpec makeOcean(std::string name, const OceanConfig &cfg = {});
+
+/** A Flashlite-style run: one long compute-bound process. */
+JobSpec makeFlashlite(std::string name, Time totalCpu = 20 * kSec,
+                      std::uint64_t wsPages = 512);
+
+/** A VCS-style run: one long compute-bound process. */
+JobSpec makeVcs(std::string name, Time totalCpu = 20 * kSec,
+                std::uint64_t wsPages = 768);
+
+} // namespace piso
+
+#endif // PISO_WORKLOAD_SCIENTIFIC_HH

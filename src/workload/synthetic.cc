@@ -1,0 +1,59 @@
+#include "src/workload/synthetic.hh"
+
+#include "src/os/process.hh"
+
+namespace piso {
+
+Action
+ComputeBehavior::next(Process &, const BehaviorContext &ctx)
+{
+    if (!grown_) {
+        grown_ = true;
+        if (spec_.wsPages > 0)
+            return GrowMemAction{spec_.wsPages};
+    }
+    if (done_ >= spec_.totalCpu)
+        return ExitAction{};
+
+    Time chunk = std::min(spec_.chunk, spec_.totalCpu - done_);
+    if (spec_.jitter > 0.0) {
+        const double f =
+            ctx.rng.uniformRange(1.0 - spec_.jitter, 1.0 + spec_.jitter);
+        chunk = static_cast<Time>(static_cast<double>(chunk) * f);
+        chunk = std::max<Time>(chunk, kUs);
+    }
+    done_ += chunk;
+    return ComputeAction{chunk};
+}
+
+JobSpec
+makeComputeJob(std::string name, const ComputeSpec &spec)
+{
+    JobSpec job;
+    job.name = std::move(name);
+    job.build = [spec, name = job.name](Kernel &, WorkloadEnv &) {
+        std::vector<ProcessSpec> procs;
+        procs.push_back(
+            ProcessSpec{name, std::make_unique<ComputeBehavior>(spec)});
+        return procs;
+    };
+    return job;
+}
+
+JobSpec
+makeScriptJob(std::string name, std::vector<Action> script, Time startAt)
+{
+    JobSpec job;
+    job.name = std::move(name);
+    job.startAt = startAt;
+    job.build = [script = std::move(script),
+                 name = job.name](Kernel &, WorkloadEnv &) mutable {
+        std::vector<ProcessSpec> procs;
+        procs.push_back(ProcessSpec{
+            name, std::make_unique<ScriptBehavior>(std::move(script))});
+        return procs;
+    };
+    return job;
+}
+
+} // namespace piso

@@ -1,0 +1,53 @@
+#ifndef PISO_WORKLOAD_WEBSERVER_HH
+#define PISO_WORKLOAD_WEBSERVER_HH
+
+/**
+ * @file
+ * A static web-server workload: worker processes serve requests by
+ * reading documents (a hot set dominates, so the buffer cache
+ * matters) and transmitting responses on the machine's network
+ * interface. Exercises the client-server side of the paper's
+ * motivation and the network-bandwidth extension end to end.
+ */
+
+#include <string>
+
+#include "src/workload/job.hh"
+
+namespace piso {
+
+/** Parameters of one web-server job. */
+struct WebServerConfig
+{
+    /** Concurrent worker processes. */
+    int workers = 4;
+
+    /** Requests served per worker. */
+    int requestsPerWorker = 200;
+
+    /** Number of documents in the docroot. */
+    int documents = 200;
+
+    /** Size of each document. */
+    std::uint64_t docBytes = 16 * 1024;
+
+    /** Fraction of requests hitting the hot 10% of documents. */
+    double hotFraction = 0.9;
+
+    /** CPU per request (parsing, headers). */
+    Time requestCpu = 500 * kUs;
+
+    /** Response transmitted on the network (0 with no NIC). */
+    std::uint64_t responseBytes = 16 * 1024;
+
+    /** Worker working set. */
+    std::uint64_t wsPages = 128;
+};
+
+/** Build a web-server JobSpec; the docroot is laid out scattered on
+ *  the SPU's home disk at build time. */
+JobSpec makeWebServer(std::string name, const WebServerConfig &cfg = {});
+
+} // namespace piso
+
+#endif // PISO_WORKLOAD_WEBSERVER_HH

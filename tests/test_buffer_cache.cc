@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Unit tests for buffer-cache bookkeeping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/os/buffer_cache.hh"
+
+using namespace piso;
+
+namespace {
+const BlockKey kA{1, 0};
+const BlockKey kB{1, 1};
+const BlockKey kC{2, 0};
+} // namespace
+
+TEST(BufferCache, FindMissReturnsNull)
+{
+    BufferCache c;
+    EXPECT_EQ(c.find(kA), nullptr);
+    EXPECT_EQ(c.size(), 0u);
+}
+
+TEST(BufferCache, InsertAndFind)
+{
+    BufferCache c;
+    c.insert(kA, 2, true);
+    CacheBlock *blk = c.find(kA);
+    ASSERT_NE(blk, nullptr);
+    EXPECT_TRUE(blk->valid);
+    EXPECT_FALSE(blk->dirty);
+    EXPECT_EQ(blk->owner, 2);
+    EXPECT_EQ(c.size(), 1u);
+    EXPECT_EQ(c.pagesOf(2), 1u);
+}
+
+TEST(BufferCache, RemoveUncounts)
+{
+    BufferCache c;
+    c.insert(kA, 2, true);
+    c.remove(kA);
+    EXPECT_EQ(c.find(kA), nullptr);
+    EXPECT_EQ(c.size(), 0u);
+    EXPECT_EQ(c.pagesOf(2), 0u);
+}
+
+TEST(BufferCache, DirtyCountTransitions)
+{
+    BufferCache c;
+    CacheBlock &a = c.insert(kA, 2, true);
+    CacheBlock &b = c.insert(kB, 2, true);
+    c.markDirty(a);
+    c.markDirty(a); // idempotent
+    c.markDirty(b);
+    EXPECT_EQ(c.dirtyCount(), 2u);
+    c.markClean(a);
+    EXPECT_EQ(c.dirtyCount(), 1u);
+    c.markClean(a); // idempotent
+    EXPECT_EQ(c.dirtyCount(), 1u);
+}
+
+TEST(BufferCache, RemoveDirtyAdjustsCount)
+{
+    BufferCache c;
+    CacheBlock &a = c.insert(kA, 2, true);
+    c.markDirty(a);
+    c.remove(kA);
+    EXPECT_EQ(c.dirtyCount(), 0u);
+}
+
+TEST(BufferCache, StealCleanPicksLru)
+{
+    BufferCache c;
+    c.insert(kA, 2, true);
+    c.insert(kB, 2, true);
+    c.touch(*c.find(kA)); // A is now most recent; B is LRU
+    SpuId owner = kNoSpu;
+    EXPECT_TRUE(c.stealClean(2, owner));
+    EXPECT_EQ(owner, 2);
+    EXPECT_EQ(c.find(kB), nullptr); // B was stolen
+    EXPECT_NE(c.find(kA), nullptr);
+}
+
+TEST(BufferCache, StealCleanSkipsDirtyAndFlushing)
+{
+    BufferCache c;
+    CacheBlock &a = c.insert(kA, 2, true);
+    CacheBlock &b = c.insert(kB, 2, true);
+    c.markDirty(a);
+    b.flushing = true;
+    SpuId owner = kNoSpu;
+    EXPECT_FALSE(c.stealClean(2, owner));
+}
+
+TEST(BufferCache, StealCleanSkipsInvalid)
+{
+    BufferCache c;
+    c.insert(kA, 2, false); // in flight
+    SpuId owner = kNoSpu;
+    EXPECT_FALSE(c.stealClean(2, owner));
+}
+
+TEST(BufferCache, StealCleanRespectsVictimSpu)
+{
+    BufferCache c;
+    c.insert(kA, 2, true);
+    c.insert(kC, 3, true);
+    SpuId owner = kNoSpu;
+    EXPECT_TRUE(c.stealClean(3, owner));
+    EXPECT_EQ(owner, 3);
+    EXPECT_NE(c.find(kA), nullptr);
+    EXPECT_EQ(c.find(kC), nullptr);
+}
+
+TEST(BufferCache, StealCleanAnySpu)
+{
+    BufferCache c;
+    c.insert(kA, 2, true);
+    SpuId owner = kNoSpu;
+    EXPECT_TRUE(c.stealClean(kNoSpu, owner));
+    EXPECT_EQ(owner, 2);
+}
+
+TEST(BufferCache, MarkValidRunsWaiters)
+{
+    BufferCache c;
+    CacheBlock &a = c.insert(kA, 2, false);
+    int woken = 0;
+    a.waiters.push_back([&] { ++woken; });
+    a.waiters.push_back([&] { ++woken; });
+    c.markValid(a);
+    EXPECT_EQ(woken, 2);
+    EXPECT_TRUE(a.valid);
+    EXPECT_TRUE(a.waiters.empty());
+}
+
+TEST(BufferCache, SetOwnerMovesPerSpuCounts)
+{
+    BufferCache c;
+    CacheBlock &a = c.insert(kA, 2, true);
+    c.setOwner(a, kSharedSpu);
+    EXPECT_EQ(c.pagesOf(2), 0u);
+    EXPECT_EQ(c.pagesOf(kSharedSpu), 1u);
+    EXPECT_EQ(a.owner, kSharedSpu);
+}
+
+TEST(BufferCache, ForEachDirtyVisitsOnlyFlushable)
+{
+    BufferCache c;
+    CacheBlock &a = c.insert(kA, 2, true);
+    CacheBlock &b = c.insert(kB, 2, true);
+    CacheBlock &x = c.insert(kC, 3, false);
+    c.markDirty(a);
+    c.markDirty(b);
+    b.flushing = true;
+    c.markDirty(x); // dirty but invalid: not flushable
+    int visited = 0;
+    c.forEachDirty([&](CacheBlock &blk) {
+        ++visited;
+        EXPECT_EQ(blk.key, kA);
+    });
+    EXPECT_EQ(visited, 1);
+}
+
+TEST(BufferCache, DuplicateInsertPanics)
+{
+    BufferCache c;
+    c.insert(kA, 2, true);
+    EXPECT_DEATH(c.insert(kA, 2, true), "duplicate");
+}
+
+TEST(BufferCache, RemoveWithWaitersPanics)
+{
+    BufferCache c;
+    CacheBlock &a = c.insert(kA, 2, false);
+    a.waiters.push_back([] {});
+    EXPECT_DEATH(c.remove(kA), "waiters");
+}

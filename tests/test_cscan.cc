@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Unit tests for the C-SCAN ("Pos") disk scheduler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/os/cscan.hh"
+
+using namespace piso;
+
+namespace {
+
+DiskRequest
+req(std::uint64_t sector, SpuId spu = 2)
+{
+    DiskRequest r;
+    r.spu = spu;
+    r.startSector = sector;
+    r.sectors = 8;
+    return r;
+}
+
+} // namespace
+
+TEST(CScan, PicksNextSectorUpward)
+{
+    CScanScheduler s;
+    std::deque<DiskRequest> q{req(100), req(500), req(300)};
+    EXPECT_EQ(s.pick(q, 200, 0), 2u); // 300 is next above head 200
+}
+
+TEST(CScan, ExactHeadPositionCounts)
+{
+    CScanScheduler s;
+    std::deque<DiskRequest> q{req(100), req(200)};
+    EXPECT_EQ(s.pick(q, 200, 0), 1u);
+}
+
+TEST(CScan, WrapsToLowestWhenPastAll)
+{
+    CScanScheduler s;
+    std::deque<DiskRequest> q{req(100), req(50), req(80)};
+    EXPECT_EQ(s.pick(q, 900, 0), 1u); // wrap to sector 50
+}
+
+TEST(CScan, FullSweepOrder)
+{
+    CScanScheduler s;
+    std::deque<DiskRequest> q{req(400), req(100), req(700), req(250)};
+    std::vector<std::uint64_t> serviced;
+    std::uint64_t head = 0;
+    while (!q.empty()) {
+        const std::size_t i = s.pick(q, head, 0);
+        serviced.push_back(q[i].startSector);
+        head = q[i].startSector + q[i].sectors;
+        q.erase(q.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+    EXPECT_EQ(serviced,
+              (std::vector<std::uint64_t>{100, 250, 400, 700}));
+}
+
+TEST(CScan, IgnoresSpu)
+{
+    CScanScheduler s;
+    std::deque<DiskRequest> q{req(500, 2), req(100, 3)};
+    EXPECT_EQ(s.pick(q, 0, 0), 1u); // nearest sector wins regardless
+}
+
+TEST(CScan, PickAmongRespectsEligibility)
+{
+    std::deque<DiskRequest> q{req(100, 2), req(300, 3), req(500, 2)};
+    const std::size_t i = CScanScheduler::pickAmong(
+        q, 0, [](const DiskRequest &r) { return r.spu == 3; });
+    EXPECT_EQ(i, 1u);
+}
+
+TEST(CScan, PickAmongNoEligibleReturnsSize)
+{
+    std::deque<DiskRequest> q{req(100, 2)};
+    const std::size_t i = CScanScheduler::pickAmong(
+        q, 0, [](const DiskRequest &) { return false; });
+    EXPECT_EQ(i, q.size());
+}
+
+TEST(CScan, ContiguousStreamLocksOutDistantRequest)
+{
+    // The starvation pattern of Section 3.3: a stream feeding requests
+    // just ahead of the head is always "next" in the sweep, so the
+    // distant request keeps losing until the stream ends.
+    CScanScheduler s;
+    std::deque<DiskRequest> q;
+    std::uint64_t head = 1000;
+    q.push_back(req(500000, 3)); // the victim, far away
+    int victimServed = -1;
+    for (int i = 0; i < 50; ++i) {
+        q.push_back(req(head, 2)); // stream request at the head
+        const std::size_t pick = s.pick(q, head, 0);
+        if (q[pick].spu == 3) {
+            victimServed = i;
+            break;
+        }
+        head = q[pick].startSector + q[pick].sectors;
+        q.erase(q.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    EXPECT_EQ(victimServed, -1); // never serviced while stream lives
+}

@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Unit tests for disk-bandwidth tracking and the Iso / PIso disk
+ * schedulers (Section 3.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/core/disk_fair.hh"
+
+using namespace piso;
+
+namespace {
+
+DiskRequest
+req(SpuId spu, std::uint64_t sector, Time issue = 0)
+{
+    DiskRequest r;
+    r.spu = spu;
+    r.startSector = sector;
+    r.sectors = 8;
+    r.issueTime = issue;
+    return r;
+}
+
+} // namespace
+
+TEST(BandwidthTracker, AccumulatesSectors)
+{
+    DiskBandwidthTracker t;
+    t.addSectors(2, 100, 0);
+    EXPECT_DOUBLE_EQ(t.usage(2, 0), 100.0);
+    t.addSectors(2, 50, 0);
+    EXPECT_DOUBLE_EQ(t.usage(2, 0), 150.0);
+}
+
+TEST(BandwidthTracker, UnknownSpuIsZero)
+{
+    DiskBandwidthTracker t;
+    EXPECT_DOUBLE_EQ(t.usage(9, kSec), 0.0);
+    EXPECT_DOUBLE_EQ(t.ratio(9, kSec), 0.0);
+}
+
+TEST(BandwidthTracker, DecaysByHalfPerHalfLife)
+{
+    DiskBandwidthTracker t(500 * kMs);
+    t.addSectors(2, 100, 0);
+    EXPECT_NEAR(t.usage(2, 500 * kMs), 50.0, 1e-9);
+    EXPECT_NEAR(t.usage(2, 1000 * kMs), 25.0, 1e-9);
+}
+
+TEST(BandwidthTracker, DecayAppliedBeforeAdd)
+{
+    DiskBandwidthTracker t(500 * kMs);
+    t.addSectors(2, 100, 0);
+    t.addSectors(2, 10, 500 * kMs);
+    EXPECT_NEAR(t.usage(2, 500 * kMs), 60.0, 1e-9);
+}
+
+TEST(BandwidthTracker, RatioDividesByShare)
+{
+    DiskBandwidthTracker t;
+    t.setShare(2, 2.0);
+    t.setShare(3, 1.0);
+    t.addSectors(2, 100, 0);
+    t.addSectors(3, 100, 0);
+    EXPECT_DOUBLE_EQ(t.ratio(2, 0), 50.0);
+    EXPECT_DOUBLE_EQ(t.ratio(3, 0), 100.0);
+}
+
+TEST(BandwidthTracker, CustomHalfLife)
+{
+    DiskBandwidthTracker t(100 * kMs);
+    t.addSectors(2, 64, 0);
+    EXPECT_NEAR(t.usage(2, 100 * kMs), 32.0, 1e-9);
+}
+
+TEST(BandwidthTracker, InvalidConfigRejected)
+{
+    EXPECT_THROW(DiskBandwidthTracker(0), std::runtime_error);
+    DiskBandwidthTracker t;
+    EXPECT_THROW(t.setShare(2, 0.0), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------
+// Iso (blind fairness)
+// ---------------------------------------------------------------------
+
+TEST(IsoScheduler, PicksLowestRatioSpu)
+{
+    IsoDiskScheduler s;
+    s.tracker().addSectors(2, 1000, 0);
+    s.tracker().addSectors(3, 10, 0);
+    std::deque<DiskRequest> q{req(2, 100), req(3, 999999)};
+    EXPECT_EQ(s.pick(q, 0, 0), 1u); // SPU 3 despite the distant sector
+}
+
+TEST(IsoScheduler, FifoWithinSpu)
+{
+    IsoDiskScheduler s;
+    std::deque<DiskRequest> q{req(2, 500), req(2, 100)};
+    EXPECT_EQ(s.pick(q, 0, 0), 0u);
+}
+
+TEST(IsoScheduler, AlternatesBetweenEqualSpus)
+{
+    IsoDiskScheduler s;
+    std::deque<DiskRequest> q;
+    for (int i = 0; i < 4; ++i) {
+        q.push_back(req(2, static_cast<std::uint64_t>(i) * 1000));
+        q.push_back(req(3, 500000 + static_cast<std::uint64_t>(i) * 1000));
+    }
+    std::vector<SpuId> serviced;
+    Time now = 0;
+    while (!q.empty()) {
+        const std::size_t i = s.pick(q, 0, now);
+        serviced.push_back(q[i].spu);
+        s.onComplete(q[i], now);
+        q.erase(q.begin() + static_cast<std::ptrdiff_t>(i));
+        now += 10 * kMs;
+    }
+    // Strict alternation: each SPU's count is charged, so the other
+    // becomes lowest next round.
+    for (std::size_t i = 1; i < serviced.size(); ++i)
+        EXPECT_NE(serviced[i], serviced[i - 1]);
+}
+
+TEST(IsoScheduler, SharedSpuLowestPriority)
+{
+    IsoDiskScheduler s;
+    std::deque<DiskRequest> q{req(kSharedSpu, 100), req(2, 500)};
+    EXPECT_EQ(s.pick(q, 0, 0), 1u); // user request first
+}
+
+TEST(IsoScheduler, SharedServicedWhenAlone)
+{
+    IsoDiskScheduler s;
+    std::deque<DiskRequest> q{req(kSharedSpu, 100)};
+    EXPECT_EQ(s.pick(q, 0, 0), 0u);
+}
+
+TEST(IsoScheduler, SharedStarvationGuard)
+{
+    IsoDiskScheduler s(500 * kMs, 300 * kMs);
+    std::deque<DiskRequest> q{req(kSharedSpu, 100, 0),
+                              req(2, 500, 350 * kMs)};
+    // The shared request has waited 400 ms > 300 ms guard.
+    EXPECT_EQ(s.pick(q, 0, 400 * kMs), 0u);
+}
+
+TEST(IsoScheduler, ChargesBreakdownOnSharedWrites)
+{
+    IsoDiskScheduler s;
+    DiskRequest r = req(kSharedSpu, 0);
+    r.sectors = 64;
+    r.charges = {{2, 48}, {3, 16}};
+    s.onComplete(r, 0);
+    EXPECT_DOUBLE_EQ(s.tracker().usage(2, 0), 48.0);
+    EXPECT_DOUBLE_EQ(s.tracker().usage(3, 0), 16.0);
+    EXPECT_DOUBLE_EQ(s.tracker().usage(kSharedSpu, 0), 0.0);
+}
+
+// ---------------------------------------------------------------------
+// PIso (fairness + head position)
+// ---------------------------------------------------------------------
+
+TEST(PisoDiskScheduler, UsesHeadPositionWhenFair)
+{
+    PisoDiskScheduler s(256.0);
+    std::deque<DiskRequest> q{req(2, 5000), req(3, 1000), req(2, 2000)};
+    // Nobody over threshold: pure C-SCAN from head 0 picks sector 1000.
+    EXPECT_EQ(s.pick(q, 0, 0), 1u);
+}
+
+TEST(PisoDiskScheduler, ExcludesUnfairSpu)
+{
+    PisoDiskScheduler s(100.0);
+    // SPU 2 has hogged: ratio 1000 vs avg (1000+0)/2 = 500; cutoff
+    // 600 < 1000, so SPU 2 fails the criterion.
+    s.tracker().addSectors(2, 1000, 0);
+    std::deque<DiskRequest> q{req(2, 100), req(3, 900000)};
+    EXPECT_EQ(s.pick(q, 0, 0), 1u);
+}
+
+TEST(PisoDiskScheduler, HugeThresholdDegeneratesToCscan)
+{
+    PisoDiskScheduler s(1e18);
+    s.tracker().addSectors(2, 1000000, 0);
+    std::deque<DiskRequest> q{req(2, 100), req(3, 900000)};
+    EXPECT_EQ(s.pick(q, 0, 0), 0u); // head position wins regardless
+}
+
+TEST(PisoDiskScheduler, ZeroThresholdApproachesRoundRobin)
+{
+    PisoDiskScheduler s(0.0);
+    std::deque<DiskRequest> q;
+    for (int i = 0; i < 6; ++i) {
+        q.push_back(req(2, 1000 + static_cast<std::uint64_t>(i) * 8));
+        q.push_back(req(3,
+                        800000 + static_cast<std::uint64_t>(i) * 8));
+    }
+    std::map<SpuId, int> first6;
+    Time now = 0;
+    std::uint64_t head = 0;
+    for (int i = 0; i < 6; ++i) {
+        const std::size_t k = s.pick(q, head, now);
+        ++first6[q[k].spu];
+        head = q[k].startSector + q[k].sectors;
+        s.onComplete(q[k], now);
+        q.erase(q.begin() + static_cast<std::ptrdiff_t>(k));
+        now += 5 * kMs;
+    }
+    // With threshold 0 neither SPU can get far ahead: both serviced.
+    EXPECT_GE(first6[2], 2);
+    EXPECT_GE(first6[3], 2);
+}
+
+TEST(PisoDiskScheduler, MinRatioSpuAlwaysEligible)
+{
+    PisoDiskScheduler s(0.0);
+    s.tracker().addSectors(2, 500, 0);
+    s.tracker().addSectors(3, 100, 0);
+    std::deque<DiskRequest> q{req(2, 100), req(3, 200)};
+    // avg = 300; cutoff = 300; SPU 3 (100) passes, SPU 2 (500) fails.
+    EXPECT_EQ(s.pick(q, 0, 0), 1u);
+}
+
+TEST(PisoDiskScheduler, SharedLowestPriorityButNotStarved)
+{
+    PisoDiskScheduler s(256.0, 500 * kMs, 300 * kMs);
+    std::deque<DiskRequest> q{req(kSharedSpu, 50, 0), req(2, 100, 0)};
+    EXPECT_EQ(s.pick(q, 0, 0), 1u);
+    // After the guard expires, the shared request is serviced.
+    EXPECT_EQ(s.pick(q, 0, 400 * kMs), 0u);
+}
+
+TEST(PisoDiskScheduler, OnlySharedQueuedGetsServiced)
+{
+    PisoDiskScheduler s;
+    std::deque<DiskRequest> q{req(kSharedSpu, 700), req(kSharedSpu, 50)};
+    // C-SCAN among shared from head 100: sector 700 next.
+    EXPECT_EQ(s.pick(q, 100, 0), 0u);
+}
+
+TEST(PisoDiskScheduler, NegativeThresholdRejected)
+{
+    EXPECT_THROW(PisoDiskScheduler(-1.0), std::runtime_error);
+}
+
+TEST(PisoDiskScheduler, FairnessRecheckedAfterCompletions)
+{
+    // A hog streams sequential requests; a light SPU has one distant
+    // request. With a small threshold the hog is cut off quickly.
+    PisoDiskScheduler s(64.0);
+    std::deque<DiskRequest> q;
+    std::uint64_t hogSector = 1000;
+    int hogServed = 0;
+    bool lightServed = false;
+    q.push_back(req(3, 600000));
+    Time now = 0;
+    std::uint64_t head = 1000;
+    for (int i = 0; i < 10 && !lightServed; ++i) {
+        q.push_back(req(2, hogSector));
+        hogSector += 64;
+        const std::size_t k = s.pick(q, head, now);
+        if (q[k].spu == 3)
+            lightServed = true;
+        else
+            ++hogServed;
+        head = q[k].startSector + q[k].sectors;
+        DiskRequest done = q[k];
+        done.sectors = 64;
+        s.onComplete(done, now);
+        q.erase(q.begin() + static_cast<std::ptrdiff_t>(k));
+        now += 5 * kMs;
+    }
+    EXPECT_TRUE(lightServed);
+    EXPECT_LE(hogServed, 4); // cut off after a few wins
+}

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Unit tests for the HP 97560 disk service-time model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/machine/disk_model.hh"
+
+using namespace piso;
+
+namespace {
+
+DiskModel
+defaultModel()
+{
+    return DiskModel(DiskParams{});
+}
+
+} // namespace
+
+TEST(DiskModel, GeometryMatchesHp97560)
+{
+    DiskModel m = defaultModel();
+    // 1962 cyl x 19 surfaces x 72 sectors = 2,684,016 sectors (~1.3 GB)
+    EXPECT_EQ(m.totalSectors(), 1962ull * 19 * 72);
+}
+
+TEST(DiskModel, CylinderOfFirstAndLastSector)
+{
+    DiskModel m = defaultModel();
+    EXPECT_EQ(m.cylinderOf(0), 0u);
+    EXPECT_EQ(m.cylinderOf(m.totalSectors() - 1), 1961u);
+}
+
+TEST(DiskModel, ZeroSeekWithinCylinder)
+{
+    DiskModel m = defaultModel();
+    EXPECT_EQ(m.seekTime(100, 100), 0u);
+}
+
+TEST(DiskModel, SeekIsSymmetric)
+{
+    DiskModel m = defaultModel();
+    EXPECT_EQ(m.seekTime(10, 400), m.seekTime(400, 10));
+}
+
+TEST(DiskModel, SeekMonotonicInDistance)
+{
+    DiskModel m = defaultModel();
+    Time prev = 0;
+    for (std::uint32_t d = 1; d < 1900; d += 37) {
+        const Time t = m.seekTime(0, d);
+        EXPECT_GE(t, prev) << "distance " << d;
+        prev = t;
+    }
+}
+
+TEST(DiskModel, ShortSeekMatchesCurve)
+{
+    DiskModel m = defaultModel();
+    // d = 100: 3.24 + 0.400 * 10 = 7.24 ms
+    EXPECT_NEAR(toMillis(m.seekTime(0, 100)), 7.24, 0.01);
+}
+
+TEST(DiskModel, LongSeekMatchesCurve)
+{
+    DiskModel m = defaultModel();
+    // d = 1000: 8.00 + 0.008 * 1000 = 16.0 ms
+    EXPECT_NEAR(toMillis(m.seekTime(0, 1000)), 16.0, 0.01);
+}
+
+TEST(DiskModel, SeekScaleHalvesSeeks)
+{
+    DiskParams p;
+    p.seekScale = 0.5;
+    DiskModel half(p);
+    DiskModel full = defaultModel();
+    EXPECT_NEAR(toMillis(half.seekTime(0, 500)),
+                toMillis(full.seekTime(0, 500)) / 2.0, 0.01);
+}
+
+TEST(DiskModel, RotationTimeFromRpm)
+{
+    DiskModel m = defaultModel();
+    // 4002 RPM -> 14.99 ms per revolution.
+    EXPECT_NEAR(toMillis(m.rotationTime()), 60000.0 / 4002.0, 0.01);
+}
+
+TEST(DiskModel, RotationalLatencyBounded)
+{
+    DiskModel m = defaultModel();
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(m.rotationalLatency(rng), m.rotationTime());
+}
+
+TEST(DiskModel, TransferTimeLinearInSectors)
+{
+    DiskModel m = defaultModel();
+    const Time one = m.transferTime(1);
+    // 72 sectors = one track = one rotation of media time.
+    EXPECT_NEAR(toMillis(m.transferTime(72)), toMillis(m.rotationTime()),
+                0.02);
+    EXPECT_GT(one, 0u);
+    EXPECT_EQ(m.transferTime(0), 0u);
+}
+
+TEST(DiskModel, TransferAddsHeadSwitchAcrossTracks)
+{
+    DiskModel m = defaultModel();
+    // 73 sectors crosses one track boundary: media + one head switch.
+    const Time t73 = m.transferTime(73);
+    const Time t72 = m.transferTime(72);
+    EXPECT_NEAR(toMillis(t73 - t72),
+                toMillis(m.transferTime(1)) + 1.6, 0.02);
+}
+
+TEST(DiskModel, ServiceBreakdownSums)
+{
+    DiskModel m = defaultModel();
+    Rng rng(5);
+    const DiskServiceTime st = m.service(0, 500000, 16, rng);
+    EXPECT_EQ(st.total(),
+              st.seek + st.rotational + st.transfer + st.overhead);
+    EXPECT_GT(st.seek, 0u);
+    EXPECT_NEAR(toMillis(st.overhead), 1.1, 0.001);
+}
+
+TEST(DiskModel, SequentialContinuationSkipsRotation)
+{
+    DiskModel m = defaultModel();
+    Rng rng(7);
+    // Head sits exactly where the request starts: no seek, no
+    // rotational delay (streaming).
+    const DiskServiceTime st = m.service(1000, 1000, 8, rng);
+    EXPECT_EQ(st.seek, 0u);
+    EXPECT_EQ(st.rotational, 0u);
+}
+
+TEST(DiskModel, SameCylinderDifferentSectorPaysRotation)
+{
+    DiskModel m = defaultModel();
+    bool anyRotation = false;
+    Rng rng(11);
+    for (int i = 0; i < 20; ++i) {
+        const DiskServiceTime st = m.service(0, 8, 8, rng);
+        anyRotation = anyRotation || st.rotational > 0;
+        EXPECT_EQ(st.seek, 0u);
+    }
+    EXPECT_TRUE(anyRotation);
+}
+
+TEST(DiskModel, RejectsBadGeometry)
+{
+    DiskParams p;
+    p.cylinders = 0;
+    EXPECT_THROW(DiskModel{p}, std::runtime_error);
+
+    DiskParams q;
+    q.rpm = -1;
+    EXPECT_THROW(DiskModel{q}, std::runtime_error);
+
+    DiskParams s;
+    s.seekScale = 0.0;
+    EXPECT_THROW(DiskModel{s}, std::runtime_error);
+}
+
+TEST(DiskModel, CustomGeometrySectorCount)
+{
+    DiskParams p;
+    p.cylinders = 10;
+    p.surfaces = 2;
+    p.sectorsPerTrack = 8;
+    DiskModel m(p);
+    EXPECT_EQ(m.totalSectors(), 160u);
+    EXPECT_EQ(m.cylinderOf(15), 0u);
+    EXPECT_EQ(m.cylinderOf(16), 1u);
+}

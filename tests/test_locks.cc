@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Unit tests for the kernel lock table (Section 3.4 model).
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/os/locks.hh"
+#include "src/os/process.hh"
+#include "src/workload/synthetic.hh"
+
+using namespace piso;
+
+namespace {
+
+std::unique_ptr<Process>
+proc(Pid pid)
+{
+    return std::make_unique<Process>(
+        pid, 2, kNoJob, "p" + std::to_string(pid),
+        std::make_unique<ScriptBehavior>(std::vector<Action>{}),
+        Rng(static_cast<std::uint64_t>(pid)));
+}
+
+} // namespace
+
+TEST(LockTable, MutexBasicAcquireRelease)
+{
+    LockTable t;
+    const int id = t.create(false);
+    auto p1 = proc(1);
+    EXPECT_TRUE(t.acquire(id, p1.get(), true));
+    EXPECT_TRUE(t.holds(id, p1.get()));
+    EXPECT_TRUE(t.release(id, p1.get()).empty());
+    EXPECT_FALSE(t.holds(id, p1.get()));
+}
+
+TEST(LockTable, MutexBlocksSecondHolder)
+{
+    LockTable t;
+    const int id = t.create(false);
+    auto p1 = proc(1), p2 = proc(2);
+    EXPECT_TRUE(t.acquire(id, p1.get(), true));
+    EXPECT_FALSE(t.acquire(id, p2.get(), true));
+    auto granted = t.release(id, p1.get());
+    ASSERT_EQ(granted.size(), 1u);
+    EXPECT_EQ(granted[0], p2.get());
+    EXPECT_TRUE(t.holds(id, p2.get()));
+}
+
+TEST(LockTable, MutexIgnoresSharedRequests)
+{
+    // A mutex-mode lock treats shared acquisitions as exclusive —
+    // the pre-fix IRIX inode semaphore.
+    LockTable t;
+    const int id = t.create(false);
+    auto p1 = proc(1), p2 = proc(2);
+    EXPECT_TRUE(t.acquire(id, p1.get(), false));
+    EXPECT_FALSE(t.acquire(id, p2.get(), false));
+}
+
+TEST(LockTable, RwAllowsConcurrentReaders)
+{
+    LockTable t;
+    const int id = t.create(true);
+    auto p1 = proc(1), p2 = proc(2), p3 = proc(3);
+    EXPECT_TRUE(t.acquire(id, p1.get(), false));
+    EXPECT_TRUE(t.acquire(id, p2.get(), false));
+    EXPECT_TRUE(t.acquire(id, p3.get(), false));
+    EXPECT_TRUE(t.holds(id, p2.get()));
+}
+
+TEST(LockTable, RwWriterExcludesReaders)
+{
+    LockTable t;
+    const int id = t.create(true);
+    auto w = proc(1), r = proc(2);
+    EXPECT_TRUE(t.acquire(id, w.get(), true));
+    EXPECT_FALSE(t.acquire(id, r.get(), false));
+}
+
+TEST(LockTable, RwReaderBlocksWriter)
+{
+    LockTable t;
+    const int id = t.create(true);
+    auto r = proc(1), w = proc(2);
+    EXPECT_TRUE(t.acquire(id, r.get(), false));
+    EXPECT_FALSE(t.acquire(id, w.get(), true));
+    auto granted = t.release(id, r.get());
+    ASSERT_EQ(granted.size(), 1u);
+    EXPECT_EQ(granted[0], w.get());
+}
+
+TEST(LockTable, QueuedWriterBlocksNewReaders)
+{
+    // FIFO fairness: once a writer waits, later readers queue behind
+    // it instead of starving it.
+    LockTable t;
+    const int id = t.create(true);
+    auto r1 = proc(1), w = proc(2), r2 = proc(3);
+    EXPECT_TRUE(t.acquire(id, r1.get(), false));
+    EXPECT_FALSE(t.acquire(id, w.get(), true));
+    EXPECT_FALSE(t.acquire(id, r2.get(), false));
+    auto granted = t.release(id, r1.get());
+    ASSERT_EQ(granted.size(), 1u);
+    EXPECT_EQ(granted[0], w.get());
+    granted = t.release(id, w.get());
+    ASSERT_EQ(granted.size(), 1u);
+    EXPECT_EQ(granted[0], r2.get());
+}
+
+TEST(LockTable, ReadersGrantedInBatch)
+{
+    LockTable t;
+    const int id = t.create(true);
+    auto w = proc(1), r1 = proc(2), r2 = proc(3);
+    EXPECT_TRUE(t.acquire(id, w.get(), true));
+    EXPECT_FALSE(t.acquire(id, r1.get(), false));
+    EXPECT_FALSE(t.acquire(id, r2.get(), false));
+    auto granted = t.release(id, w.get());
+    EXPECT_EQ(granted.size(), 2u); // both readers wake together
+}
+
+TEST(LockTable, ContentionStats)
+{
+    LockTable t;
+    const int id = t.create(false);
+    auto p1 = proc(1), p2 = proc(2);
+    t.acquire(id, p1.get(), true);
+    t.acquire(id, p2.get(), true);
+    EXPECT_EQ(t.stats(id).acquisitions.value(), 2u);
+    EXPECT_EQ(t.stats(id).contended.value(), 1u);
+}
+
+TEST(LockTable, ReleaseWithoutHoldPanics)
+{
+    LockTable t;
+    const int id = t.create(false);
+    auto p1 = proc(1);
+    EXPECT_DEATH(t.release(id, p1.get()), "does not hold");
+}
+
+TEST(LockTable, MultipleLocksIndependent)
+{
+    LockTable t;
+    const int a = t.create(false);
+    const int b = t.create(false);
+    auto p1 = proc(1), p2 = proc(2);
+    EXPECT_TRUE(t.acquire(a, p1.get(), true));
+    EXPECT_TRUE(t.acquire(b, p2.get(), true));
+    EXPECT_EQ(t.count(), 2u);
+}

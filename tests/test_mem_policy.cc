@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Unit tests for the memory sharing policy (Section 3.2): entitled
+ * recomputation, lending of idle pages, Reserve Threshold, and
+ * revocation via allowed-level reduction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/core/mem_policy.hh"
+#include "src/machine/memory.hh"
+
+using namespace piso;
+
+namespace {
+
+struct PolicyFixture : public ::testing::Test
+{
+    PhysicalMemory phys{1000 * 4096};
+    VirtualMemory vm{phys};
+    SpuManager spus;
+    EventQueue events;
+    SpuId a = kNoSpu, b = kNoSpu;
+
+    void
+    SetUp() override
+    {
+        vm.registerSpu(kKernelSpu);
+        vm.registerSpu(kSharedSpu);
+        vm.setAllowed(kKernelSpu, 1000);
+        vm.setAllowed(kSharedSpu, 1000);
+        a = spus.create({.name = "a"});
+        b = spus.create({.name = "b"});
+        vm.registerSpu(a);
+        vm.registerSpu(b);
+    }
+
+    MemorySharingPolicy
+    makePolicy(double reserveFrac = 0.08)
+    {
+        MemPolicyConfig cfg;
+        cfg.reserveFraction = reserveFrac;
+        return MemorySharingPolicy(events, vm, spus, cfg);
+    }
+
+    void
+    use(SpuId spu, std::uint64_t pages)
+    {
+        vm.setAllowed(spu, vm.levels(spu).allowed + pages);
+        for (std::uint64_t i = 0; i < pages; ++i)
+            ASSERT_TRUE(vm.tryCharge(spu));
+    }
+};
+
+} // namespace
+
+TEST_F(PolicyFixture, StartSetsReserve)
+{
+    auto policy = makePolicy(0.08);
+    policy.start();
+    EXPECT_EQ(vm.reservePages(), 80u);
+}
+
+TEST_F(PolicyFixture, EntitledSplitsEqually)
+{
+    auto policy = makePolicy(0.08);
+    policy.start();
+    // 1000 total - 80 reserve = 920 divisible; 460 each.
+    EXPECT_EQ(vm.levels(a).entitled, 460u);
+    EXPECT_EQ(vm.levels(b).entitled, 460u);
+}
+
+TEST_F(PolicyFixture, EntitledExcludesKernelAndShared)
+{
+    use(kKernelSpu, 100);
+    use(kSharedSpu, 20);
+    auto policy = makePolicy(0.08);
+    policy.start();
+    // (1000 - 100 - 20 - 80) / 2 = 400 each.
+    EXPECT_EQ(vm.levels(a).entitled, 400u);
+}
+
+TEST_F(PolicyFixture, NoPressureMeansAllowedEqualsEntitled)
+{
+    auto policy = makePolicy(0.08);
+    policy.start();
+    EXPECT_EQ(vm.levels(a).allowed, vm.levels(a).entitled);
+    EXPECT_EQ(vm.levels(b).allowed, vm.levels(b).entitled);
+}
+
+TEST_F(PolicyFixture, PressuredSpuReceivesIdlePages)
+{
+    auto policy = makePolicy(0.08);
+    policy.start();
+    // b is idle; a is pressured at its entitlement.
+    use(a, 460);
+    vm.notePressure(a);
+    policy.recompute();
+    // lendable = free + 0 borrowed - reserve
+    //          = (1000 - 460) + 0 - 80 = 460; all to a.
+    EXPECT_EQ(vm.levels(a).allowed, 460u + 460u);
+    EXPECT_EQ(vm.levels(b).allowed, vm.levels(b).entitled);
+}
+
+TEST_F(PolicyFixture, ReserveNeverLent)
+{
+    auto policy = makePolicy(0.08);
+    policy.start();
+    vm.notePressure(a);
+    policy.recompute();
+    const std::uint64_t granted =
+        vm.levels(a).allowed - vm.levels(a).entitled;
+    // free = 1000; grant <= free - reserve.
+    EXPECT_LE(granted, 1000u - 80u);
+    EXPECT_GT(granted, 0u);
+}
+
+TEST_F(PolicyFixture, LendableSplitsAmongPressured)
+{
+    auto policy = makePolicy(0.08);
+    policy.start();
+    vm.notePressure(a);
+    vm.notePressure(b);
+    policy.recompute();
+    const std::uint64_t ga = vm.levels(a).allowed - vm.levels(a).entitled;
+    const std::uint64_t gb = vm.levels(b).allowed - vm.levels(b).entitled;
+    EXPECT_EQ(ga, gb);
+    EXPECT_GT(ga, 0u);
+}
+
+TEST_F(PolicyFixture, RevocationLowersBorrowerAllowance)
+{
+    auto policy = makePolicy(0.08);
+    policy.start();
+
+    // Phase 1: b idle, a borrows heavily.
+    use(a, 460);
+    vm.notePressure(a);
+    policy.recompute();
+    const std::uint64_t borrowed = vm.levels(a).allowed - 460;
+    ASSERT_GT(borrowed, 0u);
+    use(a, borrowed); // a actually consumes the loan
+
+    // Phase 2: b wants its memory: it uses its entitlement and
+    // presses. a stays pressured too.
+    use(b, vm.freePages());
+    vm.notePressure(b);
+    vm.notePressure(a);
+    policy.recompute();
+
+    // a's allowance must have fallen (lendable shrank), leaving a
+    // over-allowed for the pageout daemon to reclaim.
+    EXPECT_LT(vm.levels(a).allowed, 460u + borrowed);
+    EXPECT_GT(vm.overAllowed(a), 0u);
+}
+
+TEST_F(PolicyFixture, BorrowerKeepsLoanWhileLenderIdle)
+{
+    auto policy = makePolicy(0.08);
+    policy.start();
+    use(a, 460);
+    vm.notePressure(a);
+    policy.recompute();
+    const std::uint64_t allowed1 = vm.levels(a).allowed;
+    use(a, allowed1 - 460); // consume the loan fully
+
+    // Steady state: no new pressure notes, lender still idle.
+    policy.recompute();
+    // The borrowed-out pages count as lendable, so a's allowance must
+    // not collapse back to entitled (which would thrash).
+    EXPECT_GE(vm.levels(a).allowed, vm.levels(a).used);
+}
+
+TEST_F(PolicyFixture, PeriodicRecomputeRunsOnEventQueue)
+{
+    auto policy = makePolicy(0.08);
+    policy.start();
+    use(a, 460);
+    vm.notePressure(a);
+    // No manual recompute: let the periodic event do it.
+    events.runAll(events.now() + 150 * kMs);
+    EXPECT_GT(vm.levels(a).allowed, vm.levels(a).entitled);
+}
+
+TEST_F(PolicyFixture, WeightedSharesRespected)
+{
+    SpuManager weighted;
+    const SpuId x = weighted.create({.name = "x", .share = 3.0});
+    const SpuId y = weighted.create({.name = "y", .share = 1.0});
+    vm.registerSpu(x);
+    vm.registerSpu(y);
+    MemPolicyConfig cfg;
+    cfg.reserveFraction = 0.0;
+    MemorySharingPolicy policy(events, vm, weighted, cfg);
+    policy.start();
+    EXPECT_EQ(vm.levels(x).entitled, 750u);
+    EXPECT_EQ(vm.levels(y).entitled, 250u);
+}
+
+TEST_F(PolicyFixture, InvalidConfigRejected)
+{
+    MemPolicyConfig bad;
+    bad.period = 0;
+    EXPECT_THROW(MemorySharingPolicy(events, vm, spus, bad),
+                 std::runtime_error);
+    MemPolicyConfig bad2;
+    bad2.reserveFraction = 1.5;
+    EXPECT_THROW(MemorySharingPolicy(events, vm, spus, bad2),
+                 std::runtime_error);
+}

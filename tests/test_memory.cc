@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Unit tests for the physical frame pool.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/machine/memory.hh"
+
+using namespace piso;
+
+TEST(PhysicalMemory, PageAccounting)
+{
+    PhysicalMemory m(16 * 4096);
+    EXPECT_EQ(m.totalPages(), 16u);
+    EXPECT_EQ(m.freePages(), 16u);
+    EXPECT_EQ(m.usedPages(), 0u);
+    EXPECT_EQ(m.pageBytes(), 4096u);
+}
+
+TEST(PhysicalMemory, AllocateAndRelease)
+{
+    PhysicalMemory m(16 * 4096);
+    EXPECT_TRUE(m.allocate(10));
+    EXPECT_EQ(m.freePages(), 6u);
+    EXPECT_EQ(m.usedPages(), 10u);
+    m.release(4);
+    EXPECT_EQ(m.freePages(), 10u);
+}
+
+TEST(PhysicalMemory, AllocateFailsWhenShort)
+{
+    PhysicalMemory m(4 * 4096);
+    EXPECT_TRUE(m.allocate(4));
+    EXPECT_FALSE(m.allocate(1));
+    EXPECT_EQ(m.freePages(), 0u); // failed alloc left state untouched
+    m.release(1);
+    EXPECT_TRUE(m.allocate(1));
+}
+
+TEST(PhysicalMemory, PartialFailureLeavesStateUntouched)
+{
+    PhysicalMemory m(8 * 4096);
+    EXPECT_TRUE(m.allocate(5));
+    EXPECT_FALSE(m.allocate(4)); // only 3 free
+    EXPECT_EQ(m.freePages(), 3u);
+}
+
+TEST(PhysicalMemory, NonPageMultipleRoundsDown)
+{
+    PhysicalMemory m(4096 * 3 + 100);
+    EXPECT_EQ(m.totalPages(), 3u);
+}
+
+TEST(PhysicalMemory, CustomPageSize)
+{
+    PhysicalMemory m(1 << 20, 8192);
+    EXPECT_EQ(m.totalPages(), 128u);
+}
+
+TEST(PhysicalMemory, RejectsEmptyConfigurations)
+{
+    EXPECT_THROW(PhysicalMemory(100, 4096), std::runtime_error);
+    EXPECT_THROW(PhysicalMemory(4096, 0), std::runtime_error);
+}
+
+TEST(PhysicalMemory, OverReleasePanics)
+{
+    PhysicalMemory m(4 * 4096);
+    EXPECT_DEATH(m.release(1), "overflow");
+}

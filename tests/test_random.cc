@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Unit tests for the deterministic random source.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/sim/random.hh"
+
+using namespace piso;
+
+TEST(Rng, DeterministicFromSeed)
+{
+    Rng a(7), b(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(11);
+    for (int i = 0; i < 10000; ++i) {
+        const double v = r.uniform();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng r(13);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += r.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng r(17);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = r.uniformRange(3.0, 5.0);
+        EXPECT_GE(v, 3.0);
+        EXPECT_LT(v, 5.0);
+    }
+}
+
+TEST(Rng, UniformIntCoversRange)
+{
+    Rng r(19);
+    std::vector<int> seen(10, 0);
+    for (int i = 0; i < 10000; ++i)
+        ++seen[r.uniformInt(10)];
+    for (int c : seen)
+        EXPECT_GT(c, 700); // each bucket near 1000
+}
+
+TEST(Rng, ExponentialMeanMatches)
+{
+    Rng r(23);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += r.exponential(42.0);
+    EXPECT_NEAR(sum / n, 42.0, 1.0);
+}
+
+TEST(Rng, ExponentialNonNegative)
+{
+    Rng r(29);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_GE(r.exponential(5.0), 0.0);
+}
+
+TEST(Rng, ExponentialTimeMeanMatches)
+{
+    Rng r(31);
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(r.exponentialTime(10 * kMs));
+    EXPECT_NEAR(sum / n, static_cast<double>(10 * kMs),
+                static_cast<double>(kMs));
+}
+
+TEST(Rng, UniformTimeZeroSpan)
+{
+    Rng r(37);
+    EXPECT_EQ(r.uniformTime(0), 0u);
+}
+
+TEST(Rng, UniformTimeWithinSpan)
+{
+    Rng r(41);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.uniformTime(kSec), kSec);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng r(43);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+TEST(Rng, ChanceFrequency)
+{
+    Rng r(47);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += r.chance(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ForkIndependentOfParentDraws)
+{
+    // fork() then parent draws should not change the child's stream.
+    Rng parent1(99);
+    Rng child1 = parent1.fork();
+    Rng parent2(99);
+    Rng child2 = parent2.fork();
+    (void)parent1.next(); // extra parent draw
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(child1.next(), child2.next());
+}
+
+TEST(Rng, ForkedStreamsDiffer)
+{
+    Rng parent(101);
+    Rng a = parent.fork();
+    Rng b = parent.fork();
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(same, 3);
+}

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Tests for the reporting helpers: TextTable, normalisation, time
+ * formatting, run summaries, and the SpuMonitor time series.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/metrics/monitor.hh"
+#include "src/piso.hh"
+
+using namespace piso;
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable t({"name", "value"});
+    t.addRow({"a", "1"});
+    t.addRow({"long-name", "12345"});
+    const std::string s = t.str();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("long-name"), std::string::npos);
+    // All lines equal width (header, separator, rows).
+    std::size_t width = s.find('\n');
+    std::size_t pos = 0;
+    while (pos < s.size()) {
+        const std::size_t next = s.find('\n', pos);
+        EXPECT_EQ(next - pos, width);
+        pos = next + 1;
+    }
+}
+
+TEST(TextTable, RowWidthMismatchIsFatal)
+{
+    TextTable t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), std::runtime_error);
+}
+
+TEST(TextTable, EmptyHeaderIsFatal)
+{
+    EXPECT_THROW(TextTable({}), std::runtime_error);
+}
+
+TEST(TextTable, NumFormatsDecimals)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::num(10.0, 0), "10");
+}
+
+TEST(Normalize, PaperConvention)
+{
+    EXPECT_DOUBLE_EQ(normalize(1.56, 1.0), 156.0);
+    EXPECT_DOUBLE_EQ(normalize(1.0, 1.0), 100.0);
+    EXPECT_DOUBLE_EQ(normalize(5.0, 0.0), 0.0); // guarded
+}
+
+TEST(FormatTime, PicksUnits)
+{
+    EXPECT_EQ(formatTime(500), "500ns");
+    EXPECT_EQ(formatTime(2 * kUs), "2.000us");
+    EXPECT_EQ(formatTime(30 * kMs), "30.000ms");
+    EXPECT_EQ(formatTime(2 * kSec), "2.000s");
+}
+
+TEST(TimeConversions, RoundTrip)
+{
+    EXPECT_DOUBLE_EQ(toSeconds(kSec), 1.0);
+    EXPECT_DOUBLE_EQ(toMillis(kMs), 1.0);
+    EXPECT_EQ(fromSeconds(1.5), 1500 * kMs);
+    EXPECT_EQ(fromMillis(2.5), 2500 * kUs);
+    EXPECT_EQ(fromSeconds(-1.0), 0u);
+}
+
+TEST(FormatResults, ContainsAllSections)
+{
+    SystemConfig cfg;
+    cfg.cpus = 2;
+    cfg.memoryBytes = 16 * kMiB;
+    cfg.scheme = Scheme::PIso;
+    cfg.seed = 3;
+    Simulation sim(cfg);
+    const SpuId u = sim.addSpu({.name = "alice"});
+    PmakeConfig pm;
+    pm.parallelism = 1;
+    pm.filesPerWorker = 3;
+    sim.addJob(u, makePmake("build", pm));
+    const SimResults r = sim.run();
+
+    const std::string s = formatResults(r);
+    EXPECT_NE(s.find("simulated time"), std::string::npos);
+    EXPECT_NE(s.find("build"), std::string::npos);
+    EXPECT_NE(s.find("alice"), std::string::npos);
+    EXPECT_NE(s.find("disk0"), std::string::npos);
+    EXPECT_NE(s.find("kernel:"), std::string::npos);
+    EXPECT_EQ(s.find("INCOMPLETE"), std::string::npos);
+}
+
+TEST(FormatResults, FlagsIncompleteRuns)
+{
+    SystemConfig cfg;
+    cfg.cpus = 1;
+    cfg.memoryBytes = 16 * kMiB;
+    cfg.scheme = Scheme::Smp;
+    cfg.maxTime = 50 * kMs;
+    cfg.seed = 3;
+    Simulation sim(cfg);
+    const SpuId u = sim.addSpu({.name = "u"});
+    sim.addJob(u, makeScriptJob("long", {ComputeAction{10 * kSec}}));
+    const SimResults r = sim.run();
+    EXPECT_NE(formatResults(r).find("INCOMPLETE"), std::string::npos);
+}
+
+TEST(FormatResultsJson, WellFormedAndComplete)
+{
+    SystemConfig cfg;
+    cfg.cpus = 2;
+    cfg.memoryBytes = 16 * kMiB;
+    cfg.scheme = Scheme::PIso;
+    cfg.seed = 3;
+    Simulation sim(cfg);
+    const SpuId u = sim.addSpu({.name = "user \"quoted\""});
+    sim.addJob(u, makeScriptJob("job\tone", {ComputeAction{10 * kMs}}));
+    const SimResults r = sim.run();
+
+    const std::string j = formatResultsJson(r);
+    // Structure: balanced braces/brackets, all sections present.
+    EXPECT_EQ(std::count(j.begin(), j.end(), '{'),
+              std::count(j.begin(), j.end(), '}'));
+    EXPECT_EQ(std::count(j.begin(), j.end(), '['),
+              std::count(j.begin(), j.end(), ']'));
+    EXPECT_NE(j.find("\"simulated_time_s\""), std::string::npos);
+    EXPECT_NE(j.find("\"jobs\""), std::string::npos);
+    EXPECT_NE(j.find("\"spus\""), std::string::npos);
+    EXPECT_NE(j.find("\"disks\""), std::string::npos);
+    EXPECT_NE(j.find("\"kernel\""), std::string::npos);
+    // Escaping: the quote and tab in the names must be escaped.
+    EXPECT_NE(j.find("user \\\"quoted\\\""), std::string::npos);
+    EXPECT_NE(j.find("job\\tone"), std::string::npos);
+    EXPECT_EQ(j.find('\t'), std::string::npos);
+}
+
+TEST(SpuMonitor, RecordsPeriodicSamples)
+{
+    SystemConfig cfg;
+    cfg.cpus = 2;
+    cfg.memoryBytes = 16 * kMiB;
+    cfg.scheme = Scheme::PIso;
+    cfg.seed = 5;
+    Simulation sim(cfg);
+    const SpuId u = sim.addSpu({.name = "u"});
+    ComputeSpec job;
+    job.totalCpu = kSec;
+    job.wsPages = 200;
+    sim.addJob(u, makeComputeJob("hog", job));
+
+    SpuMonitor mon(sim.events(), sim.vm(), sim.scheduler(), {u},
+                   100 * kMs);
+    mon.start();
+    sim.run();
+
+    // ~1 s of run at 100 ms period: about 10 samples.
+    EXPECT_GE(mon.samples().size(), 9u);
+    EXPECT_EQ(mon.samples().front().when, 0u);
+    // The working set shows up in the sampled usage.
+    EXPECT_GE(mon.peakUsed(u), 190u);
+    // Time strictly increases.
+    for (std::size_t i = 1; i < mon.samples().size(); ++i)
+        EXPECT_GT(mon.samples()[i].when, mon.samples()[i - 1].when);
+}
+
+TEST(SpuMonitor, CpuShareReflectsActivity)
+{
+    SystemConfig cfg;
+    cfg.cpus = 1;
+    cfg.memoryBytes = 16 * kMiB;
+    cfg.scheme = Scheme::Smp;
+    cfg.seed = 5;
+    Simulation sim(cfg);
+    const SpuId u = sim.addSpu({.name = "u"});
+    // Busy for the first ~0.5 s, then nothing.
+    sim.addJob(u, makeScriptJob("burst", {ComputeAction{500 * kMs},
+                                          SleepAction{kSec}}));
+    SpuMonitor mon(sim.events(), sim.vm(), sim.scheduler(), {u},
+                   250 * kMs);
+    mon.start();
+    sim.run();
+
+    ASSERT_GE(mon.samples().size(), 5u);
+    EXPECT_GT(mon.cpuShareAt(1, u), 0.9);  // busy interval
+    EXPECT_LT(mon.cpuShareAt(4, u), 0.1);  // sleeping interval
+    EXPECT_EQ(mon.cpuShareAt(0, u), 0.0);
+}
+
+TEST(SpuMonitor, RejectsBadConfig)
+{
+    SystemConfig cfg;
+    cfg.cpus = 1;
+    cfg.memoryBytes = 16 * kMiB;
+    Simulation sim(cfg);
+    const SpuId u = sim.addSpu({.name = "u"});
+    EXPECT_THROW(SpuMonitor(sim.events(), sim.vm(), sim.scheduler(),
+                            {u}, 0),
+                 std::runtime_error);
+    EXPECT_THROW(SpuMonitor(sim.events(), sim.vm(), sim.scheduler(),
+                            {}, kMs),
+                 std::runtime_error);
+}

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Unit tests for the fixed-quota (space/time-partitioned) scheduler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/core/sched_quota.hh"
+#include "tests/sched_test_util.hh"
+
+using namespace piso;
+using piso::test::FakeClient;
+
+namespace {
+
+struct QuotaFixture : public ::testing::Test
+{
+    EventQueue events;
+    QuotaScheduler sched{events, 4};
+    FakeClient client{events, sched};
+
+    void
+    partitionHalf()
+    {
+        sched.partitionCpus({{2, 0.5}, {3, 0.5}});
+    }
+};
+
+} // namespace
+
+TEST_F(QuotaFixture, PartitionAssignsHomeSpus)
+{
+    partitionHalf();
+    int a = 0, b = 0;
+    for (int i = 0; i < 4; ++i) {
+        if (sched.cpu(i).homeSpu == 2)
+            ++a;
+        if (sched.cpu(i).homeSpu == 3)
+            ++b;
+    }
+    EXPECT_EQ(a, 2);
+    EXPECT_EQ(b, 2);
+}
+
+TEST_F(QuotaFixture, ProcessRunsOnlyOnHomeCpu)
+{
+    partitionHalf();
+    sched.start();
+    Process *p = client.createProcess(2, 100 * kMs);
+    client.startProcess(p);
+    EXPECT_EQ(p->state(), ProcState::Running);
+    EXPECT_EQ(sched.cpu(p->runningOn).homeSpu, 2);
+}
+
+TEST_F(QuotaFixture, NoSharingOfIdleCpus)
+{
+    // The defining Quota property: SPU 3's CPUs stay idle even while
+    // SPU 2 is oversubscribed.
+    partitionHalf();
+    sched.start();
+    for (int i = 0; i < 4; ++i)
+        client.startProcess(client.createProcess(2, 400 * kMs));
+    client.runToCompletion();
+    // 1.6 s of work on 2 CPUs: ~800 ms despite two idle CPUs.
+    EXPECT_NEAR(toMillis(events.now()), 800.0, 40.0);
+    // SPU 3's CPUs were idle the whole time.
+    EXPECT_EQ(sched.spuCpuTime(3), 0u);
+}
+
+TEST_F(QuotaFixture, IsolationFromForeignLoad)
+{
+    partitionHalf();
+    sched.start();
+    Process *light = client.createProcess(2, 300 * kMs);
+    client.startProcess(light);
+    for (int i = 0; i < 8; ++i)
+        client.startProcess(client.createProcess(3, 2 * kSec));
+    client.runToCompletion();
+    // SPU 2's job sees a dedicated CPU: finishes in its own time.
+    EXPECT_NEAR(toMillis(light->endTime - light->startTime), 300.0, 20.0);
+}
+
+TEST_F(QuotaFixture, ReadyCountPerSpu)
+{
+    partitionHalf();
+    sched.start();
+    for (int i = 0; i < 4; ++i)
+        client.startProcess(client.createProcess(2, kSec));
+    EXPECT_EQ(sched.readyCount(2), 2u);
+    EXPECT_EQ(sched.readyCount(3), 0u);
+}
+
+TEST(QuotaScheduler, FractionalShareTimeMultiplexes)
+{
+    // Two SPUs share a single CPU 50/50 through time partitioning.
+    EventQueue events;
+    QuotaScheduler sched(events, 1);
+    FakeClient client(events, sched);
+    sched.partitionCpus({{2, 0.5}, {3, 0.5}});
+    EXPECT_FALSE(sched.cpu(0).timeShares.empty());
+
+    sched.start();
+    Process *a = client.createProcess(2, 10 * kSec);
+    Process *b = client.createProcess(3, 10 * kSec);
+    client.startProcess(a);
+    client.startProcess(b);
+    events.runAll(2 * kSec);
+    const double ta = toMillis(a->cpuTime) +
+                      (a->state() == ProcState::Running
+                           ? toMillis(events.now() - a->segmentStart)
+                           : 0.0);
+    const double tb = toMillis(b->cpuTime) +
+                      (b->state() == ProcState::Running
+                           ? toMillis(events.now() - b->segmentStart)
+                           : 0.0);
+    // Each should get about half of the 2 simulated seconds.
+    EXPECT_NEAR(ta, 1000.0, 150.0);
+    EXPECT_NEAR(tb, 1000.0, 150.0);
+}
+
+TEST(QuotaScheduler, UnevenSharesGiveUnevenCpus)
+{
+    EventQueue events;
+    QuotaScheduler sched(events, 4);
+    sched.partitionCpus({{2, 0.25}, {3, 0.75}});
+    int a = 0, b = 0;
+    for (int i = 0; i < 4; ++i) {
+        if (sched.cpu(i).homeSpu == 2)
+            ++a;
+        if (sched.cpu(i).homeSpu == 3)
+            ++b;
+    }
+    EXPECT_EQ(a, 1);
+    EXPECT_EQ(b, 3);
+}
+
+TEST(QuotaScheduler, MixedIntegralAndFractionalShares)
+{
+    // 1.5 + 2.5 CPUs on a 4-CPU box: 1 and 2 dedicated CPUs plus one
+    // CPU time-shared 50/50.
+    EventQueue events;
+    QuotaScheduler sched(events, 4);
+    sched.partitionCpus({{2, 1.5 / 4.0}, {3, 2.5 / 4.0}});
+    int dedicatedA = 0, dedicatedB = 0, shared = 0;
+    for (int i = 0; i < 4; ++i) {
+        const Cpu &c = sched.cpu(i);
+        if (!c.timeShares.empty())
+            ++shared;
+        else if (c.homeSpu == 2)
+            ++dedicatedA;
+        else if (c.homeSpu == 3)
+            ++dedicatedB;
+    }
+    EXPECT_EQ(dedicatedA, 1);
+    EXPECT_EQ(dedicatedB, 2);
+    EXPECT_EQ(shared, 1);
+}
+
+TEST(QuotaScheduler, EmptyPartitionIsNoop)
+{
+    EventQueue events;
+    QuotaScheduler sched(events, 2);
+    sched.partitionCpus({});
+    EXPECT_EQ(sched.cpu(0).homeSpu, kNoSpu);
+}
+
+TEST(QuotaScheduler, ZeroShareSumIsFatal)
+{
+    EventQueue events;
+    QuotaScheduler sched(events, 2);
+    EXPECT_THROW(sched.partitionCpus({{2, 0.0}}), std::runtime_error);
+}

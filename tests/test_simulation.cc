@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Tests for the Simulation facade: configuration, scheme wiring,
+ * results plumbing, and error handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/piso.hh"
+
+using namespace piso;
+
+namespace {
+
+SystemConfig
+base(Scheme scheme)
+{
+    SystemConfig cfg;
+    cfg.cpus = 4;
+    cfg.memoryBytes = 32 * kMiB;
+    cfg.diskCount = 2;
+    cfg.scheme = scheme;
+    cfg.seed = 9;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Simulation, RunsEmptyScheme)
+{
+    for (Scheme s : {Scheme::Smp, Scheme::Quota, Scheme::PIso}) {
+        Simulation sim(base(s));
+        const SpuId u = sim.addSpu({.name = "u"});
+        sim.addJob(u, makeScriptJob("j", {ComputeAction{kMs}}));
+        const SimResults r = sim.run();
+        EXPECT_TRUE(r.completed) << schemeName(s);
+        EXPECT_EQ(r.jobs.size(), 1u);
+    }
+}
+
+TEST(Simulation, SchemeNamesMatchPaper)
+{
+    EXPECT_STREQ(schemeName(Scheme::Smp), "SMP");
+    EXPECT_STREQ(schemeName(Scheme::Quota), "Quo");
+    EXPECT_STREQ(schemeName(Scheme::PIso), "PIso");
+    EXPECT_STREQ(diskPolicyName(DiskPolicy::HeadPosition), "Pos");
+    EXPECT_STREQ(diskPolicyName(DiskPolicy::BlindFair), "Iso");
+    EXPECT_STREQ(diskPolicyName(DiskPolicy::FairPosition), "PIso");
+}
+
+TEST(Simulation, QuotaPartitionsCpus)
+{
+    Simulation sim(base(Scheme::Quota));
+    const SpuId a = sim.addSpu({.name = "a"});
+    const SpuId b = sim.addSpu({.name = "b"});
+    sim.addJob(a, makeScriptJob("j", {ComputeAction{kMs}}));
+    sim.run();
+    int forA = 0, forB = 0;
+    for (int i = 0; i < 4; ++i) {
+        forA += sim.scheduler().cpu(i).homeSpu == a;
+        forB += sim.scheduler().cpu(i).homeSpu == b;
+    }
+    EXPECT_EQ(forA, 2);
+    EXPECT_EQ(forB, 2);
+}
+
+TEST(Simulation, SmpLeavesCpusUnpartitioned)
+{
+    Simulation sim(base(Scheme::Smp));
+    const SpuId a = sim.addSpu({.name = "a"});
+    sim.addJob(a, makeScriptJob("j", {ComputeAction{kMs}}));
+    sim.run();
+    EXPECT_EQ(sim.scheduler().cpu(0).homeSpu, kNoSpu);
+}
+
+TEST(Simulation, PisoSetsMemoryLevels)
+{
+    Simulation sim(base(Scheme::PIso));
+    const SpuId a = sim.addSpu({.name = "a"});
+    const SpuId b = sim.addSpu({.name = "b"});
+    sim.addJob(a, makeScriptJob("j", {ComputeAction{kMs}}));
+    sim.run();
+    EXPECT_GT(sim.vm().levels(a).entitled, 0u);
+    EXPECT_EQ(sim.vm().levels(a).entitled, sim.vm().levels(b).entitled);
+    EXPECT_GT(sim.vm().reservePages(), 0u);
+}
+
+TEST(Simulation, QuotaMemoryIsFixed)
+{
+    Simulation sim(base(Scheme::Quota));
+    const SpuId a = sim.addSpu({.name = "a"});
+    sim.addSpu({.name = "b"});
+    sim.addJob(a, makeScriptJob("j", {ComputeAction{kMs}}));
+    sim.run();
+    const MemLevels &l = sim.vm().levels(a);
+    EXPECT_EQ(l.allowed, l.entitled);
+    EXPECT_LT(l.allowed, sim.vm().totalPages());
+}
+
+TEST(Simulation, SmpMemoryIsUnlimited)
+{
+    Simulation sim(base(Scheme::Smp));
+    const SpuId a = sim.addSpu({.name = "a"});
+    sim.addJob(a, makeScriptJob("j", {ComputeAction{kMs}}));
+    sim.run();
+    EXPECT_EQ(sim.vm().levels(a).allowed, sim.vm().totalPages());
+}
+
+TEST(Simulation, KernelMemoryPinnedAtBoot)
+{
+    SystemConfig cfg = base(Scheme::Smp);
+    cfg.kernelResidentBytes = 4 * kMiB;
+    Simulation sim(cfg);
+    sim.addJob(sim.addSpu({.name = "a"}),
+               makeScriptJob("j", {ComputeAction{kMs}}));
+    sim.run();
+    EXPECT_EQ(sim.vm().levels(kKernelSpu).used, 1024u);
+}
+
+TEST(Simulation, ResultsCarryPerSpuCpuTime)
+{
+    Simulation sim(base(Scheme::Smp));
+    const SpuId a = sim.addSpu({.name = "a"});
+    const SpuId b = sim.addSpu({.name = "b"});
+    ComputeSpec spec;
+    spec.totalCpu = 100 * kMs;
+    sim.addJob(a, makeComputeJob("ja", spec));
+    ComputeSpec spec2;
+    spec2.totalCpu = 200 * kMs;
+    sim.addJob(b, makeComputeJob("jb", spec2));
+    const SimResults r = sim.run();
+    // Compute time plus zero-fill fault service for the working set.
+    EXPECT_NEAR(toSeconds(r.spus.at(a).cpuTime), 0.1, 0.03);
+    EXPECT_NEAR(toSeconds(r.spus.at(b).cpuTime), 0.2, 0.03);
+    EXPECT_GT(r.spus.at(b).cpuTime, r.spus.at(a).cpuTime);
+}
+
+TEST(Simulation, ResultsCarryDiskStats)
+{
+    Simulation sim(base(Scheme::Smp));
+    const SpuId a = sim.addSpu({.name = "a", .homeDisk = 1});
+    FileCopyConfig cc;
+    cc.bytes = kMiB;
+    sim.addJob(a, makeFileCopy("cp", cc));
+    const SimResults r = sim.run();
+    ASSERT_EQ(r.disks.size(), 2u);
+    EXPECT_EQ(r.disks[0].requests, 0u);  // disk 0 untouched
+    EXPECT_GT(r.disks[1].requests, 0u);
+    EXPECT_GT(r.disks[1].perSpu.at(a).requests, 0u);
+}
+
+TEST(Simulation, MaxTimeStopsRunawayRuns)
+{
+    SystemConfig cfg = base(Scheme::Smp);
+    cfg.maxTime = 100 * kMs;
+    Simulation sim(cfg);
+    sim.addJob(sim.addSpu({.name = "a"}),
+               makeScriptJob("long", {ComputeAction{10 * kSec}}));
+    const SimResults r = sim.run();
+    EXPECT_FALSE(r.completed);
+    EXPECT_LE(r.simulatedTime, 120 * kMs);
+}
+
+TEST(Simulation, MeanResponseHelpers)
+{
+    Simulation sim(base(Scheme::Smp));
+    const SpuId a = sim.addSpu({.name = "a"});
+    const SpuId b = sim.addSpu({.name = "b"});
+    sim.addJob(a, makeScriptJob("pm1", {ComputeAction{100 * kMs}}));
+    sim.addJob(b, makeScriptJob("pm2", {ComputeAction{300 * kMs}}));
+    const SimResults r = sim.run();
+    EXPECT_NEAR(r.meanResponseSec({a}), 0.1, 0.02);
+    EXPECT_NEAR(r.meanResponseSec({a, b}), 0.2, 0.03);
+    EXPECT_NEAR(r.meanResponseSecByPrefix("pm"), 0.2, 0.03);
+    EXPECT_EQ(r.meanResponseSec({}), 0.0);
+}
+
+TEST(Simulation, ErrorsOnMisuse)
+{
+    Simulation sim(base(Scheme::Smp));
+    EXPECT_THROW(sim.addJob(99, makeScriptJob("j", {})),
+                 std::runtime_error);
+    EXPECT_THROW(sim.addSpu({.name = "x", .homeDisk = 9}),
+                 std::runtime_error);
+    EXPECT_THROW(sim.run(), std::runtime_error); // no SPUs
+}
+
+TEST(Simulation, RunTwiceIsAnError)
+{
+    Simulation sim(base(Scheme::Smp));
+    sim.addJob(sim.addSpu({.name = "a"}),
+               makeScriptJob("j", {ComputeAction{kMs}}));
+    sim.run();
+    EXPECT_THROW(sim.run(), std::runtime_error);
+}
+
+TEST(Simulation, DeterministicAcrossRuns)
+{
+    auto once = [] {
+        SystemConfig cfg;
+        cfg.cpus = 4;
+        cfg.memoryBytes = 24 * kMiB;
+        cfg.scheme = Scheme::PIso;
+        cfg.seed = 77;
+        Simulation sim(cfg);
+        const SpuId a = sim.addSpu({.name = "a"});
+        const SpuId b = sim.addSpu({.name = "b"});
+        PmakeConfig pm;
+        pm.parallelism = 2;
+        pm.filesPerWorker = 4;
+        sim.addJob(a, makePmake("pm", pm));
+        ComputeSpec hog;
+        hog.totalCpu = kSec;
+        sim.addJob(b, makeComputeJob("hog", hog));
+        return sim.run();
+    };
+    const SimResults r1 = once();
+    const SimResults r2 = once();
+    EXPECT_EQ(r1.job("pm").end, r2.job("pm").end);
+    EXPECT_EQ(r1.job("hog").end, r2.job("hog").end);
+    EXPECT_EQ(r1.disks[0].requests, r2.disks[0].requests);
+}
+
+TEST(Simulation, SeedChangesOutcomeDetails)
+{
+    auto withSeed = [](std::uint64_t seed) {
+        SystemConfig cfg;
+        cfg.cpus = 2;
+        cfg.memoryBytes = 24 * kMiB;
+        cfg.scheme = Scheme::Smp;
+        cfg.seed = seed;
+        Simulation sim(cfg);
+        PmakeConfig pm;
+        pm.parallelism = 2;
+        pm.filesPerWorker = 4;
+        sim.addJob(sim.addSpu({.name = "a"}), makePmake("pm", pm));
+        return sim.run().job("pm").end;
+    };
+    EXPECT_NE(withSeed(1), withSeed(2));
+}

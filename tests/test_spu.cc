@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Unit tests for the SPU registry (Section 2.1 / 2.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/core/spu.hh"
+
+using namespace piso;
+
+TEST(SpuManager, DefaultSpusExist)
+{
+    SpuManager m;
+    EXPECT_TRUE(m.exists(kKernelSpu));
+    EXPECT_TRUE(m.exists(kSharedSpu));
+    EXPECT_EQ(m.spu(kKernelSpu).name, "kernel");
+    EXPECT_EQ(m.spu(kSharedSpu).name, "shared");
+    EXPECT_EQ(m.userCount(), 0u);
+}
+
+TEST(SpuManager, CreateAssignsAscendingUserIds)
+{
+    SpuManager m;
+    const SpuId a = m.create({.name = "a"});
+    const SpuId b = m.create({.name = "b"});
+    EXPECT_EQ(a, kFirstUserSpu);
+    EXPECT_EQ(b, kFirstUserSpu + 1);
+    EXPECT_EQ(m.userCount(), 2u);
+}
+
+TEST(SpuManager, DefaultNameGenerated)
+{
+    SpuManager m;
+    const SpuId a = m.create({});
+    EXPECT_FALSE(m.spu(a).name.empty());
+}
+
+TEST(SpuManager, EqualSharesNormalise)
+{
+    SpuManager m;
+    const SpuId a = m.create({.name = "a"});
+    const SpuId b = m.create({.name = "b"});
+    EXPECT_DOUBLE_EQ(m.shareOf(a), 0.5);
+    EXPECT_DOUBLE_EQ(m.shareOf(b), 0.5);
+}
+
+TEST(SpuManager, WeightedShares)
+{
+    // "Project A owns a third of the machine and project B two
+    // thirds" — the paper's motivating contract.
+    SpuManager m;
+    const SpuId a = m.create({.name = "a", .share = 1.0});
+    const SpuId b = m.create({.name = "b", .share = 2.0});
+    EXPECT_DOUBLE_EQ(m.shareOf(a), 1.0 / 3.0);
+    EXPECT_DOUBLE_EQ(m.shareOf(b), 2.0 / 3.0);
+}
+
+TEST(SpuManager, SuspendExcludesFromShares)
+{
+    SpuManager m;
+    const SpuId a = m.create({.name = "a"});
+    const SpuId b = m.create({.name = "b"});
+    m.suspend(b);
+    EXPECT_DOUBLE_EQ(m.shareOf(a), 1.0);
+    EXPECT_DOUBLE_EQ(m.shareOf(b), 0.0);
+    EXPECT_EQ(m.userCount(), 1u);
+    m.resume(b);
+    EXPECT_DOUBLE_EQ(m.shareOf(a), 0.5);
+}
+
+TEST(SpuManager, DestroyRemoves)
+{
+    SpuManager m;
+    const SpuId a = m.create({.name = "a"});
+    m.destroy(a);
+    EXPECT_FALSE(m.exists(a));
+    EXPECT_EQ(m.userCount(), 0u);
+}
+
+TEST(SpuManager, DestroyedIdNotReused)
+{
+    SpuManager m;
+    const SpuId a = m.create({.name = "a"});
+    m.destroy(a);
+    const SpuId b = m.create({.name = "b"});
+    EXPECT_NE(a, b);
+}
+
+TEST(SpuManager, CpuSharesMatchUserShares)
+{
+    SpuManager m;
+    const SpuId a = m.create({.name = "a", .share = 3.0});
+    const SpuId b = m.create({.name = "b", .share = 1.0});
+    const auto shares = m.cpuShares();
+    EXPECT_DOUBLE_EQ(shares.at(a), 0.75);
+    EXPECT_DOUBLE_EQ(shares.at(b), 0.25);
+}
+
+TEST(SpuManager, HomeDiskStored)
+{
+    SpuManager m;
+    const SpuId a = m.create({.name = "a", .homeDisk = 3});
+    EXPECT_EQ(m.spu(a).homeDisk, 3);
+}
+
+TEST(SpuManager, DefaultSpusProtected)
+{
+    SpuManager m;
+    EXPECT_THROW(m.destroy(kKernelSpu), std::runtime_error);
+    EXPECT_THROW(m.destroy(kSharedSpu), std::runtime_error);
+    EXPECT_THROW(m.suspend(kKernelSpu), std::runtime_error);
+}
+
+TEST(SpuManager, InvalidShareRejected)
+{
+    SpuManager m;
+    EXPECT_THROW(m.create({.name = "bad", .share = 0.0}),
+                 std::runtime_error);
+    EXPECT_THROW(m.create({.name = "bad", .share = -1.0}),
+                 std::runtime_error);
+}
+
+TEST(SpuManager, UnknownSpuQueriesFail)
+{
+    SpuManager m;
+    EXPECT_THROW(m.spu(42), std::runtime_error);
+    EXPECT_THROW(m.destroy(42), std::runtime_error);
+    EXPECT_FALSE(m.exists(42));
+}
+
+TEST(SpuManager, UserSpusSortedAndFiltered)
+{
+    SpuManager m;
+    const SpuId a = m.create({.name = "a"});
+    const SpuId b = m.create({.name = "b"});
+    const SpuId c = m.create({.name = "c"});
+    m.suspend(b);
+    const auto users = m.userSpus();
+    ASSERT_EQ(users.size(), 2u);
+    EXPECT_EQ(users[0], a);
+    EXPECT_EQ(users[1], c);
+}

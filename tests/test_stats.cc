@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Unit tests for Counter, Accumulator, and Histogram.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/sim/stats.hh"
+
+using namespace piso;
+
+TEST(Counter, StartsAtZeroAndAdds)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.add();
+    c.add(9);
+    EXPECT_EQ(c.value(), 10u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Accumulator, EmptyIsZero)
+{
+    Accumulator a;
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_EQ(a.mean(), 0.0);
+    EXPECT_EQ(a.min(), 0.0);
+    EXPECT_EQ(a.max(), 0.0);
+    EXPECT_EQ(a.stddev(), 0.0);
+}
+
+TEST(Accumulator, SingleSample)
+{
+    Accumulator a;
+    a.sample(5.0);
+    EXPECT_EQ(a.count(), 1u);
+    EXPECT_EQ(a.mean(), 5.0);
+    EXPECT_EQ(a.min(), 5.0);
+    EXPECT_EQ(a.max(), 5.0);
+    EXPECT_EQ(a.stddev(), 0.0);
+}
+
+TEST(Accumulator, MeanMinMaxSum)
+{
+    Accumulator a;
+    for (double v : {2.0, 4.0, 6.0, 8.0})
+        a.sample(v);
+    EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(a.min(), 2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 8.0);
+    EXPECT_DOUBLE_EQ(a.sum(), 20.0);
+}
+
+TEST(Accumulator, StddevMatchesClosedForm)
+{
+    Accumulator a;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        a.sample(v);
+    EXPECT_NEAR(a.stddev(), 2.0, 1e-12); // classic example, sigma = 2
+}
+
+TEST(Accumulator, NegativeValues)
+{
+    Accumulator a;
+    a.sample(-3.0);
+    a.sample(3.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(a.min(), -3.0);
+}
+
+TEST(Accumulator, ResetClears)
+{
+    Accumulator a;
+    a.sample(1.0);
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_EQ(a.mean(), 0.0);
+}
+
+TEST(Accumulator, LargeStreamStable)
+{
+    Accumulator a;
+    for (int i = 0; i < 1000000; ++i)
+        a.sample(1000.0 + (i % 2 == 0 ? 0.5 : -0.5));
+    EXPECT_NEAR(a.mean(), 1000.0, 1e-9);
+    EXPECT_NEAR(a.stddev(), 0.5, 1e-9);
+}
+
+TEST(Histogram, BucketsFill)
+{
+    Histogram h(0.0, 10.0, 10);
+    for (int i = 0; i < 10; ++i)
+        h.sample(i + 0.5);
+    for (std::size_t i = 0; i < 10; ++i)
+        EXPECT_EQ(h.bucketCount(i), 1u);
+    EXPECT_EQ(h.total(), 10u);
+}
+
+TEST(Histogram, UnderOverflow)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.sample(-1.0);
+    h.sample(10.0);
+    h.sample(99.0);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, BoundaryGoesToLowerBucket)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.sample(0.0);
+    h.sample(9.999);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(9), 1u);
+}
+
+TEST(Histogram, PercentileMedian)
+{
+    Histogram h(0.0, 100.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.sample(i + 0.5);
+    EXPECT_NEAR(h.percentile(0.5), 50.0, 1.5);
+    EXPECT_NEAR(h.percentile(0.9), 90.0, 1.5);
+}
+
+TEST(Histogram, PercentileEmpty)
+{
+    Histogram h(5.0, 10.0, 5);
+    EXPECT_EQ(h.percentile(0.5), 5.0);
+}
+
+TEST(Histogram, PercentileClampsFraction)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.sample(5.0);
+    EXPECT_GE(h.percentile(-1.0), 0.0);
+    EXPECT_LE(h.percentile(2.0), 10.0);
+}

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Full-system stress: every workload kind, every resource, every
+ * scheme in one machine — the integration safety net. Asserts global
+ * invariants rather than specific numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/piso.hh"
+
+using namespace piso;
+
+namespace {
+
+SimResults
+runKitchenSink(Scheme scheme, std::uint64_t seed, Simulation **simOut)
+{
+    SystemConfig cfg;
+    cfg.cpus = 6;
+    cfg.memoryBytes = 40 * kMiB;
+    cfg.diskCount = 3;
+    cfg.scheme = scheme;
+    cfg.networkBitsPerSec = 50e6;
+    cfg.seed = seed;
+    cfg.maxTime = 300 * kSec;
+
+    static std::unique_ptr<Simulation> sim;
+    sim = std::make_unique<Simulation>(cfg);
+    if (simOut)
+        *simOut = sim.get();
+
+    const SpuId dev = sim->addSpu({.name = "dev", .homeDisk = 0});
+    const SpuId db = sim->addSpu(
+        {.name = "db", .share = 2.0, .homeDisk = 1});
+    const SpuId sci = sim->addSpu({.name = "sci", .homeDisk = 2});
+
+    const int inode = sim->kernel().createLock(true);
+
+    PmakeConfig pm;
+    pm.parallelism = 2;
+    pm.filesPerWorker = 6;
+    pm.inodeLock = inode;
+    sim->addJob(dev, makePmake("build", pm));
+    FileCopyConfig cc;
+    cc.bytes = 6 * kMiB;
+    sim->addJob(dev, makeFileCopy("backup", cc));
+
+    OltpConfig oc;
+    oc.servers = 3;
+    oc.transactionsPerServer = 50;
+    oc.indexLock = sim->kernel().createLock(true);
+    sim->addJob(db, makeOltp("oltp", oc));
+    WebServerConfig wc;
+    wc.workers = 2;
+    wc.requestsPerWorker = 60;
+    sim->addJob(db, makeWebServer("www", wc));
+
+    OceanConfig ocn;
+    ocn.processes = 3;
+    ocn.iterations = 30;
+    ocn.grain = 20 * kMs;
+    sim->addJob(sci, makeOcean("ocean", ocn));
+    ComputeSpec hog;
+    hog.totalCpu = 2 * kSec;
+    hog.wsPages = 1500; // memory pressure in sci's third
+    sim->addJob(sci, makeComputeJob("bighog", hog));
+
+    return sim->run();
+}
+
+} // namespace
+
+class KitchenSink
+    : public ::testing::TestWithParam<std::tuple<Scheme, std::uint64_t>>
+{
+};
+
+TEST_P(KitchenSink, EverythingCompletesAndConserves)
+{
+    const auto [scheme, seed] = GetParam();
+    Simulation *sim = nullptr;
+    const SimResults r = runKitchenSink(scheme, seed, &sim);
+    ASSERT_TRUE(r.completed) << "jobs stuck under "
+                             << schemeName(scheme);
+
+    // Every job finished with a positive response.
+    for (const JobResult &j : r.jobs) {
+        EXPECT_TRUE(j.completed) << j.name;
+        EXPECT_GT(j.response(), 0u) << j.name;
+    }
+
+    // Memory fully conserved at the end: only the pinned kernel pages
+    // and any surviving cache pages remain charged.
+    std::uint64_t used = 0;
+    for (SpuId spu : sim->vm().spus())
+        used += sim->vm().levels(spu).used;
+    EXPECT_EQ(used + sim->vm().freePages(), sim->vm().totalPages());
+
+    // Disk accounting conserved per device.
+    for (const DiskResult &d : r.disks) {
+        std::uint64_t perSpu = 0;
+        for (const auto &[spu, sd] : d.perSpu)
+            perSpu += sd.sectors;
+        EXPECT_EQ(perSpu, d.sectors) << d.name;
+    }
+
+    // CPU time within machine capacity.
+    Time cpu = 0;
+    for (const auto &[id, s] : r.spus)
+        cpu += s.cpuTime;
+    EXPECT_LE(cpu, static_cast<Time>(6) * r.simulatedTime);
+
+    // All the subsystems actually fired.
+    EXPECT_GT(r.kernel.zeroFills.value(), 0u);
+    EXPECT_GT(r.kernel.readRequests.value(), 0u);
+    EXPECT_GT(r.kernel.syncWriteRequests.value(), 0u);
+    EXPECT_GT(r.kernel.bdflushRequests.value(), 0u);
+    EXPECT_GT(sim->network()->totalMessages(), 0u);
+    EXPECT_EQ(sim->kernel().cache().dirtyCount(), 0u); // drained
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchemesAndSeeds, KitchenSink,
+    ::testing::Combine(::testing::Values(Scheme::Smp, Scheme::Quota,
+                                         Scheme::PIso),
+                       ::testing::Values(1u, 7u, 42u)),
+    [](const auto &info) {
+        return std::string(schemeName(std::get<0>(info.param))) +
+               "_seed" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(KitchenSinkDeterminism, SameSeedSameOutcome)
+{
+    const SimResults a = runKitchenSink(Scheme::PIso, 99, nullptr);
+    const SimResults b = runKitchenSink(Scheme::PIso, 99, nullptr);
+    EXPECT_EQ(a.simulatedTime, b.simulatedTime);
+    for (std::size_t i = 0; i < a.jobs.size(); ++i)
+        EXPECT_EQ(a.jobs[i].end, b.jobs[i].end) << a.jobs[i].name;
+}

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tests for the category-gated trace facility.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/piso.hh"
+#include "src/sim/trace.hh"
+
+using namespace piso;
+
+namespace {
+
+struct CapturedLine
+{
+    Time when;
+    TraceCat cat;
+    std::string text;
+};
+
+/** RAII capture of trace output. */
+class TraceCapture
+{
+  public:
+    explicit TraceCapture(TraceCat mask)
+    {
+        traceEnable(mask);
+        traceSetSink([this](Time when, TraceCat cat,
+                            const std::string &msg) {
+            lines_.push_back(CapturedLine{when, cat, msg});
+        });
+    }
+
+    ~TraceCapture()
+    {
+        traceDisable();
+        traceSetSink(nullptr);
+    }
+
+    const std::vector<CapturedLine> &lines() const { return lines_; }
+
+    std::size_t
+    count(const std::string &needle) const
+    {
+        std::size_t n = 0;
+        for (const auto &l : lines_)
+            n += l.text.find(needle) != std::string::npos ? 1 : 0;
+        return n;
+    }
+
+  private:
+    std::vector<CapturedLine> lines_;
+};
+
+SimResults
+runSmallWorkload()
+{
+    SystemConfig cfg;
+    cfg.cpus = 2;
+    cfg.memoryBytes = 16 * kMiB;
+    cfg.scheme = Scheme::PIso;
+    cfg.seed = 3;
+    Simulation sim(cfg);
+    const SpuId a = sim.addSpu({.name = "a"});
+    const SpuId b = sim.addSpu({.name = "b"});
+    PmakeConfig pm;
+    pm.parallelism = 2;
+    pm.filesPerWorker = 3;
+    sim.addJob(a, makePmake("pm", pm));
+    ComputeSpec hog;
+    hog.totalCpu = 300 * kMs;
+    sim.addJob(b, makeComputeJob("hog", hog));
+    return sim.run();
+}
+
+} // namespace
+
+TEST(Trace, DisabledByDefault)
+{
+    EXPECT_EQ(traceMask(), TraceCat::None);
+    EXPECT_FALSE(traceActive(TraceCat::Sched));
+}
+
+TEST(Trace, MaskGatesCategories)
+{
+    traceEnable(TraceCat::Sched | TraceCat::Disk);
+    EXPECT_TRUE(traceActive(TraceCat::Sched));
+    EXPECT_TRUE(traceActive(TraceCat::Disk));
+    EXPECT_FALSE(traceActive(TraceCat::Mem));
+    traceDisable();
+    EXPECT_FALSE(traceActive(TraceCat::Sched));
+}
+
+TEST(Trace, CategoryNames)
+{
+    EXPECT_STREQ(traceCatName(TraceCat::Sched), "sched");
+    EXPECT_STREQ(traceCatName(TraceCat::Mem), "mem");
+    EXPECT_STREQ(traceCatName(TraceCat::Disk), "disk");
+    EXPECT_STREQ(traceCatName(TraceCat::Net), "net");
+    EXPECT_STREQ(traceCatName(TraceCat::Lock), "lock");
+    EXPECT_STREQ(traceCatName(TraceCat::Kernel), "kernel");
+}
+
+TEST(Trace, SchedulerEventsCaptured)
+{
+    TraceCapture cap(TraceCat::Sched);
+    runSmallWorkload();
+    EXPECT_GT(cap.count("dispatch"), 5u);
+    for (const auto &l : cap.lines())
+        EXPECT_EQ(l.cat, TraceCat::Sched);
+}
+
+TEST(Trace, DiskAndKernelEventsCaptured)
+{
+    TraceCapture cap(TraceCat::Disk | TraceCat::Kernel);
+    runSmallWorkload();
+    EXPECT_GT(cap.count("read"), 0u);  // disk completions
+    EXPECT_GT(cap.count("exit"), 0u);  // process exits
+}
+
+TEST(Trace, MemoryFaultEventsCaptured)
+{
+    TraceCapture cap(TraceCat::Mem);
+    runSmallWorkload();
+    EXPECT_GT(cap.count("zero-fill"), 10u);
+    EXPECT_GT(cap.count("mem policy"), 0u);
+}
+
+TEST(Trace, TimestampsAreMonotonic)
+{
+    TraceCapture cap(TraceCat::Sched);
+    runSmallWorkload();
+    for (std::size_t i = 1; i < cap.lines().size(); ++i)
+        EXPECT_GE(cap.lines()[i].when, cap.lines()[i - 1].when);
+}
+
+TEST(Trace, DisabledTracingProducesNothing)
+{
+    TraceCapture cap(TraceCat::None);
+    runSmallWorkload();
+    EXPECT_TRUE(cap.lines().empty());
+}
+
+TEST(Trace, TracingDoesNotPerturbResults)
+{
+    const SimResults quiet = runSmallWorkload();
+    TraceCapture cap(TraceCat::All);
+    const SimResults traced = runSmallWorkload();
+    EXPECT_EQ(quiet.simulatedTime, traced.simulatedTime);
+    EXPECT_EQ(quiet.job("pm").end, traced.job("pm").end);
+}

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for the workload-spec text format and runner.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/config/workload_spec.hh"
+#include "src/piso.hh"
+
+using namespace piso;
+
+namespace {
+
+const char *kMinimal = R"(
+machine cpus=2 memory_mb=16 scheme=smp seed=5
+spu u
+job u compute name=j cpu_ms=100
+)";
+
+} // namespace
+
+TEST(WorkloadSpec, ParsesMinimal)
+{
+    const WorkloadSpec s = parseWorkloadSpec(kMinimal);
+    EXPECT_EQ(s.config.cpus, 2);
+    EXPECT_EQ(s.config.memoryBytes, 16 * kMiB);
+    EXPECT_EQ(s.config.scheme, Scheme::Smp);
+    EXPECT_EQ(s.config.seed, 5u);
+    ASSERT_EQ(s.spus.size(), 1u);
+    EXPECT_EQ(s.spus[0].name, "u");
+    ASSERT_EQ(s.jobs.size(), 1u);
+    EXPECT_EQ(s.jobs[0].kind, "compute");
+    EXPECT_EQ(s.jobs[0].name, "j");
+}
+
+TEST(WorkloadSpec, DefaultsWithoutMachineLine)
+{
+    const WorkloadSpec s = parseWorkloadSpec(
+        "spu u\njob u compute cpu_ms=10\n");
+    EXPECT_EQ(s.config.cpus, 8);
+    EXPECT_EQ(s.config.scheme, Scheme::PIso);
+}
+
+TEST(WorkloadSpec, CommentsAndBlankLinesIgnored)
+{
+    const WorkloadSpec s = parseWorkloadSpec(
+        "# header\n\nspu u # trailing\n\njob u compute cpu_ms=1\n");
+    EXPECT_EQ(s.spus.size(), 1u);
+}
+
+TEST(WorkloadSpec, ParsesAllMachineOptions)
+{
+    const WorkloadSpec s = parseWorkloadSpec(R"(
+machine cpus=4 memory_mb=32 disks=3 scheme=quota disk_policy=iso seed=9 max_time_s=10 network_mbps=100 bw_threshold=512 seek_scale=0.5 ipi_revocation=1
+spu u
+job u compute cpu_ms=1
+)");
+    EXPECT_EQ(s.config.diskCount, 3);
+    EXPECT_EQ(s.config.scheme, Scheme::Quota);
+    EXPECT_EQ(s.config.diskPolicy, DiskPolicy::BlindFair);
+    EXPECT_EQ(s.config.maxTime, 10 * kSec);
+    EXPECT_DOUBLE_EQ(s.config.networkBitsPerSec, 100e6);
+    EXPECT_DOUBLE_EQ(s.config.bwThresholdSectors, 512.0);
+    EXPECT_DOUBLE_EQ(s.config.diskParams.seekScale, 0.5);
+    EXPECT_TRUE(s.config.ipiRevocation);
+}
+
+TEST(WorkloadSpec, AutoNamesJobs)
+{
+    const WorkloadSpec s = parseWorkloadSpec(
+        "spu u\njob u compute cpu_ms=1\njob u compute cpu_ms=1\n");
+    EXPECT_NE(s.jobs[0].name, s.jobs[1].name);
+}
+
+TEST(WorkloadSpec, ErrorsCarryLineNumbers)
+{
+    try {
+        parseWorkloadSpec("spu u\njob u compute bogus_key=1\n");
+        (void)buildJob(parseWorkloadSpec(
+                           "spu u\njob u compute bogus_key=1\n")
+                           .jobs[0]);
+        FAIL() << "expected a parse error";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("line 2"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("bogus_key"),
+                  std::string::npos);
+    }
+}
+
+TEST(WorkloadSpec, RejectsMalformedInput)
+{
+    EXPECT_THROW(parseWorkloadSpec("bogus directive\n"),
+                 std::runtime_error);
+    EXPECT_THROW(parseWorkloadSpec("spu u\njob u compute notkv\n"),
+                 std::runtime_error);
+    EXPECT_THROW(parseWorkloadSpec("spu u\njob u mystery name=x\n"),
+                 std::runtime_error);
+    EXPECT_THROW(parseWorkloadSpec("spu u\njob ghost compute\n"),
+                 std::runtime_error);
+    EXPECT_THROW(parseWorkloadSpec("spu u\nspu u\njob u compute\n"),
+                 std::runtime_error);
+    EXPECT_THROW(parseWorkloadSpec(
+                     "machine cpus=2\nmachine cpus=4\nspu u\n"
+                     "job u compute\n"),
+                 std::runtime_error);
+    EXPECT_THROW(parseWorkloadSpec("machine cpus=two\nspu u\n"
+                                   "job u compute\n"),
+                 std::runtime_error);
+    EXPECT_THROW(parseWorkloadSpec(""), std::runtime_error);
+    EXPECT_THROW(parseWorkloadSpec("spu u\n"), std::runtime_error);
+}
+
+TEST(WorkloadSpec, UnknownMachineOptionRejected)
+{
+    EXPECT_THROW(parseWorkloadSpec(
+                     "machine cpus=2 turbo=1\nspu u\njob u compute\n"),
+                 std::runtime_error);
+}
+
+TEST(WorkloadSpec, BuildsEveryJobKind)
+{
+    const WorkloadSpec s = parseWorkloadSpec(R"(
+machine cpus=2 memory_mb=32 network_mbps=10
+spu u
+job u pmake   name=a workers=1 files=2
+job u copy    name=b bytes_kb=64
+job u compute name=c cpu_ms=5
+job u ocean   name=d procs=2 iters=3 grain_ms=1
+job u oltp    name=e servers=1 txns=3 table_mb=1
+job u web     name=f workers=1 requests=3 response_kb=1
+)");
+    for (const JobDecl &j : s.jobs)
+        EXPECT_NO_THROW((void)buildJob(j)) << j.kind;
+}
+
+TEST(WorkloadSpec, EndToEndRun)
+{
+    const WorkloadSpec s = parseWorkloadSpec(R"(
+machine cpus=2 memory_mb=32 scheme=piso seed=3
+spu alice disk=0
+spu bob share=2 disk=0
+job alice compute name=light cpu_ms=200 ws_pages=32
+job bob   compute name=heavy cpu_ms=400 ws_pages=32
+)");
+    const SimResults r = runWorkloadSpec(s);
+    ASSERT_TRUE(r.completed);
+    EXPECT_NEAR(r.job("light").responseSec(), 0.2, 0.05);
+    EXPECT_NEAR(r.job("heavy").responseSec(), 0.4, 0.05);
+}
+
+TEST(WorkloadSpec, StartDelayOption)
+{
+    const WorkloadSpec s = parseWorkloadSpec(R"(
+machine cpus=2 memory_mb=16 seed=3
+spu u
+job u compute name=late cpu_ms=10 start_s=1.5
+)");
+    const SimResults r = runWorkloadSpec(s);
+    EXPECT_GE(r.job("late").start, 1500 * kMs);
+}

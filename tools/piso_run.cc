@@ -1,0 +1,147 @@
+/**
+ * @file
+ * piso_run: execute a workload-spec file and print the run report.
+ *
+ *   piso_run workload.piso            # run and summarise
+ *   piso_run --compare workload.piso  # run under SMP, Quo, and PIso
+ *   piso_run --trace=sched,mem workload.piso  # with execution traces
+ *   piso_run --json workload.piso     # machine-readable results
+ *
+ * See src/config/workload_spec.hh for the file format and
+ * examples/specs/ for ready-made scenarios.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "src/config/workload_spec.hh"
+#include "src/metrics/report.hh"
+#include "src/piso.hh"
+#include "src/sim/log.hh"
+#include "src/sim/trace.hh"
+
+using namespace piso;
+
+namespace {
+
+TraceCat
+parseTraceList(const char *list)
+{
+    TraceCat mask = TraceCat::None;
+    std::istringstream is(list);
+    std::string item;
+    while (std::getline(is, item, ',')) {
+        if (item == "sched")
+            mask = mask | TraceCat::Sched;
+        else if (item == "mem")
+            mask = mask | TraceCat::Mem;
+        else if (item == "disk")
+            mask = mask | TraceCat::Disk;
+        else if (item == "net")
+            mask = mask | TraceCat::Net;
+        else if (item == "lock")
+            mask = mask | TraceCat::Lock;
+        else if (item == "kernel")
+            mask = mask | TraceCat::Kernel;
+        else if (item == "all")
+            mask = TraceCat::All;
+        else
+            PISO_FATAL("unknown trace category '", item,
+                       "' (sched,mem,disk,net,lock,kernel,all)");
+    }
+    return mask;
+}
+
+std::string
+readFile(const char *path)
+{
+    std::ifstream in(path);
+    if (!in)
+        PISO_FATAL("cannot open '", path, "'");
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: piso_run [--compare] [--trace=CATS] "
+                 "<workload-file>\n"
+                 "  --compare     run the workload under all three "
+                 "schemes (SMP/Quo/PIso)\n"
+                 "  --trace=CATS  comma list of sched,mem,disk,net,"
+                 "lock,kernel,all\n"
+                 "  --json        print machine-readable results\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool compare = false;
+    bool json = false;
+    const char *path = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--compare") == 0)
+            compare = true;
+        else if (std::strcmp(argv[i], "--json") == 0)
+            json = true;
+        else if (std::strncmp(argv[i], "--trace=", 8) == 0)
+            traceEnable(parseTraceList(argv[i] + 8));
+        else if (argv[i][0] == '-')
+            return usage();
+        else if (!path)
+            path = argv[i];
+        else
+            return usage();
+    }
+    if (!path)
+        return usage();
+
+    try {
+        WorkloadSpec spec = parseWorkloadSpec(readFile(path));
+        if (!compare) {
+            const SimResults r = runWorkloadSpec(spec);
+            if (json) {
+                std::printf("%s\n", formatResultsJson(r).c_str());
+                return 0;
+            }
+            printBanner(std::string("piso_run: ") + path + " (" +
+                        schemeName(spec.config.scheme) + ")");
+            printResults(r);
+            return 0;
+        }
+
+        printBanner(std::string("piso_run --compare: ") + path);
+        std::map<Scheme, SimResults> results;
+        for (Scheme s :
+             {Scheme::Smp, Scheme::Quota, Scheme::PIso}) {
+            spec.config.scheme = s;
+            results.emplace(s, runWorkloadSpec(spec));
+        }
+        TextTable table({"job", "SMP (s)", "Quo (s)", "PIso (s)"});
+        for (const JobResult &j : results.at(Scheme::Smp).jobs) {
+            table.addRow(
+                {j.name, TextTable::num(j.responseSec(), 2),
+                 TextTable::num(results.at(Scheme::Quota)
+                                    .job(j.name)
+                                    .responseSec(),
+                                2),
+                 TextTable::num(results.at(Scheme::PIso)
+                                    .job(j.name)
+                                    .responseSec(),
+                                2)});
+        }
+        table.print();
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "piso_run: %s\n", e.what());
+        return 1;
+    }
+}
