@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_decay_halflife"
+  "../bench/ablation_decay_halflife.pdb"
+  "CMakeFiles/ablation_decay_halflife.dir/ablation_decay_halflife.cc.o"
+  "CMakeFiles/ablation_decay_halflife.dir/ablation_decay_halflife.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_decay_halflife.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_loan_holdoff"
+  "../bench/ablation_loan_holdoff.pdb"
+  "CMakeFiles/ablation_loan_holdoff.dir/ablation_loan_holdoff.cc.o"
+  "CMakeFiles/ablation_loan_holdoff.dir/ablation_loan_holdoff.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_loan_holdoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

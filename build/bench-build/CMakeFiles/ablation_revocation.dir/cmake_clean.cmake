@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_revocation"
+  "../bench/ablation_revocation.pdb"
+  "CMakeFiles/ablation_revocation.dir/ablation_revocation.cc.o"
+  "CMakeFiles/ablation_revocation.dir/ablation_revocation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_revocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_network_isolation"
+  "../bench/ext_network_isolation.pdb"
+  "CMakeFiles/ext_network_isolation.dir/ext_network_isolation.cc.o"
+  "CMakeFiles/ext_network_isolation.dir/ext_network_isolation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_network_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

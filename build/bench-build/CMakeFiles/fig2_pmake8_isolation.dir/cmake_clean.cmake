@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_pmake8_isolation"
+  "../bench/fig2_pmake8_isolation.pdb"
+  "CMakeFiles/fig2_pmake8_isolation.dir/fig2_pmake8_isolation.cc.o"
+  "CMakeFiles/fig2_pmake8_isolation.dir/fig2_pmake8_isolation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_pmake8_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_pmake8_sharing"
+  "../bench/fig3_pmake8_sharing.pdb"
+  "CMakeFiles/fig3_pmake8_sharing.dir/fig3_pmake8_sharing.cc.o"
+  "CMakeFiles/fig3_pmake8_sharing.dir/fig3_pmake8_sharing.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_pmake8_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_cpu_isolation"
+  "../bench/fig5_cpu_isolation.pdb"
+  "CMakeFiles/fig5_cpu_isolation.dir/fig5_cpu_isolation.cc.o"
+  "CMakeFiles/fig5_cpu_isolation.dir/fig5_cpu_isolation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_cpu_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

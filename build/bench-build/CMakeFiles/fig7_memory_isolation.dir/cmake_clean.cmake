@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_memory_isolation"
+  "../bench/fig7_memory_isolation.pdb"
+  "CMakeFiles/fig7_memory_isolation.dir/fig7_memory_isolation.cc.o"
+  "CMakeFiles/fig7_memory_isolation.dir/fig7_memory_isolation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_memory_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_pmake_copy"
+  "../bench/table3_pmake_copy.pdb"
+  "CMakeFiles/table3_pmake_copy.dir/table3_pmake_copy.cc.o"
+  "CMakeFiles/table3_pmake_copy.dir/table3_pmake_copy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_pmake_copy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

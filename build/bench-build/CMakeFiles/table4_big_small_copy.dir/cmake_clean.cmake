@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_big_small_copy"
+  "../bench/table4_big_small_copy.pdb"
+  "CMakeFiles/table4_big_small_copy.dir/table4_big_small_copy.cc.o"
+  "CMakeFiles/table4_big_small_copy.dir/table4_big_small_copy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_big_small_copy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

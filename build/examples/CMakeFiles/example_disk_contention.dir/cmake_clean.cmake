@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_disk_contention.dir/disk_contention.cpp.o"
+  "CMakeFiles/example_disk_contention.dir/disk_contention.cpp.o.d"
+  "example_disk_contention"
+  "example_disk_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_disk_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

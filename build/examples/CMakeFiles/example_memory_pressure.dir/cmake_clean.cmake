@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_memory_pressure.dir/memory_pressure.cpp.o"
+  "CMakeFiles/example_memory_pressure.dir/memory_pressure.cpp.o.d"
+  "example_memory_pressure"
+  "example_memory_pressure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_memory_pressure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_multiuser_server.dir/multiuser_server.cpp.o"
+  "CMakeFiles/example_multiuser_server.dir/multiuser_server.cpp.o.d"
+  "example_multiuser_server"
+  "example_multiuser_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_multiuser_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

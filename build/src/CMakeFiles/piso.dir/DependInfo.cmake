@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/config/workload_spec.cc" "src/CMakeFiles/piso.dir/config/workload_spec.cc.o" "gcc" "src/CMakeFiles/piso.dir/config/workload_spec.cc.o.d"
+  "/root/repo/src/core/disk_fair.cc" "src/CMakeFiles/piso.dir/core/disk_fair.cc.o" "gcc" "src/CMakeFiles/piso.dir/core/disk_fair.cc.o.d"
+  "/root/repo/src/core/mem_policy.cc" "src/CMakeFiles/piso.dir/core/mem_policy.cc.o" "gcc" "src/CMakeFiles/piso.dir/core/mem_policy.cc.o.d"
+  "/root/repo/src/core/net_fair.cc" "src/CMakeFiles/piso.dir/core/net_fair.cc.o" "gcc" "src/CMakeFiles/piso.dir/core/net_fair.cc.o.d"
+  "/root/repo/src/core/sched_piso.cc" "src/CMakeFiles/piso.dir/core/sched_piso.cc.o" "gcc" "src/CMakeFiles/piso.dir/core/sched_piso.cc.o.d"
+  "/root/repo/src/core/sched_quota.cc" "src/CMakeFiles/piso.dir/core/sched_quota.cc.o" "gcc" "src/CMakeFiles/piso.dir/core/sched_quota.cc.o.d"
+  "/root/repo/src/core/spu.cc" "src/CMakeFiles/piso.dir/core/spu.cc.o" "gcc" "src/CMakeFiles/piso.dir/core/spu.cc.o.d"
+  "/root/repo/src/machine/disk.cc" "src/CMakeFiles/piso.dir/machine/disk.cc.o" "gcc" "src/CMakeFiles/piso.dir/machine/disk.cc.o.d"
+  "/root/repo/src/machine/disk_model.cc" "src/CMakeFiles/piso.dir/machine/disk_model.cc.o" "gcc" "src/CMakeFiles/piso.dir/machine/disk_model.cc.o.d"
+  "/root/repo/src/machine/memory.cc" "src/CMakeFiles/piso.dir/machine/memory.cc.o" "gcc" "src/CMakeFiles/piso.dir/machine/memory.cc.o.d"
+  "/root/repo/src/machine/network.cc" "src/CMakeFiles/piso.dir/machine/network.cc.o" "gcc" "src/CMakeFiles/piso.dir/machine/network.cc.o.d"
+  "/root/repo/src/metrics/monitor.cc" "src/CMakeFiles/piso.dir/metrics/monitor.cc.o" "gcc" "src/CMakeFiles/piso.dir/metrics/monitor.cc.o.d"
+  "/root/repo/src/metrics/report.cc" "src/CMakeFiles/piso.dir/metrics/report.cc.o" "gcc" "src/CMakeFiles/piso.dir/metrics/report.cc.o.d"
+  "/root/repo/src/metrics/results.cc" "src/CMakeFiles/piso.dir/metrics/results.cc.o" "gcc" "src/CMakeFiles/piso.dir/metrics/results.cc.o.d"
+  "/root/repo/src/os/buffer_cache.cc" "src/CMakeFiles/piso.dir/os/buffer_cache.cc.o" "gcc" "src/CMakeFiles/piso.dir/os/buffer_cache.cc.o.d"
+  "/root/repo/src/os/cscan.cc" "src/CMakeFiles/piso.dir/os/cscan.cc.o" "gcc" "src/CMakeFiles/piso.dir/os/cscan.cc.o.d"
+  "/root/repo/src/os/filesystem.cc" "src/CMakeFiles/piso.dir/os/filesystem.cc.o" "gcc" "src/CMakeFiles/piso.dir/os/filesystem.cc.o.d"
+  "/root/repo/src/os/kernel.cc" "src/CMakeFiles/piso.dir/os/kernel.cc.o" "gcc" "src/CMakeFiles/piso.dir/os/kernel.cc.o.d"
+  "/root/repo/src/os/locks.cc" "src/CMakeFiles/piso.dir/os/locks.cc.o" "gcc" "src/CMakeFiles/piso.dir/os/locks.cc.o.d"
+  "/root/repo/src/os/process.cc" "src/CMakeFiles/piso.dir/os/process.cc.o" "gcc" "src/CMakeFiles/piso.dir/os/process.cc.o.d"
+  "/root/repo/src/os/sched_smp.cc" "src/CMakeFiles/piso.dir/os/sched_smp.cc.o" "gcc" "src/CMakeFiles/piso.dir/os/sched_smp.cc.o.d"
+  "/root/repo/src/os/scheduler.cc" "src/CMakeFiles/piso.dir/os/scheduler.cc.o" "gcc" "src/CMakeFiles/piso.dir/os/scheduler.cc.o.d"
+  "/root/repo/src/os/vm.cc" "src/CMakeFiles/piso.dir/os/vm.cc.o" "gcc" "src/CMakeFiles/piso.dir/os/vm.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/piso.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/piso.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/log.cc" "src/CMakeFiles/piso.dir/sim/log.cc.o" "gcc" "src/CMakeFiles/piso.dir/sim/log.cc.o.d"
+  "/root/repo/src/sim/random.cc" "src/CMakeFiles/piso.dir/sim/random.cc.o" "gcc" "src/CMakeFiles/piso.dir/sim/random.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/CMakeFiles/piso.dir/sim/stats.cc.o" "gcc" "src/CMakeFiles/piso.dir/sim/stats.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/CMakeFiles/piso.dir/sim/trace.cc.o" "gcc" "src/CMakeFiles/piso.dir/sim/trace.cc.o.d"
+  "/root/repo/src/simulation.cc" "src/CMakeFiles/piso.dir/simulation.cc.o" "gcc" "src/CMakeFiles/piso.dir/simulation.cc.o.d"
+  "/root/repo/src/workload/filecopy.cc" "src/CMakeFiles/piso.dir/workload/filecopy.cc.o" "gcc" "src/CMakeFiles/piso.dir/workload/filecopy.cc.o.d"
+  "/root/repo/src/workload/job.cc" "src/CMakeFiles/piso.dir/workload/job.cc.o" "gcc" "src/CMakeFiles/piso.dir/workload/job.cc.o.d"
+  "/root/repo/src/workload/oltp.cc" "src/CMakeFiles/piso.dir/workload/oltp.cc.o" "gcc" "src/CMakeFiles/piso.dir/workload/oltp.cc.o.d"
+  "/root/repo/src/workload/pmake.cc" "src/CMakeFiles/piso.dir/workload/pmake.cc.o" "gcc" "src/CMakeFiles/piso.dir/workload/pmake.cc.o.d"
+  "/root/repo/src/workload/scientific.cc" "src/CMakeFiles/piso.dir/workload/scientific.cc.o" "gcc" "src/CMakeFiles/piso.dir/workload/scientific.cc.o.d"
+  "/root/repo/src/workload/synthetic.cc" "src/CMakeFiles/piso.dir/workload/synthetic.cc.o" "gcc" "src/CMakeFiles/piso.dir/workload/synthetic.cc.o.d"
+  "/root/repo/src/workload/webserver.cc" "src/CMakeFiles/piso.dir/workload/webserver.cc.o" "gcc" "src/CMakeFiles/piso.dir/workload/webserver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_buffer_cache.dir/test_buffer_cache.cc.o"
+  "CMakeFiles/test_buffer_cache.dir/test_buffer_cache.cc.o.d"
+  "test_buffer_cache"
+  "test_buffer_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_buffer_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cscan.dir/test_cscan.cc.o"
+  "CMakeFiles/test_cscan.dir/test_cscan.cc.o.d"
+  "test_cscan"
+  "test_cscan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cscan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_disk_fair.dir/test_disk_fair.cc.o"
+  "CMakeFiles/test_disk_fair.dir/test_disk_fair.cc.o.d"
+  "test_disk_fair"
+  "test_disk_fair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_disk_fair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dynamic_spu.dir/test_dynamic_spu.cc.o"
+  "CMakeFiles/test_dynamic_spu.dir/test_dynamic_spu.cc.o.d"
+  "test_dynamic_spu"
+  "test_dynamic_spu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dynamic_spu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

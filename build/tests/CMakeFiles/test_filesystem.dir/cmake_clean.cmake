@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_filesystem.dir/test_filesystem.cc.o"
+  "CMakeFiles/test_filesystem.dir/test_filesystem.cc.o.d"
+  "test_filesystem"
+  "test_filesystem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_filesystem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel_io.dir/test_kernel_io.cc.o"
+  "CMakeFiles/test_kernel_io.dir/test_kernel_io.cc.o.d"
+  "test_kernel_io"
+  "test_kernel_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sched_piso.dir/test_sched_piso.cc.o"
+  "CMakeFiles/test_sched_piso.dir/test_sched_piso.cc.o.d"
+  "test_sched_piso"
+  "test_sched_piso.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sched_piso.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

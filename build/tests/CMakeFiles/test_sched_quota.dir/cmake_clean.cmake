@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sched_quota.dir/test_sched_quota.cc.o"
+  "CMakeFiles/test_sched_quota.dir/test_sched_quota.cc.o.d"
+  "test_sched_quota"
+  "test_sched_quota.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sched_quota.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

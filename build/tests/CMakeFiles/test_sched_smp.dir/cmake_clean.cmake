@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sched_smp.dir/test_sched_smp.cc.o"
+  "CMakeFiles/test_sched_smp.dir/test_sched_smp.cc.o.d"
+  "test_sched_smp"
+  "test_sched_smp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sched_smp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scheduler_base.dir/test_scheduler_base.cc.o"
+  "CMakeFiles/test_scheduler_base.dir/test_scheduler_base.cc.o.d"
+  "test_scheduler_base"
+  "test_scheduler_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scheduler_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shares.dir/test_shares.cc.o"
+  "CMakeFiles/test_shares.dir/test_shares.cc.o.d"
+  "test_shares"
+  "test_shares.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shares.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spu.dir/test_spu.cc.o"
+  "CMakeFiles/test_spu.dir/test_spu.cc.o.d"
+  "test_spu"
+  "test_spu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

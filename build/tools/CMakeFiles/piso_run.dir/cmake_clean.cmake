@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/piso_run.dir/piso_run.cc.o"
+  "CMakeFiles/piso_run.dir/piso_run.cc.o.d"
+  "piso_run"
+  "piso_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/piso_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_smoke "/root/repo/build/tools/piso_run" "/root/repo/examples/specs/disk_contention.piso")
+set_tests_properties(tool_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;3;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_compare "/root/repo/build/tools/piso_run" "--compare" "/root/repo/examples/specs/contract.piso")
+set_tests_properties(tool_compare PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;4;add_test;/root/repo/tools/CMakeLists.txt;0;")
