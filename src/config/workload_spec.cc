@@ -140,6 +140,71 @@ parseDiskPolicy(const std::string &s, int line)
                "' (default|pos|iso|piso)");
 }
 
+/**
+ * One directive inside a `[faults]` section. Times are seconds
+ * (`at_s`, and `for_s` for windowed faults); memory sizes are MiB.
+ */
+void
+parseFaultLine(const std::vector<std::string> &tokens, int lineNo,
+               FaultPlan &plan)
+{
+    const std::string &kind = tokens[0];
+    OptionReader r(parseOptions(tokens, 1, lineNo), lineNo);
+    const double atSec = r.num("at_s", -1.0);
+    if (atSec < 0.0)
+        PISO_FATAL("line ", lineNo, ": fault '", kind,
+                   "' needs at_s=<seconds>");
+    const Time at = fromSeconds(atSec);
+
+    if (kind == "disk_slow") {
+        const int disk = static_cast<int>(r.integer("disk", 0));
+        const Time dur = fromSeconds(r.num("for_s", 0.0));
+        const double factor = r.num("factor", 4.0);
+        if (factor < 1.0)
+            PISO_FATAL("line ", lineNo, ": disk_slow factor must be "
+                       ">= 1, got ", factor);
+        plan.diskSlow(at, disk, dur, factor);
+    } else if (kind == "disk_error") {
+        const int disk = static_cast<int>(r.integer("disk", 0));
+        const Time dur = fromSeconds(r.num("for_s", 0.0));
+        const double rate = r.num("rate", 0.5);
+        if (rate < 0.0 || rate > 1.0)
+            PISO_FATAL("line ", lineNo, ": disk_error rate must be in "
+                       "[0,1], got ", rate);
+        plan.diskError(at, disk, dur, rate);
+    } else if (kind == "disk_dead") {
+        plan.diskDead(at, static_cast<int>(r.integer("disk", 0)));
+    } else if (kind == "cpu_offline") {
+        const int count = static_cast<int>(r.integer("count", 1));
+        if (count < 1)
+            PISO_FATAL("line ", lineNo,
+                       ": cpu_offline count must be >= 1");
+        plan.cpuOffline(at, count);
+    } else if (kind == "cpu_online") {
+        const int count = static_cast<int>(r.integer("count", 1));
+        if (count < 1)
+            PISO_FATAL("line ", lineNo,
+                       ": cpu_online count must be >= 1");
+        plan.cpuOnline(at, count);
+    } else if (kind == "mem_shrink" || kind == "mem_grow") {
+        const std::int64_t mb = r.integer("mb", 0);
+        if (mb <= 0)
+            PISO_FATAL("line ", lineNo, ": ", kind,
+                       " needs mb=<MiB> > 0");
+        const std::uint64_t pages =
+            static_cast<std::uint64_t>(mb) * kMiB / 4096;
+        if (kind == "mem_shrink")
+            plan.memShrink(at, pages);
+        else
+            plan.memGrow(at, pages);
+    } else {
+        PISO_FATAL("line ", lineNo, ": unknown fault '", kind,
+                   "' (disk_slow|disk_error|disk_dead|cpu_offline|"
+                   "cpu_online|mem_shrink|mem_grow)");
+    }
+    r.finish();
+}
+
 } // namespace
 
 WorkloadSpec
@@ -147,6 +212,7 @@ parseWorkloadSpec(const std::string &text)
 {
     WorkloadSpec spec;
     bool sawMachine = false;
+    bool inFaults = false;
     std::istringstream is(text);
     std::string line;
     int lineNo = 0;
@@ -162,6 +228,17 @@ parseWorkloadSpec(const std::string &text)
             continue;
 
         const std::string &kind = tokens[0];
+        if (kind == "[faults]") {
+            inFaults = true;
+            if (tokens.size() > 1)
+                PISO_FATAL("line ", lineNo,
+                           ": [faults] takes no options");
+            continue;
+        }
+        if (inFaults) {
+            parseFaultLine(tokens, lineNo, spec.config.faults);
+            continue;
+        }
         if (kind == "machine") {
             if (sawMachine)
                 PISO_FATAL("line ", lineNo, ": duplicate machine line");
@@ -239,7 +316,7 @@ parseWorkloadSpec(const std::string &text)
             spec.jobs.push_back(std::move(j));
         } else {
             PISO_FATAL("line ", lineNo, ": unknown directive '", kind,
-                       "' (machine|spu|job)");
+                       "' (machine|spu|job|[faults])");
         }
     }
 

@@ -17,10 +17,20 @@
  *   job alice ocean   name=sim procs=4 iters=100 grain_ms=20
  *   job bob   oltp    name=db servers=4 txns=100
  *   job bob   web     name=www workers=4 requests=200
+ *
+ *   [faults]                    # optional, last section of the file
+ *   disk_slow  at_s=2 for_s=4 disk=0 factor=4
+ *   disk_error at_s=1 for_s=1 disk=0 rate=0.5
+ *   disk_dead  at_s=8 disk=1
+ *   cpu_offline at_s=3 count=2
+ *   cpu_online  at_s=6 count=2
+ *   mem_shrink at_s=2 mb=8
+ *   mem_grow   at_s=5 mb=8
  * @endcode
  *
  * Unknown keys are errors (typos must not silently change an
- * experiment); all values have the library's defaults.
+ * experiment); all values have the library's defaults. Fault
+ * semantics are described in docs/faults.md.
  */
 
 #include <map>

@@ -30,10 +30,64 @@ DiskDevice::submit(DiskRequest req)
 
     req.id = nextId_++;
     req.issueTime = events_.now();
+    if (dead_) {
+        failFast(std::move(req));
+        return nextId_ - 1;
+    }
     queue_.push_back(std::move(req));
     if (!busy_)
         startNext();
     return nextId_ - 1;
+}
+
+void
+DiskDevice::setSlowFactor(double factor)
+{
+    if (factor < 1.0)
+        PISO_FATAL("slow factor < 1 for disk '", name_, "'");
+    slowFactor_ = factor;
+}
+
+void
+DiskDevice::setErrorRate(double rate)
+{
+    if (rate < 0.0 || rate > 1.0)
+        PISO_FATAL("error rate outside [0,1] for disk '", name_, "'");
+    errorRate_ = rate;
+}
+
+void
+DiskDevice::kill()
+{
+    if (dead_)
+        return;
+    dead_ = true;
+    PISO_TRACE(TraceCat::Disk, events_.now(), name_, " died");
+    // The in-flight request (if any) completes through complete(),
+    // which marks it failed because the device is now dead. Queued
+    // requests fail immediately.
+    std::deque<DiskRequest> drained;
+    drained.swap(queue_);
+    for (DiskRequest &req : drained)
+        failFast(std::move(req));
+}
+
+void
+DiskDevice::failFast(DiskRequest req)
+{
+    req.failed = true;
+    events_.scheduleAfter(
+        0,
+        [this, r = std::move(req)]() mutable {
+            stats_.requests.add();
+            stats_.errors.add();
+            auto &ss = spuStats_[r.spu];
+            ss.requests.add();
+            ss.errors.add();
+            if (r.onComplete)
+                r.onComplete(r);
+        },
+        "diskFailFast");
 }
 
 void
@@ -67,8 +121,22 @@ DiskDevice::startNext()
     DiskRequest req = std::move(queue_[idx]);
     queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(idx));
 
-    const DiskServiceTime st = model_.service(headSector_, req.startSector,
-                                              req.sectors, rng_);
+    DiskServiceTime st = model_.service(headSector_, req.startSector,
+                                        req.sectors, rng_);
+    if (slowFactor_ > 1.0) {
+        st.seek = static_cast<Time>(static_cast<double>(st.seek) *
+                                    slowFactor_);
+        st.rotational = static_cast<Time>(
+            static_cast<double>(st.rotational) * slowFactor_);
+        st.transfer = static_cast<Time>(
+            static_cast<double>(st.transfer) * slowFactor_);
+        st.overhead = static_cast<Time>(
+            static_cast<double>(st.overhead) * slowFactor_);
+    }
+    // Transient media error: the drive spends the full service time
+    // retrying internally, then reports the failure.
+    if (errorRate_ > 0.0 && rng_.chance(errorRate_))
+        req.failed = true;
 
     const Time wait = events_.now() - req.issueTime;
     stats_.waitMs.sample(toMillis(wait));
@@ -91,9 +159,15 @@ DiskDevice::startNext()
 void
 DiskDevice::complete(DiskRequest req, DiskServiceTime st)
 {
+    // A device that died mid-service loses the request it was working
+    // on along with everything else.
+    if (dead_)
+        req.failed = true;
+
     PISO_TRACE(TraceCat::Disk, events_.now(), name_, " ",
                req.write ? "write" : "read", " spu", req.spu, " [",
-               req.startSector, ",+", req.sectors, ") done");
+               req.startSector, ",+", req.sectors, ") ",
+               req.failed ? "FAILED" : "done");
     headSector_ = req.startSector + req.sectors;
     if (headSector_ >= model_.totalSectors())
         headSector_ = 0;
@@ -101,10 +175,14 @@ DiskDevice::complete(DiskRequest req, DiskServiceTime st)
     stats_.requests.add();
     stats_.sectors.add(req.sectors);
     stats_.busyTime += st.total();
+    if (req.failed)
+        stats_.errors.add();
 
     auto &ss = spuStats_[req.spu];
     ss.requests.add();
     ss.sectors.add(req.sectors);
+    if (req.failed)
+        ss.errors.add();
 
     scheduler_->onComplete(req, events_.now());
     busy_ = false;

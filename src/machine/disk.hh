@@ -38,6 +38,10 @@ struct DiskRequest
     bool write = false;
     Time issueTime = 0;            //!< filled in by the device
 
+    /** Set by the device when the request did not complete
+     *  successfully (injected transient error or dead disk). */
+    bool failed = false;
+
     /** Invoked at completion time (after stats are recorded). */
     std::function<void(const DiskRequest &)> onComplete;
 
@@ -83,6 +87,7 @@ struct SpuDiskStats
 {
     Counter requests;
     Counter sectors;
+    Counter errors;         //!< requests completed with failed = true
     Accumulator waitMs;     //!< queue wait per request, ms
     Accumulator serviceMs;  //!< full service time per request, ms
 };
@@ -92,6 +97,7 @@ struct DiskStats
 {
     Counter requests;
     Counter sectors;
+    Counter errors;            //!< requests completed with failed = true
     Accumulator waitMs;        //!< queue wait, ms
     Accumulator positionMs;    //!< seek + rotational per request, ms
     Accumulator seekMs;        //!< seek only, ms
@@ -133,6 +139,30 @@ class DiskDevice
     /** True while a request is being serviced. */
     bool busy() const { return busy_; }
 
+    /** @name Fault injection (driven by the Simulation's FaultPlan) */
+    /// @{
+    /** Multiply every subsequent request's service time by @p factor
+     *  (degraded mechanism; 1.0 restores full speed). */
+    void setSlowFactor(double factor);
+
+    /** Fail subsequent requests with probability @p rate (after their
+     *  normal service time — the media retried and gave up). */
+    void setErrorRate(double rate);
+
+    /**
+     * Permanent death: the in-flight request (if any) and every queued
+     * or future request completes immediately with failed = true.
+     * Irreversible.
+     */
+    void kill();
+
+    /** True once kill() has been called. */
+    bool dead() const { return dead_; }
+
+    double slowFactor() const { return slowFactor_; }
+    double errorRate() const { return errorRate_; }
+    /// @}
+
     /** Device-wide statistics. */
     const DiskStats &stats() const { return stats_; }
 
@@ -148,6 +178,10 @@ class DiskDevice
     void startNext();
     void complete(DiskRequest req, DiskServiceTime st);
 
+    /** Complete @p req immediately with failed = true, bypassing the
+     *  mechanism (dead device). */
+    void failFast(DiskRequest req);
+
     EventQueue &events_;
     DiskModel model_;
     std::unique_ptr<DiskScheduler> scheduler_;
@@ -156,6 +190,9 @@ class DiskDevice
 
     std::deque<DiskRequest> queue_;
     bool busy_ = false;
+    double slowFactor_ = 1.0;
+    double errorRate_ = 0.0;
+    bool dead_ = false;
     std::uint64_t headSector_ = 0;
     std::uint64_t nextId_ = 1;
 

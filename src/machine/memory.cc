@@ -28,8 +28,39 @@ PhysicalMemory::allocate(std::uint64_t n)
 void
 PhysicalMemory::release(std::uint64_t n)
 {
+    if (pendingRetire_ > 0) {
+        const std::uint64_t retired = std::min(pendingRetire_, n);
+        pendingRetire_ -= retired;
+        totalPages_ -= retired;
+        n -= retired;
+    }
     if (freePages_ + n > totalPages_)
         PISO_PANIC("releasing ", n, " pages overflows the frame pool");
+    freePages_ += n;
+}
+
+std::uint64_t
+PhysicalMemory::shrink(std::uint64_t n)
+{
+    // Keep at least one frame of eventual capacity so policies always
+    // have something to divide.
+    const std::uint64_t capacity = totalPages_ - pendingRetire_;
+    if (n >= capacity)
+        n = capacity - 1;
+    const std::uint64_t immediate = std::min(n, freePages_);
+    freePages_ -= immediate;
+    totalPages_ -= immediate;
+    pendingRetire_ += n - immediate;
+    return immediate;
+}
+
+void
+PhysicalMemory::grow(std::uint64_t n)
+{
+    const std::uint64_t cancelled = std::min(pendingRetire_, n);
+    pendingRetire_ -= cancelled;
+    n -= cancelled;
+    totalPages_ += n;
     freePages_ += n;
 }
 

@@ -30,13 +30,16 @@ class PhysicalMemory
     /** Frame size in bytes. */
     std::uint32_t pageBytes() const { return pageBytes_; }
 
-    /** Total frames in the machine. */
-    std::uint64_t totalPages() const { return totalPages_; }
+    /** Usable frame capacity. Frames owed to an in-progress shrink()
+     *  are already excluded, so policies sizing against this value
+     *  immediately target the degraded pool. */
+    std::uint64_t totalPages() const { return totalPages_ - pendingRetire_; }
 
     /** Frames currently unallocated. */
     std::uint64_t freePages() const { return freePages_; }
 
-    /** Frames currently allocated. */
+    /** Frames currently allocated. During a shrink this may exceed
+     *  totalPages() until pageout returns the owed frames. */
     std::uint64_t usedPages() const { return totalPages_ - freePages_; }
 
     /**
@@ -46,13 +49,32 @@ class PhysicalMemory
      */
     bool allocate(std::uint64_t n = 1);
 
-    /** Return @p n frames to the free pool. */
+    /** Return @p n frames to the free pool. Frames owed to a pending
+     *  shrink() are retired instead of freed. */
     void release(std::uint64_t n = 1);
+
+    /**
+     * Retire @p n frames (fault injection: memory going away).
+     * Free frames leave immediately; the remainder is recorded as a
+     * pending retirement that release() absorbs, so totalPages()
+     * shrinks as the allocated frames actually come back. Capacity
+     * never drops below one frame.
+     * @return frames retired immediately.
+     */
+    std::uint64_t shrink(std::uint64_t n);
+
+    /** Add @p n frames (memory coming back). Cancels pending
+     *  retirements first, then grows the free pool. */
+    void grow(std::uint64_t n);
+
+    /** Frames still owed to a shrink (retired as they are freed). */
+    std::uint64_t pendingRetire() const { return pendingRetire_; }
 
   private:
     std::uint32_t pageBytes_;
     std::uint64_t totalPages_;
     std::uint64_t freePages_;
+    std::uint64_t pendingRetire_ = 0;
 };
 
 } // namespace piso

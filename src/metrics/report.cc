@@ -99,18 +99,41 @@ formatResults(const SimResults &r)
         jobs.addRow({j.name, std::to_string(j.spu),
                      TextTable::num(toSeconds(j.start), 2),
                      TextTable::num(j.responseSec(), 3),
-                     j.completed ? "yes" : "no"});
+                     j.failed ? "FAILED" : (j.completed ? "yes" : "no")});
     }
     os << jobs.str() << '\n';
 
-    TextTable spus({"spu", "name", "cpu (s)", "mem used", "entitled"});
+    // Fault columns appear only when something actually went wrong, so
+    // fault-free reports look exactly as before.
+    bool anyFaults = false;
     for (const auto &[id, s] : r.spus) {
-        spus.addRow({std::to_string(id), s.name,
-                     TextTable::num(toSeconds(s.cpuTime), 2),
-                     std::to_string(s.memUsedPages),
-                     std::to_string(s.memEntitledPages)});
+        if (s.diskErrors || s.ioRetries || s.ioTimeouts || s.failedOps)
+            anyFaults = true;
     }
-    os << spus.str() << '\n';
+    if (anyFaults) {
+        TextTable spus({"spu", "name", "cpu (s)", "mem used", "entitled",
+                        "io errs", "retries", "timeouts", "failed"});
+        for (const auto &[id, s] : r.spus) {
+            spus.addRow({std::to_string(id), s.name,
+                         TextTable::num(toSeconds(s.cpuTime), 2),
+                         std::to_string(s.memUsedPages),
+                         std::to_string(s.memEntitledPages),
+                         std::to_string(s.diskErrors),
+                         std::to_string(s.ioRetries),
+                         std::to_string(s.ioTimeouts),
+                         std::to_string(s.failedOps)});
+        }
+        os << spus.str() << '\n';
+    } else {
+        TextTable spus({"spu", "name", "cpu (s)", "mem used", "entitled"});
+        for (const auto &[id, s] : r.spus) {
+            spus.addRow({std::to_string(id), s.name,
+                         TextTable::num(toSeconds(s.cpuTime), 2),
+                         std::to_string(s.memUsedPages),
+                         std::to_string(s.memEntitledPages)});
+        }
+        os << spus.str() << '\n';
+    }
 
     TextTable disks({"disk", "requests", "sectors", "wait (ms)",
                      "position (ms)", "busy"});
@@ -130,6 +153,16 @@ formatResults(const SimResults &r)
        << r.kernel.readAheadRequests.value() << " reads(+ahead), "
        << r.kernel.bdflushRequests.value() << " flush batches, "
        << r.kernel.syncWriteRequests.value() << " sync writes\n";
+    if (r.kernel.diskErrors.value() || r.kernel.ioRetries.value() ||
+        r.kernel.ioTimeouts.value() || r.kernel.failedIos.value() ||
+        r.kernel.lostWrites.value()) {
+        os << "faults: " << r.kernel.diskErrors.value()
+           << " disk errors, " << r.kernel.ioRetries.value()
+           << " retries, " << r.kernel.ioTimeouts.value()
+           << " timeouts, " << r.kernel.failedIos.value()
+           << " failed I/Os, " << r.kernel.lostWrites.value()
+           << " lost writes\n";
+    }
     return os.str();
 }
 
@@ -191,6 +224,7 @@ formatResultsJson(const SimResults &r)
            << ",\"start_s\":" << toSeconds(j.start)
            << ",\"response_s\":" << j.responseSec()
            << ",\"completed\":" << (j.completed ? "true" : "false")
+           << ",\"failed\":" << (j.failed ? "true" : "false")
            << "}";
     }
     os << "]";
@@ -202,7 +236,11 @@ formatResultsJson(const SimResults &r)
            << jsonEscape(s.name)
            << "\",\"cpu_s\":" << toSeconds(s.cpuTime)
            << ",\"mem_used_pages\":" << s.memUsedPages
-           << ",\"mem_entitled_pages\":" << s.memEntitledPages << "}";
+           << ",\"mem_entitled_pages\":" << s.memEntitledPages
+           << ",\"disk_errors\":" << s.diskErrors
+           << ",\"io_retries\":" << s.ioRetries
+           << ",\"io_timeouts\":" << s.ioTimeouts
+           << ",\"failed_ios\":" << s.failedOps << "}";
         first = false;
     }
     os << "]";
@@ -213,6 +251,7 @@ formatResultsJson(const SimResults &r)
         os << (i ? "," : "") << "{\"name\":\"" << jsonEscape(d.name)
            << "\",\"requests\":" << d.requests
            << ",\"sectors\":" << d.sectors
+           << ",\"errors\":" << d.errors
            << ",\"avg_wait_ms\":" << d.avgWaitMs
            << ",\"avg_position_ms\":" << d.avgPositionMs
            << ",\"busy_fraction\":" << d.busyFraction << "}";
@@ -229,7 +268,12 @@ formatResultsJson(const SimResults &r)
        << ",\"sync_writes\":" << r.kernel.syncWriteRequests.value()
        << ",\"throttle_stalls\":" << r.kernel.throttleStalls.value()
        << ",\"cache_hits\":" << r.kernel.cacheHits.value()
-       << ",\"cache_misses\":" << r.kernel.cacheMisses.value() << "}";
+       << ",\"cache_misses\":" << r.kernel.cacheMisses.value()
+       << ",\"disk_errors\":" << r.kernel.diskErrors.value()
+       << ",\"io_retries\":" << r.kernel.ioRetries.value()
+       << ",\"io_timeouts\":" << r.kernel.ioTimeouts.value()
+       << ",\"failed_ios\":" << r.kernel.failedIos.value()
+       << ",\"lost_writes\":" << r.kernel.lostWrites.value() << "}";
 
     os << "}";
     return os.str();

@@ -28,6 +28,10 @@ struct JobResult
     Time end = 0;
     bool completed = false;
 
+    /** A constituent process was killed by a permanent I/O failure;
+     *  the job finished but did not do its work. */
+    bool failed = false;
+
     /** Response time (start of job to last process exit). */
     Time response() const { return completed ? end - start : 0; }
     double responseSec() const { return toSeconds(response()); }
@@ -41,6 +45,14 @@ struct SpuResult
     Time cpuTime = 0;
     std::uint64_t memUsedPages = 0;  //!< at end of run
     std::uint64_t memEntitledPages = 0;
+
+    /** @name Fault/recovery counters (I/O path) */
+    /// @{
+    std::uint64_t diskErrors = 0;  //!< failed completions observed
+    std::uint64_t ioRetries = 0;   //!< requests reissued
+    std::uint64_t ioTimeouts = 0;  //!< requests declared lost
+    std::uint64_t failedOps = 0;   //!< I/Os abandoned after retries
+    /// @}
 };
 
 /** One SPU's view of one disk. */
@@ -48,6 +60,7 @@ struct SpuDiskResult
 {
     std::uint64_t requests = 0;
     std::uint64_t sectors = 0;
+    std::uint64_t errors = 0;   //!< requests completed failed
     double avgWaitMs = 0.0;     //!< mean queue wait per request
     double avgServiceMs = 0.0;  //!< mean service time per request
 };
@@ -58,6 +71,7 @@ struct DiskResult
     std::string name;
     std::uint64_t requests = 0;
     std::uint64_t sectors = 0;
+    std::uint64_t errors = 0;    //!< requests completed failed
     double avgWaitMs = 0.0;
     double avgPositionMs = 0.0;  //!< mean seek+rotation ("disk latency")
     double avgSeekMs = 0.0;

@@ -122,6 +122,17 @@ Kernel::wakeProcess(Process &p)
 void
 Kernel::startRunning(Process &p)
 {
+    // A permanent I/O failure terminates the process the next time it
+    // gets a CPU (the failed-action outcome reaches job accounting via
+    // onProcessExit).
+    if (p.ioFailed) {
+        PISO_TRACE(TraceCat::Kernel, events_.now(), p.name(),
+                   " killed by failed I/O");
+        p.segmentStart = events_.now();
+        doExit(p);
+        return;
+    }
+
     if (config_.cacheAffinityCost > 0) {
         const Cpu &c = sched_.cpu(p.runningOn);
         const bool migrated =
@@ -562,10 +573,16 @@ Kernel::writeReclaimedPage(const Reclaimed &r, std::function<void()> done)
     req.sectors = fs_.sectorsPerBlock();
     req.write = true;
     req.charges = {{r.from, fs_.sectorsPerBlock()}};
-    req.onComplete = [done = std::move(done)](const DiskRequest &) {
-        done();
-    };
-    disks_.at(static_cast<std::size_t>(r.disk))->submit(std::move(req));
+    // The frame must be granted whether or not the writeback made it
+    // to disk; a permanently failed write means the victim page's data
+    // is lost, not that the waiting allocation may hang.
+    submitIo(
+        r.disk, std::move(req),
+        [done](const DiskRequest &) { done(); },
+        [this, done] {
+            stats_.lostWrites.add();
+            done();
+        });
 }
 
 bool
@@ -660,12 +677,20 @@ Kernel::pageFault(Process &p)
         req.startSector = sector;
         req.sectors = fs_.sectorsPerBlock();
         req.write = false;
-        req.onComplete = [this, &p](const DiskRequest &) {
-            ++p.resident;
-            wakeProcess(p);
-        };
         ++p.diskReads;
-        disks_.at(static_cast<std::size_t>(d))->submit(std::move(req));
+        submitIo(
+            d, std::move(req),
+            [this, &p](const DiskRequest &) {
+                ++p.resident;
+                wakeProcess(p);
+            },
+            [this, &p] {
+                // The frame is charged and stays with the process,
+                // but its backing data is gone: fatal for the process.
+                ++p.resident;
+                p.ioFailed = true;
+                wakeProcess(p);
+            });
     };
 
     const bool have_frame = acquireFrame(p, swap_in);
@@ -699,12 +724,19 @@ Kernel::flushClusteredPageouts(
             req.write = true;
             req.charges = {
                 {spu, static_cast<std::uint32_t>(n * spb)}};
-            req.onComplete = [this, spu = spu, n](const DiskRequest &) {
+            auto uncharge = [this, spu = spu, n] {
                 for (std::uint64_t i = 0; i < n; ++i)
                     vm_.uncharge(spu);
             };
-            disks_.at(static_cast<std::size_t>(d))
-                ->submit(std::move(req));
+            submitIo(
+                d, std::move(req),
+                [uncharge](const DiskRequest &) { uncharge(); },
+                [this, uncharge, n] {
+                    // Evicted pages whose writeback failed: data lost,
+                    // but the frames still return to the pool.
+                    stats_.lostWrites.add(n);
+                    uncharge();
+                });
         }
     }
 }
@@ -767,6 +799,135 @@ Kernel::pendingPageouts(
     for (const auto &[key, count] : dirty)
         n += count;
     return n;
+}
+
+// --------------------------------------------------------------------
+// I/O path: fault handling (timeout, bounded retry, propagation)
+// --------------------------------------------------------------------
+
+const SpuFaultStats &
+Kernel::spuFaults(SpuId spu) const
+{
+    return spuFaults_[spu];
+}
+
+Time
+Kernel::retryBackoff(Time base, int attempt)
+{
+    if (attempt < 1)
+        attempt = 1;
+    const int shift = std::min(attempt - 1, 20);
+    return base << shift;
+}
+
+void
+Kernel::submitIo(DiskId disk, DiskRequest req,
+                 std::function<void(const DiskRequest &)> onSuccess,
+                 std::function<void()> onFail)
+{
+    auto ctx = std::make_shared<IoCtx>();
+    ctx->disk = disk;
+    ctx->req = std::move(req);
+    ctx->req.onComplete = nullptr;  // per-attempt; filled by issueIo
+    ctx->onSuccess = std::move(onSuccess);
+    ctx->onFail = std::move(onFail);
+    issueIo(std::move(ctx));
+}
+
+void
+Kernel::issueIo(std::shared_ptr<IoCtx> ctx)
+{
+    ++ctx->attempt;
+    const int attempt = ctx->attempt;
+
+    if (config_.ioTimeout > 0) {
+        ctx->timeoutEvent = events_.scheduleAfter(
+            config_.ioTimeout,
+            [this, ctx, attempt] {
+                if (ctx->settled || attempt != ctx->attempt)
+                    return;
+                ctx->timeoutEvent = kNoEvent;
+                stats_.ioTimeouts.add();
+                spuFaults_[ctx->req.spu].ioTimeouts.add();
+                PISO_TRACE(TraceCat::Disk, events_.now(), "io timeout"
+                           " disk", ctx->disk, " spu", ctx->req.spu,
+                           " attempt ", attempt);
+                ioAttemptFailed(ctx);
+            },
+            "ioTimeout");
+    }
+
+    DiskRequest req = ctx->req;
+    req.onComplete = [this, ctx, attempt](const DiskRequest &r) {
+        // A completion from an attempt the watchdog already gave up on
+        // is stale: the retry (or the failure path) owns the I/O now.
+        if (ctx->settled || attempt != ctx->attempt)
+            return;
+        if (ctx->timeoutEvent != kNoEvent) {
+            events_.cancel(ctx->timeoutEvent);
+            ctx->timeoutEvent = kNoEvent;
+        }
+        if (!r.failed) {
+            ctx->settled = true;
+            if (ctx->onSuccess)
+                ctx->onSuccess(r);
+            return;
+        }
+        stats_.diskErrors.add();
+        spuFaults_[ctx->req.spu].diskErrors.add();
+        ioAttemptFailed(ctx);
+    };
+    disks_.at(static_cast<std::size_t>(ctx->disk))->submit(std::move(req));
+}
+
+void
+Kernel::ioAttemptFailed(std::shared_ptr<IoCtx> ctx)
+{
+    const bool diskDead =
+        disks_.at(static_cast<std::size_t>(ctx->disk))->dead();
+    if (ctx->attempt > config_.ioRetryLimit || diskDead) {
+        ctx->settled = true;
+        stats_.failedIos.add();
+        spuFaults_[ctx->req.spu].failedOps.add();
+        PISO_TRACE(TraceCat::Disk, events_.now(), "io failed disk",
+                   ctx->disk, " spu", ctx->req.spu, " after ",
+                   ctx->attempt, " attempts",
+                   diskDead ? " (disk dead)" : "");
+        if (ctx->onFail)
+            ctx->onFail();
+        return;
+    }
+    stats_.ioRetries.add();
+    spuFaults_[ctx->req.spu].ioRetries.add();
+    const Time delay = retryBackoff(config_.ioRetryBackoff, ctx->attempt);
+    PISO_TRACE(TraceCat::Disk, events_.now(), "io retry disk",
+               ctx->disk, " spu", ctx->req.spu, " attempt ",
+               ctx->attempt + 1, " in ", formatTime(delay));
+    events_.scheduleAfter(
+        delay, [this, ctx] { issueIo(ctx); }, "ioRetry");
+}
+
+void
+Kernel::failProcessIo(Process &p)
+{
+    p.ioFailed = true;
+    ioArrived(p);
+}
+
+void
+Kernel::dropFailedReadBlocks(const std::vector<BlockKey> &keys)
+{
+    for (const BlockKey &key : keys) {
+        CacheBlock *blk = cache_.find(key);
+        if (!blk)
+            continue;
+        // Run the waiters so nobody hangs on the block, then drop it
+        // (the data never arrived) and return the frame.
+        cache_.markValid(*blk);
+        const SpuId owner = blk->owner;
+        cache_.remove(key);
+        vm_.uncharge(owner);
+    }
 }
 
 // --------------------------------------------------------------------
@@ -861,18 +1022,22 @@ Kernel::doRead(Process &p, const ReadAction &a)
         req.startSector = fs_.blockSector(a.file, run.first);
         req.sectors = static_cast<std::uint32_t>(run.count * spb);
         req.write = false;
-        req.onComplete = [this, &p,
-                          cached = std::move(cached)](const DiskRequest &) {
-            for (const BlockKey &key : cached) {
-                if (CacheBlock *blk = cache_.find(key))
-                    cache_.markValid(*blk);
-            }
-            ioArrived(p);
-        };
         ++p.pendingIo;
         ++p.diskReads;
         stats_.readRequests.add();
-        disks_.at(static_cast<std::size_t>(f.disk))->submit(std::move(req));
+        submitIo(
+            f.disk, std::move(req),
+            [this, &p, cached](const DiskRequest &) {
+                for (const BlockKey &key : cached) {
+                    if (CacheBlock *blk = cache_.find(key))
+                        cache_.markValid(*blk);
+                }
+                ioArrived(p);
+            },
+            [this, &p, cached] {
+                dropFailedReadBlocks(cached);
+                failProcessIo(p);
+            });
     }
 
     maybeReadAhead(p, a.file, first + nblocks);
@@ -927,15 +1092,22 @@ Kernel::maybeReadAhead(Process &p, FileId file, std::uint64_t endBlock)
         req.startSector = fs_.blockSector(file, run.first);
         req.sectors = static_cast<std::uint32_t>(run.count * spb);
         req.write = false;
-        req.onComplete = [this, file, run](const DiskRequest &) {
-            for (std::uint64_t i = 0; i < run.count; ++i) {
-                BlockKey k{file, run.first + i};
-                if (CacheBlock *blk = cache_.find(k))
-                    cache_.markValid(*blk);
-            }
-        };
         stats_.readAheadRequests.add();
-        disks_.at(static_cast<std::size_t>(f.disk))->submit(std::move(req));
+        std::vector<BlockKey> keys;
+        for (std::uint64_t i = 0; i < run.count; ++i)
+            keys.push_back(BlockKey{file, run.first + i});
+        submitIo(
+            f.disk, std::move(req),
+            [this, keys](const DiskRequest &) {
+                for (const BlockKey &k : keys) {
+                    if (CacheBlock *blk = cache_.find(k))
+                        cache_.markValid(*blk);
+                }
+            },
+            // Speculative read: nobody is blocked on it unless they
+            // found the in-flight block and queued as waiters — those
+            // are released by the drop.
+            [this, keys] { dropFailedReadBlocks(keys); });
     }
 }
 
@@ -1030,13 +1202,13 @@ Kernel::doWrite(Process &p, const WriteAction &a)
         req.startSector = fs_.blockSector(a.file, run.first);
         req.sectors = static_cast<std::uint32_t>(run.count * spb);
         req.write = true;
-        req.onComplete = [this, &p](const DiskRequest &) {
-            ioArrived(p);
-        };
         ++p.pendingIo;
         ++p.diskWrites;
         stats_.bypassWrites.add();
-        disks_.at(static_cast<std::size_t>(f.disk))->submit(std::move(req));
+        submitIo(
+            f.disk, std::move(req),
+            [this, &p](const DiskRequest &) { ioArrived(p); },
+            [this, &p] { failProcessIo(p); });
     }
 
     if (a.sync) {
@@ -1057,19 +1229,28 @@ Kernel::doWrite(Process &p, const WriteAction &a)
             req.startSector = fs_.blockSector(a.file, run.first);
             req.sectors = static_cast<std::uint32_t>(run.count * spb);
             req.write = true;
-            req.onComplete = [this, &p,
-                              keys = std::move(keys)](const DiskRequest &) {
-                for (const BlockKey &k : keys) {
-                    if (CacheBlock *blk = cache_.find(k))
-                        cache_.markClean(*blk);
-                }
-                ioArrived(p);
-            };
             ++p.pendingIo;
             ++p.diskWrites;
             stats_.syncWriteRequests.add();
-            disks_.at(static_cast<std::size_t>(f.disk))
-                ->submit(std::move(req));
+            submitIo(
+                f.disk, std::move(req),
+                [this, &p, keys](const DiskRequest &) {
+                    for (const BlockKey &k : keys) {
+                        if (CacheBlock *blk = cache_.find(k))
+                            cache_.markClean(*blk);
+                    }
+                    ioArrived(p);
+                },
+                [this, &p, keys] {
+                    // The sync write is reported failed to the writer;
+                    // the blocks stay dirty for bdflush (which drops
+                    // them if the disk is truly gone).
+                    for (const BlockKey &k : keys) {
+                        if (CacheBlock *blk = cache_.find(k))
+                            blk->flushing = false;
+                    }
+                    failProcessIo(p);
+                });
         }
     }
 
@@ -1139,6 +1320,20 @@ Kernel::bdflush()
 
     const std::uint32_t spb = fs_.sectorsPerBlock();
     for (auto &[disk, items] : perDisk) {
+        // A dead disk can never take its dirty data back: drop the
+        // blocks (counted as lost writes) instead of re-flushing them
+        // forever — otherwise the end-of-run drain would hang.
+        if (disks_.at(static_cast<std::size_t>(disk))->dead()) {
+            stats_.lostWrites.add(items.size());
+            PISO_TRACE(TraceCat::Disk, events_.now(), "bdflush drops ",
+                       items.size(), " dirty blocks for dead disk",
+                       disk);
+            for (const Item &item : items) {
+                cache_.remove(item.key);
+                vm_.uncharge(item.owner);
+            }
+            continue;
+        }
         std::sort(items.begin(), items.end(),
                   [](const Item &x, const Item &y) {
                       return x.sector < y.sector;
@@ -1169,7 +1364,18 @@ Kernel::bdflush()
             req.write = true;
             req.charges.assign(chargeMap.begin(), chargeMap.end());
             req.onComplete = [this,
-                              keys = std::move(keys)](const DiskRequest &) {
+                              keys = std::move(keys)](const DiskRequest &r) {
+                if (r.failed) {
+                    // Delayed writes re-dirty and retry: clearing the
+                    // flushing flag re-exposes the blocks to the next
+                    // bdflush pass (or the dead-disk drop above).
+                    stats_.diskErrors.add();
+                    for (const BlockKey &k : keys) {
+                        if (CacheBlock *blk = cache_.find(k))
+                            blk->flushing = false;
+                    }
+                    return;
+                }
                 for (const BlockKey &k : keys) {
                     if (CacheBlock *blk = cache_.find(k))
                         cache_.markClean(*blk);

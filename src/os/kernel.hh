@@ -98,6 +98,21 @@ struct KernelConfig
      * high-priority waiter indefinitely.
      */
     bool lockPriorityInheritance = true;
+
+    /** @name Fault tolerance (I/O path) */
+    /// @{
+    /** A request outstanding this long is declared lost and handled
+     *  like a failed completion (0 disables the watchdog). */
+    Time ioTimeout = 10 * kSec;
+
+    /** Failed or timed-out requests are reissued up to this many
+     *  times before the I/O is abandoned. */
+    int ioRetryLimit = 3;
+
+    /** Delay before the first reissue; doubles on every further
+     *  retry (exponential backoff). */
+    Time ioRetryBackoff = 20 * kMs;
+    /// @}
 };
 
 /** Aggregate kernel statistics. */
@@ -115,6 +130,20 @@ struct KernelStats
     Counter cacheHits;
     Counter cacheMisses;
     Counter affinityPenalties;
+    Counter diskErrors;       //!< failed completions seen by the kernel
+    Counter ioRetries;        //!< requests reissued after a failure
+    Counter ioTimeouts;       //!< requests declared lost by the watchdog
+    Counter failedIos;        //!< I/Os abandoned after the retry limit
+    Counter lostWrites;       //!< dirty pages dropped (writeback failed)
+};
+
+/** Per-SPU fault and recovery counters (I/O path). */
+struct SpuFaultStats
+{
+    Counter diskErrors;
+    Counter ioRetries;
+    Counter ioTimeouts;
+    Counter failedOps;   //!< I/Os abandoned after the retry limit
 };
 
 /**
@@ -187,6 +216,17 @@ class Kernel : public SchedClient
     Process *process(Pid pid) const;
 
     const KernelStats &stats() const { return stats_; }
+
+    /** Per-SPU fault/retry counters (empty entry if the SPU never hit
+     *  a fault). */
+    const SpuFaultStats &spuFaults(SpuId spu) const;
+
+    /**
+     * Backoff delay before retry number @p attempt (1-based): @p base
+     * doubled per retry, i.e. base << (attempt - 1), with the shift
+     * clamped so it cannot overflow. Pure — exposed for tests.
+     */
+    static Time retryBackoff(Time base, int attempt);
 
     VirtualMemory &vm() { return vm_; }
     FileSystem &fs() { return fs_; }
@@ -294,6 +334,42 @@ class Kernel : public SchedClient
 
     /** @name I/O path */
     /// @{
+    /**
+     * In-flight state of one logical I/O under timeout/retry. Shared
+     * between the completion lambda, the watchdog event, and retry
+     * events; `attempt` tokens let late completions of a timed-out
+     * attempt be recognised as stale and ignored.
+     */
+    struct IoCtx
+    {
+        DiskId disk = 0;
+        DiskRequest req;  //!< template; onComplete is filled per attempt
+        int attempt = 0;  //!< attempts issued so far
+        bool settled = false;
+        EventId timeoutEvent = kNoEvent;
+        std::function<void(const DiskRequest &)> onSuccess;
+        std::function<void()> onFail;
+    };
+
+    /**
+     * Submit @p req to @p disk under the kernel's fault handling:
+     * watchdog timeout, bounded retries with exponential backoff.
+     * Exactly one of @p onSuccess / @p onFail eventually runs.
+     */
+    void submitIo(DiskId disk, DiskRequest req,
+                  std::function<void(const DiskRequest &)> onSuccess,
+                  std::function<void()> onFail);
+    void issueIo(std::shared_ptr<IoCtx> ctx);
+    void ioAttemptFailed(std::shared_ptr<IoCtx> ctx);
+
+    /** Fail a process's outstanding logical I/O: the process dies at
+     *  its next dispatch (failed-action outcome). */
+    void failProcessIo(Process &p);
+
+    /** Drop the failed read's in-flight cache blocks (waiters run,
+     *  frames uncharged). */
+    void dropFailedReadBlocks(const std::vector<BlockKey> &keys);
+
     void ioArrived(Process &p);
     void bdflush();
     void kickBdflush();
@@ -341,6 +417,7 @@ class Kernel : public SchedClient
     std::map<std::pair<Pid, FileId>, std::uint64_t> readCursor_;
 
     KernelStats stats_;
+    mutable std::map<SpuId, SpuFaultStats> spuFaults_;
     bool started_ = false;
 };
 

@@ -98,6 +98,10 @@ class Process
     std::optional<Action> pendingAction;
     /** Busy-waiting at a spin barrier (burning CPU until release). */
     bool spinning = false;
+    /** An I/O this process depends on failed permanently (retries
+     *  exhausted or disk dead); the kernel terminates the process at
+     *  its next dispatch. */
+    bool ioFailed = false;
     /// @}
 
     /** @name Memory model */

@@ -62,7 +62,7 @@ CpuScheduler::processReady(Process *p)
     // CPU whose home SPU matches to keep loans short.
     Cpu *fallback = nullptr;
     for (auto &c : cpus_) {
-        if (c.running || !eligibleIdle(c, p))
+        if (!c.online || c.running || !eligibleIdle(c, p))
             continue;
         if (c.homeSpu == p->spu() || c.homeSpu == kNoSpu) {
             enqueueReady(p);
@@ -131,6 +131,8 @@ CpuScheduler::dispatch(Cpu &cpu)
 {
     if (cpu.running)
         PISO_PANIC("dispatch on busy cpu", cpu.id);
+    if (!cpu.online)
+        return;
 
     Process *p = selectNext(cpu);
     if (!p) {
@@ -263,10 +265,75 @@ CpuScheduler::totalIdleTime() const
     Time t = 0;
     for (const auto &c : cpus_) {
         t += c.idleTime;
-        if (!c.running)
+        if (!c.running && c.online)
             t += events_.now() - c.idleSince;
     }
     return t;
+}
+
+int
+CpuScheduler::onlineCpus() const
+{
+    int n = 0;
+    for (const auto &c : cpus_)
+        n += c.online ? 1 : 0;
+    return n;
+}
+
+void
+CpuScheduler::setCpuOnline(CpuId cpuId, bool online)
+{
+    Cpu &c = cpus_.at(static_cast<std::size_t>(cpuId));
+    if (c.online == online)
+        return;
+    if (online) {
+        c.online = true;
+        c.idleSince = events_.now();
+        PISO_TRACE(TraceCat::Sched, events_.now(), "cpu", c.id,
+                   " online");
+        return;
+    }
+    // Close out the idle clock before the CPU stops being idle-capable,
+    // then mark it offline so the dispatch from preemptCpu's freeCpu is
+    // a no-op and the evicted process stays queued for the others.
+    if (!c.running)
+        c.idleTime += events_.now() - c.idleSince;
+    c.online = false;
+    c.homeSpu = kNoSpu;
+    c.timeShares.clear();
+    c.revokePending = false;
+    PISO_TRACE(TraceCat::Sched, events_.now(), "cpu", c.id, " offline");
+    if (c.running)
+        preemptCpu(c);
+}
+
+int
+CpuScheduler::takeCpusOffline(int count)
+{
+    int taken = 0;
+    for (auto it = cpus_.rbegin();
+         it != cpus_.rend() && taken < count && onlineCpus() > 1; ++it) {
+        if (!it->online)
+            continue;
+        setCpuOnline(it->id, false);
+        ++taken;
+    }
+    return taken;
+}
+
+int
+CpuScheduler::bringCpusOnline(int count)
+{
+    int brought = 0;
+    for (auto &c : cpus_) {
+        if (brought >= count)
+            break;
+        if (c.online)
+            continue;
+        setCpuOnline(c.id, true);
+        ++brought;
+    }
+    return brought;
 }
 
 void
@@ -305,8 +372,18 @@ CpuScheduler::partitionCpus(const std::map<SpuId, double> &cpuShares)
     if (total <= 0.0)
         PISO_FATAL("CPU shares sum to zero");
 
+    // Only online CPUs are divisible capacity; after a fault takes CPUs
+    // away the same shares re-spread proportionally over what is left.
+    std::vector<std::size_t> online;
+    for (std::size_t i = 0; i < cpus_.size(); ++i) {
+        if (cpus_[i].online)
+            online.push_back(i);
+    }
+    if (online.empty())
+        PISO_FATAL("partitioning a machine with no online CPUs");
+
     // Scale shares to CPU counts.
-    const double scale = static_cast<double>(numCpus()) / total;
+    const double scale = static_cast<double>(online.size()) / total;
     std::size_t next = 0;
 
     // First pass: dedicated CPUs for the integral part of each share.
@@ -314,8 +391,8 @@ CpuScheduler::partitionCpus(const std::map<SpuId, double> &cpuShares)
     for (const auto &[spu, share] : cpuShares) {
         const double cpus = share * scale;
         auto whole = static_cast<std::size_t>(std::floor(cpus + 1e-9));
-        for (std::size_t i = 0; i < whole && next < cpus_.size(); ++i)
-            cpus_[next++].homeSpu = spu;
+        for (std::size_t i = 0; i < whole && next < online.size(); ++i)
+            cpus_[online[next++]].homeSpu = spu;
         const double frac = cpus - static_cast<double>(whole);
         if (frac > 1e-9)
             fractions.emplace_back(spu, frac);
@@ -323,8 +400,8 @@ CpuScheduler::partitionCpus(const std::map<SpuId, double> &cpuShares)
 
     // Second pass: pack fractional remainders onto the leftover CPUs as
     // time shares (Section 3.1's time partitioning of remainder CPUs).
-    for (; next < cpus_.size(); ++next) {
-        Cpu &c = cpus_[next];
+    for (; next < online.size(); ++next) {
+        Cpu &c = cpus_[online[next]];
         double room = 1.0;
         while (!fractions.empty() && room > 1e-9) {
             auto &[spu, frac] = fractions.front();

@@ -70,6 +70,10 @@ struct Cpu
 
     Process *running = nullptr;
 
+    /** False while the CPU is offline (fault injection). An offline
+     *  CPU never dispatches and owns no home SPU. */
+    bool online = true;
+
     /** PIso: currently running a process from a foreign SPU. */
     bool loaned = false;
 
@@ -138,6 +142,9 @@ class CpuScheduler
     const Cpu &cpu(CpuId id) const { return cpus_.at(id); }
     Cpu &cpu(CpuId id) { return cpus_.at(id); }
 
+    /** CPUs currently online. */
+    int onlineCpus() const;
+
     /** Total CPU time consumed by processes of @p spu. */
     Time spuCpuTime(SpuId spu) const;
 
@@ -162,6 +169,27 @@ class CpuScheduler
      * effect through the normal tick/slice machinery.
      */
     void repartitionCpus(const std::map<SpuId, double> &cpuShares);
+
+    /** @name Fault injection: CPU offline/online */
+    /// @{
+    /**
+     * Take @p cpuId out of service (or return it). Going offline
+     * preempts the running process back into the ready queues; the CPU
+     * keeps no home SPU until the next (re)partition. Callers should
+     * follow with repartitionCpus() so entitlements re-spread over the
+     * remaining capacity.
+     */
+    void setCpuOnline(CpuId cpuId, bool online);
+
+    /** Take up to @p count online CPUs offline, highest index first.
+     *  Always leaves at least one CPU online.
+     *  @return CPUs actually taken. */
+    int takeCpusOffline(int count);
+
+    /** Bring up to @p count offline CPUs back, lowest index first.
+     *  @return CPUs actually brought back. */
+    int bringCpusOnline(int count);
+    /// @}
 
   protected:
     /** Pick (and remove from the ready structures) the next process for

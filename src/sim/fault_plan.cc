@@ -1,0 +1,173 @@
+#include "src/sim/fault_plan.hh"
+
+#include <algorithm>
+
+#include "src/sim/log.hh"
+
+namespace piso {
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::DiskSlow:
+        return "disk_slow";
+      case FaultKind::DiskError:
+        return "disk_error";
+      case FaultKind::DiskDead:
+        return "disk_dead";
+      case FaultKind::CpuOffline:
+        return "cpu_offline";
+      case FaultKind::CpuOnline:
+        return "cpu_online";
+      case FaultKind::MemShrink:
+        return "mem_shrink";
+      case FaultKind::MemGrow:
+        return "mem_grow";
+    }
+    return "unknown";
+}
+
+void
+FaultPlan::add(const FaultEvent &ev)
+{
+    switch (ev.kind) {
+      case FaultKind::DiskSlow:
+        if (ev.factor < 1.0)
+            PISO_FATAL("disk_slow factor must be >= 1, got ", ev.factor);
+        if (ev.disk < 0)
+            PISO_FATAL("disk_slow on negative disk ", ev.disk);
+        break;
+      case FaultKind::DiskError:
+        if (ev.rate < 0.0 || ev.rate > 1.0)
+            PISO_FATAL("disk_error rate must be in [0,1], got ", ev.rate);
+        if (ev.disk < 0)
+            PISO_FATAL("disk_error on negative disk ", ev.disk);
+        break;
+      case FaultKind::DiskDead:
+        if (ev.disk < 0)
+            PISO_FATAL("disk_dead on negative disk ", ev.disk);
+        break;
+      case FaultKind::CpuOffline:
+      case FaultKind::CpuOnline:
+        if (ev.cpus < 1)
+            PISO_FATAL(faultKindName(ev.kind),
+                       " needs a positive CPU count, got ", ev.cpus);
+        break;
+      case FaultKind::MemShrink:
+      case FaultKind::MemGrow:
+        if (ev.pages == 0)
+            PISO_FATAL(faultKindName(ev.kind),
+                       " needs a nonzero page count");
+        break;
+    }
+    events_.push_back(ev);
+}
+
+FaultPlan &
+FaultPlan::diskSlow(Time at, int disk, Time duration, double factor)
+{
+    FaultEvent ev;
+    ev.kind = FaultKind::DiskSlow;
+    ev.at = at;
+    ev.disk = disk;
+    ev.duration = duration;
+    ev.factor = factor;
+    add(ev);
+    return *this;
+}
+
+FaultPlan &
+FaultPlan::diskError(Time at, int disk, Time duration, double rate)
+{
+    FaultEvent ev;
+    ev.kind = FaultKind::DiskError;
+    ev.at = at;
+    ev.disk = disk;
+    ev.duration = duration;
+    ev.rate = rate;
+    add(ev);
+    return *this;
+}
+
+FaultPlan &
+FaultPlan::diskDead(Time at, int disk)
+{
+    FaultEvent ev;
+    ev.kind = FaultKind::DiskDead;
+    ev.at = at;
+    ev.disk = disk;
+    add(ev);
+    return *this;
+}
+
+FaultPlan &
+FaultPlan::cpuOffline(Time at, int count)
+{
+    FaultEvent ev;
+    ev.kind = FaultKind::CpuOffline;
+    ev.at = at;
+    ev.cpus = count;
+    add(ev);
+    return *this;
+}
+
+FaultPlan &
+FaultPlan::cpuOnline(Time at, int count)
+{
+    FaultEvent ev;
+    ev.kind = FaultKind::CpuOnline;
+    ev.at = at;
+    ev.cpus = count;
+    add(ev);
+    return *this;
+}
+
+FaultPlan &
+FaultPlan::memShrink(Time at, std::uint64_t pages)
+{
+    FaultEvent ev;
+    ev.kind = FaultKind::MemShrink;
+    ev.at = at;
+    ev.pages = pages;
+    add(ev);
+    return *this;
+}
+
+FaultPlan &
+FaultPlan::memGrow(Time at, std::uint64_t pages)
+{
+    FaultEvent ev;
+    ev.kind = FaultKind::MemGrow;
+    ev.at = at;
+    ev.pages = pages;
+    add(ev);
+    return *this;
+}
+
+std::vector<FaultEvent>
+FaultPlan::schedule() const
+{
+    std::vector<FaultEvent> out = events_;
+    std::stable_sort(out.begin(), out.end(),
+                     [](const FaultEvent &a, const FaultEvent &b) {
+                         return a.at < b.at;
+                     });
+    return out;
+}
+
+int
+FaultPlan::maxDiskIndex() const
+{
+    int max = -1;
+    for (const FaultEvent &ev : events_) {
+        if (ev.kind == FaultKind::DiskSlow ||
+            ev.kind == FaultKind::DiskError ||
+            ev.kind == FaultKind::DiskDead) {
+            max = std::max(max, ev.disk);
+        }
+    }
+    return max;
+}
+
+} // namespace piso

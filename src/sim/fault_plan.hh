@@ -1,0 +1,127 @@
+#ifndef PISO_SIM_FAULT_PLAN_HH
+#define PISO_SIM_FAULT_PLAN_HH
+
+/**
+ * @file
+ * Deterministic fault-injection schedule.
+ *
+ * A FaultPlan is a time-ordered list of hardware misbehaviour events —
+ * transient disk errors, disk slowdown windows, permanent disk death,
+ * CPU offline/online, and memory shrink/grow — that the Simulation
+ * delivers through the event queue. The plan is pure data: given the
+ * same seed and the same plan, a run replays bit-identically, which is
+ * what makes fault scenarios debuggable and testable.
+ *
+ * The layers above react: the kernel I/O path retries transient errors
+ * with bounded exponential backoff and propagates permanent failures
+ * to the issuing process; the CPU scheduler and memory policy
+ * recompute entitlements over the remaining capacity so isolation
+ * degrades proportionally instead of collapsing (see docs/faults.md).
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/time.hh"
+
+namespace piso {
+
+/** What kind of hardware misbehaviour a FaultEvent injects. */
+enum class FaultKind
+{
+    DiskSlow,    //!< service-time multiplier for a window
+    DiskError,   //!< requests fail with probability `rate` for a window
+    DiskDead,    //!< permanent: every request fails from `at` on
+    CpuOffline,  //!< take `cpus` CPUs out of service
+    CpuOnline,   //!< bring `cpus` CPUs back
+    MemShrink,   //!< retire `pages` frames from the pool
+    MemGrow,     //!< add `pages` frames back
+};
+
+/** Human-readable kind name (logs, reports, spec errors). */
+const char *faultKindName(FaultKind kind);
+
+/** One scheduled misbehaviour. Fields beyond `kind`/`at` apply only
+ *  to the kinds documented on each member. */
+struct FaultEvent
+{
+    FaultKind kind = FaultKind::DiskSlow;
+    Time at = 0;  //!< absolute injection time
+
+    /** Disk faults: target device index. */
+    int disk = 0;
+
+    /** DiskSlow / DiskError: window length; 0 = until end of run. */
+    Time duration = 0;
+
+    /** DiskSlow: service-time multiplier (>= 1). */
+    double factor = 1.0;
+
+    /** DiskError: per-request failure probability in [0, 1]. */
+    double rate = 1.0;
+
+    /** CpuOffline / CpuOnline: number of CPUs affected. */
+    int cpus = 1;
+
+    /** MemShrink / MemGrow: number of page frames. */
+    std::uint64_t pages = 0;
+};
+
+/**
+ * A validated, seedable fault schedule. Events are kept in insertion
+ * order; schedule() yields them sorted by time (stable, so same-time
+ * events fire in insertion order — deterministic).
+ */
+class FaultPlan
+{
+  public:
+    /** @name Builders (chainable) */
+    /// @{
+    /** Multiply disk @p disk's service time by @p factor during
+     *  [@p at, @p at + @p duration); duration 0 = until end. */
+    FaultPlan &diskSlow(Time at, int disk, Time duration, double factor);
+
+    /** Fail disk @p disk's requests with probability @p rate during
+     *  [@p at, @p at + @p duration); duration 0 = until end. */
+    FaultPlan &diskError(Time at, int disk, Time duration,
+                         double rate = 1.0);
+
+    /** Permanently kill disk @p disk at @p at. */
+    FaultPlan &diskDead(Time at, int disk);
+
+    /** Take @p count CPUs offline at @p at (highest-index first). */
+    FaultPlan &cpuOffline(Time at, int count = 1);
+
+    /** Bring @p count CPUs back online at @p at. */
+    FaultPlan &cpuOnline(Time at, int count = 1);
+
+    /** Retire @p pages frames from the physical pool at @p at. */
+    FaultPlan &memShrink(Time at, std::uint64_t pages);
+
+    /** Grow the physical pool by @p pages frames at @p at. */
+    FaultPlan &memGrow(Time at, std::uint64_t pages);
+    /// @}
+
+    /** Append a fully-specified event (validates; fatal on nonsense
+     *  such as factor < 1 or rate outside [0, 1]). */
+    void add(const FaultEvent &ev);
+
+    bool empty() const { return events_.empty(); }
+    std::size_t size() const { return events_.size(); }
+
+    /** Events in insertion order. */
+    const std::vector<FaultEvent> &events() const { return events_; }
+
+    /** Events sorted by time (stable on ties). */
+    std::vector<FaultEvent> schedule() const;
+
+    /** Largest disk index referenced, or -1 if no disk faults. */
+    int maxDiskIndex() const;
+
+  private:
+    std::vector<FaultEvent> events_;
+};
+
+} // namespace piso
+
+#endif // PISO_SIM_FAULT_PLAN_HH

@@ -15,6 +15,7 @@
 #include "src/os/vm.hh"
 #include "src/sim/event_queue.hh"
 #include "src/sim/log.hh"
+#include "src/sim/trace.hh"
 #include "src/workload/job.hh"
 
 namespace piso {
@@ -68,6 +69,11 @@ struct Simulation::Impl
     std::vector<PendingJob> pendingJobs;
     std::vector<Job> jobs;
     bool ran = false;
+    std::uint64_t kernelPinnedPages = 0;
+
+    void rebalance();
+    void applyMemoryLevels();
+    void applyFault(const FaultEvent &ev);
 
     explicit Impl(const SystemConfig &c)
         : cfg(c), rng(c.seed), phys(c.memoryBytes), vm(phys),
@@ -191,19 +197,121 @@ Simulation::addJob(SpuId spu, JobSpec spec)
 }
 
 void
+Simulation::Impl::rebalance()
+{
+    if (cfg.scheme != Scheme::Smp)
+        sched->repartitionCpus(spuMgr.cpuShares());
+    const auto users = spuMgr.userSpus();
+    for (FairDiskScheduler *fds : fairSchedulers) {
+        for (SpuId spu : users)
+            fds->tracker().setShare(spu, spuMgr.shareOf(spu));
+    }
+    if (fairNet) {
+        for (SpuId spu : users)
+            fairNet->tracker().setShare(spu, spuMgr.shareOf(spu));
+    }
+}
+
+void
 Simulation::rebalanceSpus()
 {
-    Impl &im = *impl_;
-    if (im.cfg.scheme != Scheme::Smp)
-        im.sched->repartitionCpus(im.spuMgr.cpuShares());
-    const auto users = im.spuMgr.userSpus();
-    for (FairDiskScheduler *fds : im.fairSchedulers) {
-        for (SpuId spu : users)
-            fds->tracker().setShare(spu, im.spuMgr.shareOf(spu));
+    impl_->rebalance();
+}
+
+void
+Simulation::Impl::applyMemoryLevels()
+{
+    // (Re)derive per-SPU memory levels from the *current* frame pool —
+    // called at setup and again whenever a fault shrinks or grows it,
+    // so remaining capacity is still split by share.
+    const std::uint64_t total = vm.totalPages();
+    const auto users = spuMgr.userSpus();
+    vm.setAllowed(kKernelSpu, total);
+    vm.setAllowed(kSharedSpu, total);
+
+    const auto reserve = static_cast<std::uint64_t>(
+        cfg.memPolicy.reserveFraction * static_cast<double>(total));
+
+    switch (cfg.scheme) {
+      case Scheme::Smp:
+        // No per-SPU limits; the pageout daemon keeps the reserve via
+        // global replacement.
+        vm.setReservePages(reserve);
+        for (SpuId spu : users) {
+            vm.setEntitled(spu, total);
+            vm.setAllowed(spu, total);
+        }
+        break;
+      case Scheme::Quota: {
+        // Fixed quotas: equal/weighted shares of non-kernel memory.
+        vm.setReservePages(0);
+        const std::uint64_t divisible =
+            total > kernelPinnedPages ? total - kernelPinnedPages : 0;
+        for (SpuId spu : users) {
+            const auto share = static_cast<std::uint64_t>(
+                spuMgr.shareOf(spu) * static_cast<double>(divisible));
+            vm.setEntitled(spu, share);
+            vm.setAllowed(spu, share);
+        }
+        break;
+      }
+      case Scheme::PIso:
+        // Levels are owned by the sharing policy; refresh its reserve
+        // and recompute promptly so the new pool size takes effect
+        // before the policy's next period.
+        if (memPolicy) {
+            vm.setReservePages(reserve);
+            memPolicy->recompute();
+        }
+        break;
     }
-    if (im.fairNet) {
-        for (SpuId spu : users)
-            im.fairNet->tracker().setShare(spu, im.spuMgr.shareOf(spu));
+}
+
+void
+Simulation::Impl::applyFault(const FaultEvent &ev)
+{
+    PISO_TRACE(TraceCat::Kernel, events.now(), "fault: ",
+               faultKindName(ev.kind));
+    switch (ev.kind) {
+      case FaultKind::DiskSlow: {
+        DiskDevice &d = *disks.at(static_cast<std::size_t>(ev.disk));
+        d.setSlowFactor(ev.factor);
+        if (ev.duration > 0) {
+            events.scheduleAfter(
+                ev.duration, [&d] { d.setSlowFactor(1.0); },
+                "faultRestore");
+        }
+        break;
+      }
+      case FaultKind::DiskError: {
+        DiskDevice &d = *disks.at(static_cast<std::size_t>(ev.disk));
+        d.setErrorRate(ev.rate);
+        if (ev.duration > 0) {
+            events.scheduleAfter(
+                ev.duration, [&d] { d.setErrorRate(0.0); },
+                "faultRestore");
+        }
+        break;
+      }
+      case FaultKind::DiskDead:
+        disks.at(static_cast<std::size_t>(ev.disk))->kill();
+        break;
+      case FaultKind::CpuOffline:
+        sched->takeCpusOffline(ev.cpus);
+        rebalance();
+        break;
+      case FaultKind::CpuOnline:
+        sched->bringCpusOnline(ev.cpus);
+        rebalance();
+        break;
+      case FaultKind::MemShrink:
+        phys.shrink(ev.pages);
+        applyMemoryLevels();
+        break;
+      case FaultKind::MemGrow:
+        phys.grow(ev.pages);
+        applyMemoryLevels();
+        break;
     }
 }
 
@@ -275,44 +383,17 @@ Simulation::run()
     im.vm.setAllowed(kSharedSpu, total);
 
     // Pin boot-time kernel memory.
-    const std::uint64_t kernelPages =
+    im.kernelPinnedPages =
         im.cfg.kernelResidentBytes / im.phys.pageBytes();
-    for (std::uint64_t i = 0; i < kernelPages; ++i) {
+    for (std::uint64_t i = 0; i < im.kernelPinnedPages; ++i) {
         if (!im.vm.tryCharge(kKernelSpu))
             PISO_FATAL("machine too small for the pinned kernel memory");
     }
 
-    const auto reserve = static_cast<std::uint64_t>(
-        im.cfg.memPolicy.reserveFraction * static_cast<double>(total));
-
-    switch (im.cfg.scheme) {
-      case Scheme::Smp:
-        // No per-SPU limits; the pageout daemon keeps the reserve via
-        // global replacement.
-        im.vm.setReservePages(reserve);
-        for (SpuId spu : users) {
-            im.vm.setEntitled(spu, total);
-            im.vm.setAllowed(spu, total);
-        }
-        break;
-      case Scheme::Quota: {
-        // Fixed quotas: equal/weighted shares of non-kernel memory,
-        // never adjusted.
-        im.vm.setReservePages(0);
-        const std::uint64_t divisible = total - kernelPages;
-        for (SpuId spu : users) {
-            const auto share = static_cast<std::uint64_t>(
-                im.spuMgr.shareOf(spu) *
-                static_cast<double>(divisible));
-            im.vm.setEntitled(spu, share);
-            im.vm.setAllowed(spu, share);
-        }
-        break;
-      }
-      case Scheme::PIso:
-        // Levels are owned by the sharing policy (started below).
-        break;
-    }
+    // The PIso sharing policy is not started yet: applyMemoryLevels
+    // leaves its levels to MemorySharingPolicy::start() below.
+    if (im.cfg.scheme != Scheme::PIso)
+        im.applyMemoryLevels();
 
     // --- CPU partition ---------------------------------------------
     if (im.cfg.scheme != Scheme::Smp)
@@ -356,10 +437,23 @@ Simulation::run()
     }
 
     im.kernel->onProcessExit = [&im](Process &p) {
-        if (p.job() != kNoJob)
-            im.jobs[static_cast<std::size_t>(p.job())].processExited(
-                im.events.now());
+        if (p.job() != kNoJob) {
+            Job &job = im.jobs[static_cast<std::size_t>(p.job())];
+            if (p.ioFailed)
+                job.markFailed();
+            job.processExited(im.events.now());
+        }
     };
+
+    // --- Fault plan --------------------------------------------------
+    if (im.cfg.faults.maxDiskIndex() >= im.cfg.diskCount)
+        PISO_FATAL("fault plan references disk ",
+                   im.cfg.faults.maxDiskIndex(), " but the machine has ",
+                   im.cfg.diskCount);
+    for (const FaultEvent &ev : im.cfg.faults.schedule()) {
+        im.events.schedule(
+            ev.at, [&im, ev] { im.applyFault(ev); }, "fault");
+    }
 
     // --- Go ----------------------------------------------------------
     im.kernel->start();
@@ -395,6 +489,7 @@ Simulation::run()
         jr.start = job.startAt();
         jr.end = job.endTime();
         jr.completed = job.completed();
+        jr.failed = job.failed();
         res.jobs.push_back(jr);
     }
 
@@ -406,6 +501,11 @@ Simulation::run()
         sr.cpuTime = im.sched->spuCpuTime(spu);
         sr.memUsedPages = im.vm.levels(spu).used;
         sr.memEntitledPages = im.vm.levels(spu).entitled;
+        const SpuFaultStats &sf = im.kernel->spuFaults(spu);
+        sr.diskErrors = sf.diskErrors.value();
+        sr.ioRetries = sf.ioRetries.value();
+        sr.ioTimeouts = sf.ioTimeouts.value();
+        sr.failedOps = sf.failedOps.value();
         res.spus[spu] = sr;
     }
 
@@ -415,6 +515,7 @@ Simulation::run()
         const DiskStats &ds = dev->stats();
         dr.requests = ds.requests.value();
         dr.sectors = ds.sectors.value();
+        dr.errors = ds.errors.value();
         dr.avgWaitMs = ds.waitMs.mean();
         dr.avgPositionMs = ds.positionMs.mean();
         dr.avgSeekMs = ds.seekMs.mean();
@@ -429,6 +530,7 @@ Simulation::run()
             SpuDiskResult sdr;
             sdr.requests = ss.requests.value();
             sdr.sectors = ss.sectors.value();
+            sdr.errors = ss.errors.value();
             sdr.avgWaitMs = ss.waitMs.mean();
             sdr.avgServiceMs = ss.serviceMs.mean();
             dr.perSpu[spu] = sdr;

@@ -30,6 +30,7 @@
 #include "src/machine/disk_model.hh"
 #include "src/metrics/results.hh"
 #include "src/os/kernel.hh"
+#include "src/sim/fault_plan.hh"
 #include "src/workload/job.hh"
 
 namespace piso {
@@ -93,6 +94,10 @@ struct SystemConfig
 
     /** Hard stop; a run that hits it reports completed = false. */
     Time maxTime = 600 * kSec;
+
+    /** Hardware misbehaviour to inject, delivered through the event
+     *  queue (deterministic per seed; see docs/faults.md). */
+    FaultPlan faults;
     /// @}
 };
 

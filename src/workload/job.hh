@@ -79,7 +79,16 @@ class Job
      *  completes the job. */
     bool processExited(Time now);
 
+    /** A constituent died on a permanently failed I/O. */
+    void markFailed() { failed_ = true; }
+
     bool completed() const { return remaining_ == 0 && started_; }
+
+    /** True when any constituent was killed by an I/O failure; the
+     *  job still "completes" (all processes exit) but its result is
+     *  reported failed. */
+    bool failed() const { return failed_; }
+
     Time endTime() const { return endTime_; }
 
     /** Wall-clock from job start to last process exit. */
@@ -95,6 +104,7 @@ class Job
     Time startAt_;
     int remaining_ = 0;
     bool started_ = false;
+    bool failed_ = false;
     Time endTime_ = 0;
 };
 

@@ -75,7 +75,13 @@ usage()
                  "schemes (SMP/Quo/PIso)\n"
                  "  --trace=CATS  comma list of sched,mem,disk,net,"
                  "lock,kernel,all\n"
-                 "  --json        print machine-readable results\n");
+                 "  --json        print machine-readable results\n"
+                 "\n"
+                 "The workload file may end with a [faults] section "
+                 "injecting hardware\n"
+                 "misbehaviour (disk_slow, disk_error, disk_dead, "
+                 "cpu_offline, cpu_online,\n"
+                 "mem_shrink, mem_grow); see docs/faults.md.\n");
     return 2;
 }
 
@@ -104,8 +110,16 @@ main(int argc, char **argv)
     if (!path)
         return usage();
 
+    WorkloadSpec spec;
     try {
-        WorkloadSpec spec = parseWorkloadSpec(readFile(path));
+        spec = parseWorkloadSpec(readFile(path));
+    } catch (const std::exception &e) {
+        // One line: file, line (from the parser), reason.
+        std::fprintf(stderr, "piso_run: %s: %s\n", path, e.what());
+        return 1;
+    }
+
+    try {
         if (!compare) {
             const SimResults r = runWorkloadSpec(spec);
             if (json) {
