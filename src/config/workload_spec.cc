@@ -112,8 +112,32 @@ class OptionReader
     int line_;
 };
 
+/**
+ * Resolve a policy name for @p resource through the PolicyRegistry,
+ * reporting unknown names with the offending line and the full list
+ * of accepted spellings.
+ */
+int
+parsePolicyKey(PolicyResource resource, const char *key,
+               const std::string &s, int line)
+{
+    const auto v = PolicyRegistry::instance().tryParse(resource, s);
+    if (!v) {
+        std::string valid;
+        for (const std::string &n :
+             PolicyRegistry::instance().names(resource)) {
+            if (!valid.empty())
+                valid += '|';
+            valid += n;
+        }
+        PISO_FATAL("line ", line, ": unknown ", key, " policy '", s,
+                   "' (", valid, ")");
+    }
+    return *v;
+}
+
 Scheme
-parseScheme(const std::string &s, int line)
+parseSchemeKey(const std::string &s, int line)
 {
     if (s == "smp")
         return Scheme::Smp;
@@ -123,21 +147,6 @@ parseScheme(const std::string &s, int line)
         return Scheme::PIso;
     PISO_FATAL("line ", line, ": unknown scheme '", s,
                "' (smp|quota|piso)");
-}
-
-DiskPolicy
-parseDiskPolicy(const std::string &s, int line)
-{
-    if (s == "default")
-        return DiskPolicy::SchemeDefault;
-    if (s == "pos")
-        return DiskPolicy::HeadPosition;
-    if (s == "iso")
-        return DiskPolicy::BlindFair;
-    if (s == "piso")
-        return DiskPolicy::FairPosition;
-    PISO_FATAL("line ", line, ": unknown disk policy '", s,
-               "' (default|pos|iso|piso)");
 }
 
 /**
@@ -252,10 +261,28 @@ parseWorkloadSpec(const std::string &text)
             spec.config.diskCount =
                 static_cast<int>(r.integer("disks", 1));
             spec.config.scheme =
-                parseScheme(r.str("scheme", "piso"), lineNo);
-            spec.config.diskPolicy =
-                parseDiskPolicy(r.str("disk_policy", "default"),
-                                lineNo);
+                parseSchemeKey(r.str("scheme", "piso"), lineNo);
+            spec.config.diskPolicy = static_cast<DiskPolicy>(
+                parsePolicyKey(PolicyResource::Disk, "disk",
+                               r.str("disk_policy", "default"),
+                               lineNo));
+            // Per-resource overrides on top of the uniform scheme.
+            if (const std::string v = r.str("cpu", ""); !v.empty()) {
+                spec.config.cpuPolicy = static_cast<CpuPolicy>(
+                    parsePolicyKey(PolicyResource::Cpu, "cpu", v,
+                                   lineNo));
+            }
+            if (const std::string v = r.str("memory", ""); !v.empty()) {
+                spec.config.memoryPolicy = static_cast<MemoryPolicy>(
+                    parsePolicyKey(PolicyResource::Memory, "memory", v,
+                                   lineNo));
+            }
+            if (const std::string v = r.str("network", "");
+                !v.empty()) {
+                spec.config.netPolicy = static_cast<NetPolicy>(
+                    parsePolicyKey(PolicyResource::Net, "network", v,
+                                   lineNo));
+            }
             spec.config.seed =
                 static_cast<std::uint64_t>(r.integer("seed", 1));
             spec.config.maxTime = fromSeconds(

@@ -9,6 +9,8 @@
  *
  * @code
  *   machine cpus=8 memory_mb=44 disks=8 scheme=piso seed=1
+ *   # or mixed, overriding the scheme per resource (all optional):
+ *   #   machine cpus=8 memory_mb=44 cpu=piso memory=quota network=smp
  *   spu alice share=1 disk=0
  *   spu bob share=2 disk=1
  *   job alice pmake   name=build workers=2 files=8

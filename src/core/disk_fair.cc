@@ -15,12 +15,6 @@ DiskBandwidthTracker::DiskBandwidthTracker(Time halfLife)
         PISO_FATAL("bandwidth decay half-life must be non-zero");
 }
 
-DiskBandwidthTracker::Entry &
-DiskBandwidthTracker::entry(SpuId spu)
-{
-    return entries_[spu];
-}
-
 double
 DiskBandwidthTracker::decayed(const Entry &e, Time now) const
 {
@@ -36,14 +30,15 @@ DiskBandwidthTracker::setShare(SpuId spu, double share)
 {
     if (share <= 0.0)
         PISO_FATAL("bandwidth share must be positive, got ", share);
-    entry(spu).share = share;
+    entries_.try_emplace(spu);
+    shares_.setShare(spu, share);
 }
 
 void
 DiskBandwidthTracker::addSectors(SpuId spu, std::uint64_t sectors,
                                  Time now)
 {
-    Entry &e = entry(spu);
+    Entry &e = entries_[spu];
     e.count = decayed(e, now) + static_cast<double>(sectors);
     e.last = now;
 }
@@ -61,7 +56,8 @@ DiskBandwidthTracker::ratio(SpuId spu, Time now) const
     auto it = entries_.find(spu);
     if (it == entries_.end())
         return 0.0;
-    return decayed(it->second, now) / it->second.share;
+    // shares_.share() defaults to 1 for SPUs never given a share.
+    return decayed(it->second, now) / shares_.share(spu);
 }
 
 FairDiskScheduler::FairDiskScheduler(Time halfLife, Time sharedWait)

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <map>
 
+#include "src/core/ledger.hh"
 #include "src/machine/disk.hh"
 #include "src/sim/time.hh"
 
@@ -47,18 +48,18 @@ class DiskBandwidthTracker
     Time halfLife() const { return halfLife_; }
 
   private:
+    /** Decay state of one SPU's count; shares live in the ledger. */
     struct Entry
     {
         double count = 0.0;
         Time last = 0;
-        double share = 1.0;
     };
 
     double decayed(const Entry &e, Time now) const;
-    Entry &entry(SpuId spu);
 
     Time halfLife_;
     std::map<SpuId, Entry> entries_;
+    ResourceLedger shares_{"bandwidth"};
 };
 
 /**

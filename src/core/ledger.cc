@@ -1,0 +1,226 @@
+#include "src/core/ledger.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/sim/log.hh"
+
+namespace piso {
+
+ResourceLedger::ResourceLedger(std::string resource)
+    : resource_(std::move(resource))
+{
+}
+
+void
+ResourceLedger::registerSpu(SpuId spu)
+{
+    spus_.try_emplace(spu);
+}
+
+void
+ResourceLedger::forget(SpuId spu)
+{
+    spus_.erase(spu);
+}
+
+bool
+ResourceLedger::knows(SpuId spu) const
+{
+    return spus_.count(spu) > 0;
+}
+
+std::vector<SpuId>
+ResourceLedger::spus() const
+{
+    std::vector<SpuId> out;
+    out.reserve(spus_.size());
+    for (const auto &[spu, e] : spus_)
+        out.push_back(spu);
+    return out;
+}
+
+const ResourceLedger::Entry &
+ResourceLedger::entry(SpuId spu) const
+{
+    auto it = spus_.find(spu);
+    if (it == spus_.end())
+        PISO_PANIC(resource_, " ledger: unknown SPU ", spu);
+    return it->second;
+}
+
+ResourceLedger::Entry &
+ResourceLedger::entry(SpuId spu)
+{
+    return const_cast<Entry &>(
+        static_cast<const ResourceLedger *>(this)->entry(spu));
+}
+
+void
+ResourceLedger::setShare(SpuId spu, double share)
+{
+    if (share < 0.0)
+        PISO_FATAL(resource_, " ledger: negative share ", share,
+                   " for SPU ", spu);
+    registerSpu(spu);
+    entry(spu).share = share;
+}
+
+double
+ResourceLedger::share(SpuId spu) const
+{
+    auto it = spus_.find(spu);
+    return it == spus_.end() ? 1.0 : it->second.share;
+}
+
+double
+ResourceLedger::totalShare() const
+{
+    double total = 0.0;
+    for (const auto &[spu, e] : spus_)
+        total += e.share;
+    return total;
+}
+
+double
+ResourceLedger::normalizedShare(SpuId spu) const
+{
+    const double total = totalShare();
+    return total == 0.0 ? 0.0 : share(spu) / total;
+}
+
+void
+ResourceLedger::setEntitled(SpuId spu, std::uint64_t units)
+{
+    entry(spu).levels.entitled = units;
+}
+
+void
+ResourceLedger::setAllowed(SpuId spu, std::uint64_t units)
+{
+    entry(spu).levels.allowed = units;
+}
+
+const ResourceLevels &
+ResourceLedger::levels(SpuId spu) const
+{
+    return entry(spu).levels;
+}
+
+bool
+ResourceLedger::atLimit(SpuId spu) const
+{
+    const ResourceLevels &l = entry(spu).levels;
+    return l.used >= l.allowed;
+}
+
+std::uint64_t
+ResourceLedger::overAllowed(SpuId spu) const
+{
+    const ResourceLevels &l = entry(spu).levels;
+    return l.used > l.allowed ? l.used - l.allowed : 0;
+}
+
+bool
+ResourceLedger::tryUse(SpuId spu)
+{
+    ResourceLevels &l = entry(spu).levels;
+    if (l.used >= l.allowed)
+        return false;
+    ++l.used;
+    return true;
+}
+
+void
+ResourceLedger::use(SpuId spu, std::uint64_t units)
+{
+    entry(spu).levels.used += units;
+}
+
+void
+ResourceLedger::release(SpuId spu, std::uint64_t units)
+{
+    ResourceLevels &l = entry(spu).levels;
+    if (l.used < units)
+        PISO_PANIC(resource_, " ledger: release of SPU ", spu,
+                   " below zero used units");
+    l.used -= units;
+}
+
+void
+ResourceLedger::transfer(SpuId from, SpuId to, std::uint64_t units)
+{
+    release(from, units);
+    use(to, units);
+}
+
+std::uint64_t
+ResourceLedger::usedTotal() const
+{
+    std::uint64_t total = 0;
+    for (const auto &[spu, e] : spus_)
+        total += e.levels.used;
+    return total;
+}
+
+std::uint64_t
+ResourceLedger::entitledTotal() const
+{
+    std::uint64_t total = 0;
+    for (const auto &[spu, e] : spus_)
+        total += e.levels.entitled;
+    return total;
+}
+
+std::uint64_t
+ResourceLedger::entitledFloor(double share, std::uint64_t divisible)
+{
+    return static_cast<std::uint64_t>(
+        std::floor(share * static_cast<double>(divisible)));
+}
+
+void
+ResourceLedger::entitleByShare(std::uint64_t divisible)
+{
+    const double total = totalShare();
+    if (spus_.empty() || total == 0.0) {
+        for (auto &[spu, e] : spus_)
+            e.levels.entitled = 0;
+        return;
+    }
+
+    // Floor allocation, remembering each SPU's fractional remainder.
+    std::uint64_t assigned = 0;
+    std::vector<std::pair<double, SpuId>> fractions;
+    for (auto &[spu, e] : spus_) {
+        const double exact = e.share / total *
+                             static_cast<double>(divisible);
+        const std::uint64_t floor =
+            static_cast<std::uint64_t>(std::floor(exact));
+        e.levels.entitled = floor;
+        assigned += floor;
+        if (e.share > 0.0)
+            fractions.emplace_back(exact - static_cast<double>(floor),
+                                   spu);
+    }
+
+    // Largest remainder first; ties go to the lower SPU id (the map
+    // order made `fractions` ascending by id, stable_sort keeps it).
+    std::stable_sort(fractions.begin(), fractions.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.first > b.first;
+                     });
+    for (std::size_t i = 0; assigned < divisible && i < fractions.size();
+         ++i, ++assigned) {
+        ++spus_[fractions[i].second].levels.entitled;
+    }
+    // Rounding noise can leave a residue even after every SPU got one
+    // extra unit; sweep it into the first positive-share SPU so the
+    // entitlements always sum exactly to the divisible amount.
+    if (assigned < divisible && !fractions.empty()) {
+        auto &e = spus_[fractions.front().second];
+        e.levels.entitled += divisible - assigned;
+    }
+}
+
+} // namespace piso

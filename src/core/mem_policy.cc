@@ -1,8 +1,8 @@
 #include "src/core/mem_policy.hh"
 
 #include <algorithm>
-#include <cmath>
 
+#include "src/core/ledger.hh"
 #include "src/sim/log.hh"
 #include "src/sim/trace.hh"
 
@@ -58,9 +58,8 @@ MemorySharingPolicy::recompute()
     std::map<SpuId, std::uint64_t> entitled;
     for (SpuId spu : users) {
         vm_.registerSpu(spu);
-        entitled[spu] = static_cast<std::uint64_t>(
-            std::floor(spus_.shareOf(spu) *
-                       static_cast<double>(divisible)));
+        entitled[spu] = ResourceLedger::entitledFloor(
+            spus_.shareOf(spu), divisible);
         vm_.setEntitled(spu, entitled[spu]);
     }
 

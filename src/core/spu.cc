@@ -29,6 +29,7 @@ SpuManager::create(const SpuSpec &spec)
     s.share = spec.share;
     s.homeDisk = spec.homeDisk;
     spus_[s.id] = s;
+    shares_.setShare(s.id, s.share);
     return s.id;
 }
 
@@ -39,6 +40,7 @@ SpuManager::destroy(SpuId spu)
         PISO_FATAL("the default SPUs cannot be destroyed");
     if (!spus_.erase(spu))
         PISO_FATAL("destroying unknown SPU ", spu);
+    shares_.forget(spu);
 }
 
 void
@@ -48,6 +50,7 @@ SpuManager::suspend(SpuId spu)
     if (it == spus_.end() || spu < kFirstUserSpu)
         PISO_FATAL("cannot suspend SPU ", spu);
     it->second.state = SpuState::Suspended;
+    shares_.setShare(spu, 0.0);
 }
 
 void
@@ -57,6 +60,7 @@ SpuManager::resume(SpuId spu)
     if (it == spus_.end() || spu < kFirstUserSpu)
         PISO_FATAL("cannot resume SPU ", spu);
     it->second.state = SpuState::Active;
+    shares_.setShare(spu, it->second.share);
 }
 
 const Spu &
@@ -91,12 +95,13 @@ SpuManager::shareOf(SpuId spu) const
     const Spu &s = this->spu(spu);
     if (s.state != SpuState::Active)
         return 0.0;
-    double total = 0.0;
-    for (const auto &[id, other] : spus_) {
-        if (id >= kFirstUserSpu && other.state == SpuState::Active)
-            total += other.share;
+    if (spu < kFirstUserSpu) {
+        // The default SPUs do not participate in the user contract;
+        // report their weight against it (callers never rely on this).
+        const double total = shares_.totalShare();
+        return total == 0.0 ? 0.0 : s.share / total;
     }
-    return total == 0.0 ? 0.0 : s.share / total;
+    return shares_.normalizedShare(spu);
 }
 
 std::map<SpuId, double>

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/ledger.hh"
 #include "src/sim/ids.hh"
 
 namespace piso {
@@ -90,6 +91,10 @@ class SpuManager
 
   private:
     std::map<SpuId, Spu> spus_;
+
+    /** Raw shares of user SPUs (suspended = 0), normalised by the
+     *  ledger; the single source of the `share / Σ shares` rule. */
+    ResourceLedger shares_{"share"};
     SpuId next_ = kFirstUserSpu;
 };
 

@@ -92,7 +92,8 @@ formatResults(const SimResults &r)
 {
     std::ostringstream os;
     os << "simulated time: " << formatTime(r.simulatedTime)
-       << (r.completed ? "" : "  [INCOMPLETE: hit maxTime]") << "\n\n";
+       << (r.completed ? "" : "  [INCOMPLETE: hit maxTime]") << '\n';
+    os << "policies: " << r.profile.str() << "\n\n";
 
     TextTable jobs({"job", "spu", "start (s)", "response (s)", "done"});
     for (const JobResult &j : r.jobs) {
@@ -214,7 +215,11 @@ formatResultsJson(const SimResults &r)
 {
     std::ostringstream os;
     os << "{\"simulated_time_s\":" << toSeconds(r.simulatedTime)
-       << ",\"completed\":" << (r.completed ? "true" : "false");
+       << ",\"completed\":" << (r.completed ? "true" : "false")
+       << ",\"profile\":{\"cpu\":\"" << policyName(r.profile.cpu)
+       << "\",\"memory\":\"" << policyName(r.profile.memory)
+       << "\",\"disk_policy\":\"" << policySpecName(r.profile.disk)
+       << "\",\"network\":\"" << policyName(r.profile.net) << "\"}";
 
     os << ",\"jobs\":[";
     for (std::size_t i = 0; i < r.jobs.size(); ++i) {

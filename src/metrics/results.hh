@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/scheme_profile.hh"
 #include "src/os/kernel.hh"
 #include "src/sim/ids.hh"
 #include "src/sim/time.hh"
@@ -82,6 +83,9 @@ struct DiskResult
 /** Everything measured in one run. */
 struct SimResults
 {
+    /** The per-resource policies the run executed under. */
+    SchemeProfile profile{};
+
     Time simulatedTime = 0;
     bool completed = false;  //!< all jobs finished before maxTime
     std::vector<JobResult> jobs;

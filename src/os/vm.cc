@@ -12,109 +12,89 @@ VirtualMemory::VirtualMemory(PhysicalMemory &phys)
 void
 VirtualMemory::registerSpu(SpuId spu)
 {
-    spus_.try_emplace(spu);
+    ledger_.registerSpu(spu);
+    pressure_.try_emplace(spu, 0);
 }
 
-const VirtualMemory::Entry &
-VirtualMemory::entry(SpuId spu) const
+std::uint64_t &
+VirtualMemory::pressureEntry(SpuId spu)
 {
-    auto it = spus_.find(spu);
-    if (it == spus_.end())
+    auto it = pressure_.find(spu);
+    if (it == pressure_.end())
         PISO_PANIC("unknown SPU ", spu);
     return it->second;
-}
-
-VirtualMemory::Entry &
-VirtualMemory::entry(SpuId spu)
-{
-    return const_cast<Entry &>(
-        static_cast<const VirtualMemory *>(this)->entry(spu));
 }
 
 void
 VirtualMemory::setEntitled(SpuId spu, std::uint64_t pages)
 {
-    entry(spu).levels.entitled = pages;
+    ledger_.setEntitled(spu, pages);
 }
 
 void
 VirtualMemory::setAllowed(SpuId spu, std::uint64_t pages)
 {
-    entry(spu).levels.allowed = pages;
+    ledger_.setAllowed(spu, pages);
 }
 
 const MemLevels &
 VirtualMemory::levels(SpuId spu) const
 {
-    return entry(spu).levels;
+    return ledger_.levels(spu);
 }
 
 bool
 VirtualMemory::tryCharge(SpuId spu)
 {
-    Entry &e = entry(spu);
-    if (e.levels.used >= e.levels.allowed)
+    if (ledger_.atLimit(spu))
         return false;
     if (!phys_.allocate(1))
         return false;
-    ++e.levels.used;
+    ledger_.use(spu);
     return true;
 }
 
 void
 VirtualMemory::uncharge(SpuId spu)
 {
-    Entry &e = entry(spu);
-    if (e.levels.used == 0)
-        PISO_PANIC("uncharge of SPU ", spu, " with zero used pages");
-    --e.levels.used;
+    ledger_.release(spu);
     phys_.release(1);
 }
 
 void
 VirtualMemory::transferCharge(SpuId from, SpuId to)
 {
-    Entry &src = entry(from);
-    if (src.levels.used == 0)
-        PISO_PANIC("transfer from SPU ", from, " with zero used pages");
-    --src.levels.used;
-    ++entry(to).levels.used;
+    ledger_.transfer(from, to);
 }
 
 bool
 VirtualMemory::atLimit(SpuId spu) const
 {
-    const MemLevels &l = entry(spu).levels;
-    return l.used >= l.allowed;
+    return ledger_.atLimit(spu);
 }
 
 std::uint64_t
 VirtualMemory::overAllowed(SpuId spu) const
 {
-    const MemLevels &l = entry(spu).levels;
-    return l.used > l.allowed ? l.used - l.allowed : 0;
+    return ledger_.overAllowed(spu);
 }
 
 SpuId
 VirtualMemory::victimSpu(SpuId requester) const
 {
     // Isolation: an SPU at its own cap pays for itself.
-    auto req = spus_.find(requester);
-    if (req != spus_.end() &&
-        req->second.levels.used >= req->second.levels.allowed &&
-        req->second.levels.used > 0) {
-        return requester;
+    if (ledger_.knows(requester)) {
+        const MemLevels &l = ledger_.levels(requester);
+        if (l.used >= l.allowed && l.used > 0)
+            return requester;
     }
 
     // Global shortage: most-over-allowed SPU first (borrowers being
     // revoked), then the largest non-kernel holder (SMP behaviour).
     SpuId best = kNoSpu;
     std::uint64_t bestOver = 0;
-    for (const auto &[spu, e] : spus_) {
-        const std::uint64_t over =
-            e.levels.used > e.levels.allowed
-                ? e.levels.used - e.levels.allowed
-                : 0;
+    for (SpuId spu : ledger_.spus()) {
+        const std::uint64_t over = ledger_.overAllowed(spu);
         if (over > bestOver) {
             bestOver = over;
             best = spu;
@@ -124,11 +104,12 @@ VirtualMemory::victimSpu(SpuId requester) const
         return best;
 
     std::uint64_t bestUsed = 0;
-    for (const auto &[spu, e] : spus_) {
+    for (SpuId spu : ledger_.spus()) {
         if (spu == kKernelSpu)
             continue;
-        if (e.levels.used > bestUsed) {
-            bestUsed = e.levels.used;
+        const std::uint64_t used = ledger_.levels(spu).used;
+        if (used > bestUsed) {
+            bestUsed = used;
             best = spu;
         }
     }
@@ -138,20 +119,22 @@ VirtualMemory::victimSpu(SpuId requester) const
 SpuId
 VirtualMemory::weightedVictim(Rng &rng) const
 {
+    const std::vector<SpuId> all = ledger_.spus();
     std::uint64_t total = 0;
-    for (const auto &[spu, e] : spus_) {
+    for (SpuId spu : all) {
         if (spu != kKernelSpu)
-            total += e.levels.used;
+            total += ledger_.levels(spu).used;
     }
     if (total == 0)
         return kNoSpu;
     std::uint64_t pick = rng.uniformInt(total);
-    for (const auto &[spu, e] : spus_) {
+    for (SpuId spu : all) {
         if (spu == kKernelSpu)
             continue;
-        if (pick < e.levels.used)
+        const std::uint64_t used = ledger_.levels(spu).used;
+        if (pick < used)
             return spu;
-        pick -= e.levels.used;
+        pick -= used;
     }
     return kNoSpu;
 }
@@ -159,32 +142,31 @@ VirtualMemory::weightedVictim(Rng &rng) const
 void
 VirtualMemory::notePressure(SpuId spu)
 {
-    ++entry(spu).pressure;
+    ++pressureEntry(spu);
 }
 
 std::uint64_t
 VirtualMemory::takePressure(SpuId spu)
 {
-    Entry &e = entry(spu);
-    const std::uint64_t v = e.pressure;
-    e.pressure = 0;
+    std::uint64_t &p = pressureEntry(spu);
+    const std::uint64_t v = p;
+    p = 0;
     return v;
 }
 
 std::uint64_t
 VirtualMemory::pressure(SpuId spu) const
 {
-    return entry(spu).pressure;
+    auto it = pressure_.find(spu);
+    if (it == pressure_.end())
+        PISO_PANIC("unknown SPU ", spu);
+    return it->second;
 }
 
 std::vector<SpuId>
 VirtualMemory::spus() const
 {
-    std::vector<SpuId> out;
-    out.reserve(spus_.size());
-    for (const auto &[spu, e] : spus_)
-        out.push_back(spu);
-    return out;
+    return ledger_.spus();
 }
 
 } // namespace piso

@@ -8,27 +8,27 @@
  *
  * This layer is pure bookkeeping — which SPU holds how many frames
  * against which limits, and who should lose a frame when someone needs
- * one. The Kernel performs the actual evictions and I/O; the
- * MemorySharingPolicy (src/core) moves the *allowed* levels around.
+ * one. The level accounting itself lives in a ResourceLedger
+ * (src/core/ledger.hh); this class adds the frame pool, the victim
+ * policies, and the pressure signal. The Kernel performs the actual
+ * evictions and I/O; the MemorySharingPolicy (src/core) moves the
+ * *allowed* levels around.
  */
 
 #include <cstdint>
 #include <map>
 #include <vector>
 
+#include "src/core/ledger.hh"
 #include "src/machine/memory.hh"
 #include "src/sim/ids.hh"
 #include "src/sim/random.hh"
 
 namespace piso {
 
-/** The three per-resource levels of the SPU abstraction. */
-struct MemLevels
-{
-    std::uint64_t entitled = 0;  //!< initial share from the contract
-    std::uint64_t allowed = 0;   //!< current cap (moves with sharing)
-    std::uint64_t used = 0;      //!< frames currently held
-};
+/** The three per-resource levels of the SPU abstraction, counted in
+ *  page frames. */
+using MemLevels = ResourceLevels;
 
 /** Per-SPU frame accounting against entitled/allowed/used levels. */
 class VirtualMemory
@@ -110,17 +110,12 @@ class VirtualMemory
     std::vector<SpuId> spus() const;
 
   private:
-    struct Entry
-    {
-        MemLevels levels;
-        std::uint64_t pressure = 0;
-    };
-
-    const Entry &entry(SpuId spu) const;
-    Entry &entry(SpuId spu);
+    /** Fatal-checked pressure-counter access. */
+    std::uint64_t &pressureEntry(SpuId spu);
 
     PhysicalMemory &phys_;
-    std::map<SpuId, Entry> spus_;
+    ResourceLedger ledger_{"memory"};
+    std::map<SpuId, std::uint64_t> pressure_;
     std::uint64_t reservePages_ = 0;
 };
 

@@ -14,11 +14,13 @@
  */
 
 #include "src/core/disk_fair.hh"
+#include "src/core/ledger.hh"
 #include "src/core/mem_policy.hh"
 #include "src/core/net_fair.hh"
 #include "src/core/sched_piso.hh"
 #include "src/core/sched_quota.hh"
 #include "src/core/scheme.hh"
+#include "src/core/scheme_profile.hh"
 #include "src/core/spu.hh"
 #include "src/machine/disk.hh"
 #include "src/machine/disk_model.hh"

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/core/disk_fair.hh"
+#include "src/core/ledger.hh"
 #include "src/core/net_fair.hh"
 #include "src/core/sched_piso.hh"
 #include "src/core/sched_quota.hh"
@@ -20,29 +21,34 @@
 
 namespace piso {
 
-namespace {
-
-DiskPolicy
-resolveDiskPolicy(const SystemConfig &cfg)
+void
+SystemConfig::setProfile(const SchemeProfile &p)
 {
-    if (cfg.diskPolicy != DiskPolicy::SchemeDefault)
-        return cfg.diskPolicy;
-    switch (cfg.scheme) {
-      case Scheme::Smp:
-        return DiskPolicy::HeadPosition;
-      case Scheme::Quota:
-        return DiskPolicy::BlindFair;
-      case Scheme::PIso:
-        return DiskPolicy::FairPosition;
-    }
-    return DiskPolicy::HeadPosition;
+    cpuPolicy = p.cpu;
+    memoryPolicy = p.memory;
+    diskPolicy = p.disk;
+    netPolicy = p.net;
 }
 
-} // namespace
+SchemeProfile
+SystemConfig::resolvedProfile() const
+{
+    SchemeProfile p = SchemeProfile::uniform(scheme);
+    if (diskPolicy != DiskPolicy::SchemeDefault)
+        p.disk = diskPolicy;
+    if (cpuPolicy)
+        p.cpu = *cpuPolicy;
+    if (memoryPolicy)
+        p.memory = *memoryPolicy;
+    if (netPolicy)
+        p.net = *netPolicy;
+    return p;
+}
 
 struct Simulation::Impl
 {
     SystemConfig cfg;
+    SchemeProfile profile;
     Rng rng;
 
     EventQueue events;
@@ -76,13 +82,14 @@ struct Simulation::Impl
     void applyFault(const FaultEvent &ev);
 
     explicit Impl(const SystemConfig &c)
-        : cfg(c), rng(c.seed), phys(c.memoryBytes), vm(phys),
+        : cfg(c), profile(c.resolvedProfile()), rng(c.seed),
+          phys(c.memoryBytes), vm(phys),
           fs(c.diskParams.sectorBytes, 4096, rng.next())
     {
         if (cfg.diskCount < 1)
             PISO_FATAL("the machine needs at least one disk");
 
-        const DiskPolicy policy = resolveDiskPolicy(cfg);
+        const DiskPolicy policy = profile.disk;
         DiskModel model(cfg.diskParams);
         for (int d = 0; d < cfg.diskCount; ++d) {
             std::unique_ptr<DiskScheduler> dsched;
@@ -113,16 +120,16 @@ struct Simulation::Impl
             fs.addDisk(d, model.totalSectors());
         }
 
-        switch (cfg.scheme) {
-          case Scheme::Smp:
+        switch (profile.cpu) {
+          case CpuPolicy::Smp:
             sched = std::make_unique<SmpScheduler>(
                 events, cfg.cpus, cfg.tickPeriod, cfg.timeSlice);
             break;
-          case Scheme::Quota:
+          case CpuPolicy::Quota:
             sched = std::make_unique<QuotaScheduler>(
                 events, cfg.cpus, cfg.tickPeriod, cfg.timeSlice);
             break;
-          case Scheme::PIso: {
+          case CpuPolicy::PIso: {
             auto s = std::make_unique<PisoScheduler>(
                 events, cfg.cpus, cfg.tickPeriod, cfg.timeSlice);
             s->setIpiRevocation(cfg.ipiRevocation);
@@ -133,7 +140,7 @@ struct Simulation::Impl
         }
 
         KernelConfig kc = cfg.kernel;
-        kc.globalReplacement = cfg.scheme == Scheme::Smp;
+        kc.globalReplacement = profile.memory == MemoryPolicy::Smp;
 
         std::vector<DiskDevice *> diskPtrs;
         for (auto &d : disks)
@@ -144,7 +151,7 @@ struct Simulation::Impl
 
         if (cfg.networkBitsPerSec > 0.0) {
             std::unique_ptr<NetScheduler> nsched;
-            if (cfg.scheme == Scheme::Smp) {
+            if (profile.net == NetPolicy::Smp) {
                 nsched = std::make_unique<FifoNetScheduler>();
             } else {
                 auto fair =
@@ -157,7 +164,7 @@ struct Simulation::Impl
             kernel->setNetwork(network.get());
         }
 
-        if (cfg.scheme == Scheme::PIso) {
+        if (profile.memory == MemoryPolicy::PIso) {
             memPolicy = std::make_unique<MemorySharingPolicy>(
                 events, vm, spuMgr, cfg.memPolicy);
         }
@@ -199,7 +206,7 @@ Simulation::addJob(SpuId spu, JobSpec spec)
 void
 Simulation::Impl::rebalance()
 {
-    if (cfg.scheme != Scheme::Smp)
+    if (profile.cpu != CpuPolicy::Smp)
         sched->repartitionCpus(spuMgr.cpuShares());
     const auto users = spuMgr.userSpus();
     for (FairDiskScheduler *fds : fairSchedulers) {
@@ -232,8 +239,8 @@ Simulation::Impl::applyMemoryLevels()
     const auto reserve = static_cast<std::uint64_t>(
         cfg.memPolicy.reserveFraction * static_cast<double>(total));
 
-    switch (cfg.scheme) {
-      case Scheme::Smp:
+    switch (profile.memory) {
+      case MemoryPolicy::Smp:
         // No per-SPU limits; the pageout daemon keeps the reserve via
         // global replacement.
         vm.setReservePages(reserve);
@@ -242,20 +249,20 @@ Simulation::Impl::applyMemoryLevels()
             vm.setAllowed(spu, total);
         }
         break;
-      case Scheme::Quota: {
+      case MemoryPolicy::Quota: {
         // Fixed quotas: equal/weighted shares of non-kernel memory.
         vm.setReservePages(0);
         const std::uint64_t divisible =
             total > kernelPinnedPages ? total - kernelPinnedPages : 0;
         for (SpuId spu : users) {
-            const auto share = static_cast<std::uint64_t>(
-                spuMgr.shareOf(spu) * static_cast<double>(divisible));
+            const std::uint64_t share = ResourceLedger::entitledFloor(
+                spuMgr.shareOf(spu), divisible);
             vm.setEntitled(spu, share);
             vm.setAllowed(spu, share);
         }
         break;
       }
-      case Scheme::PIso:
+      case MemoryPolicy::PIso:
         // Levels are owned by the sharing policy; refresh its reserve
         // and recompute promptly so the new pool size takes effect
         // before the policy's next period.
@@ -392,11 +399,11 @@ Simulation::run()
 
     // The PIso sharing policy is not started yet: applyMemoryLevels
     // leaves its levels to MemorySharingPolicy::start() below.
-    if (im.cfg.scheme != Scheme::PIso)
+    if (im.profile.memory != MemoryPolicy::PIso)
         im.applyMemoryLevels();
 
     // --- CPU partition ---------------------------------------------
-    if (im.cfg.scheme != Scheme::Smp)
+    if (im.profile.cpu != CpuPolicy::Smp)
         im.sched->partitionCpus(im.spuMgr.cpuShares());
 
     // --- Disk and network bandwidth shares ---------------------------
@@ -477,6 +484,7 @@ Simulation::run()
 
     // --- Collect ------------------------------------------------------
     SimResults res;
+    res.profile = im.profile;
     res.simulatedTime = im.events.now();
     res.completed = im.kernel->liveProcesses() == 0;
     res.kernel = im.kernel->stats();

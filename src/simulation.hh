@@ -21,11 +21,13 @@
  */
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "src/core/mem_policy.hh"
 #include "src/core/scheme.hh"
+#include "src/core/scheme_profile.hh"
 #include "src/core/spu.hh"
 #include "src/machine/disk_model.hh"
 #include "src/metrics/results.hh"
@@ -50,10 +52,32 @@ struct SystemConfig
     DiskParams diskParams{};  //!< applied to every disk
     /// @}
 
-    /** @name Resource-allocation scheme */
+    /** @name Resource-allocation policies
+     *
+     * `scheme` picks one of Table 2's uniform columns for every
+     * resource at once; the optional per-resource fields override it
+     * individually (see docs/profiles.md). The simulation acts on
+     * resolvedProfile() only.
+     */
     /// @{
     Scheme scheme = Scheme::PIso;
     DiskPolicy diskPolicy = DiskPolicy::SchemeDefault;
+
+    /** CPU policy override; unset = follow `scheme`. */
+    std::optional<CpuPolicy> cpuPolicy;
+
+    /** Memory policy override; unset = follow `scheme`. */
+    std::optional<MemoryPolicy> memoryPolicy;
+
+    /** Network policy override; unset = follow `scheme`. */
+    std::optional<NetPolicy> netPolicy;
+
+    /** Pin all four per-resource policies at once. */
+    void setProfile(const SchemeProfile &p);
+
+    /** The effective per-resource profile: `scheme` expanded via
+     *  SchemeProfile::uniform(), then the overrides applied. */
+    SchemeProfile resolvedProfile() const;
 
     /** BW difference threshold of the PIso disk policy (decayed
      *  sectors per unit share). */

@@ -14,7 +14,9 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
+#include <vector>
 
 #include "src/config/workload_spec.hh"
 #include "src/metrics/report.hh"
@@ -126,31 +128,57 @@ main(int argc, char **argv)
                 std::printf("%s\n", formatResultsJson(r).c_str());
                 return 0;
             }
+            const SchemeProfile profile = spec.config.resolvedProfile();
             printBanner(std::string("piso_run: ") + path + " (" +
-                        schemeName(spec.config.scheme) + ")");
+                        (profile.mixed() ? profile.str()
+                                         : schemeName(spec.config.scheme)) +
+                        ")");
             printResults(r);
             return 0;
         }
 
         printBanner(std::string("piso_run --compare: ") + path);
+        // A spec whose resolved profile is mixed gets its own column
+        // next to the three uniform schemes.
+        const SchemeProfile specProfile = spec.config.resolvedProfile();
+        const bool mixedColumn = specProfile.mixed();
+        std::optional<SimResults> mixedResults;
+        if (mixedColumn)
+            mixedResults = runWorkloadSpec(spec);
         std::map<Scheme, SimResults> results;
         for (Scheme s :
              {Scheme::Smp, Scheme::Quota, Scheme::PIso}) {
-            spec.config.scheme = s;
-            results.emplace(s, runWorkloadSpec(spec));
+            WorkloadSpec uniform = spec;
+            uniform.config.scheme = s;
+            uniform.config.cpuPolicy.reset();
+            uniform.config.memoryPolicy.reset();
+            uniform.config.netPolicy.reset();
+            results.emplace(s, runWorkloadSpec(uniform));
         }
-        TextTable table({"job", "SMP (s)", "Quo (s)", "PIso (s)"});
+        std::vector<std::string> headers{"job", "SMP (s)", "Quo (s)",
+                                         "PIso (s)"};
+        if (mixedColumn) {
+            std::printf("mixed profile: %s\n\n",
+                        specProfile.str().c_str());
+            headers.push_back("mixed (s)");
+        }
+        TextTable table(headers);
         for (const JobResult &j : results.at(Scheme::Smp).jobs) {
-            table.addRow(
-                {j.name, TextTable::num(j.responseSec(), 2),
-                 TextTable::num(results.at(Scheme::Quota)
-                                    .job(j.name)
-                                    .responseSec(),
-                                2),
-                 TextTable::num(results.at(Scheme::PIso)
-                                    .job(j.name)
-                                    .responseSec(),
-                                2)});
+            std::vector<std::string> row{
+                j.name, TextTable::num(j.responseSec(), 2),
+                TextTable::num(results.at(Scheme::Quota)
+                                   .job(j.name)
+                                   .responseSec(),
+                               2),
+                TextTable::num(results.at(Scheme::PIso)
+                                   .job(j.name)
+                                   .responseSec(),
+                               2)};
+            if (mixedColumn) {
+                row.push_back(TextTable::num(
+                    mixedResults->job(j.name).responseSec(), 2));
+            }
+            table.addRow(std::move(row));
         }
         table.print();
         return 0;
