@@ -15,11 +15,14 @@
 
 #include <cstdio>
 
+#include "src/exp/pool.hh"
 #include "src/piso.hh"
 
 using namespace piso;
 
 namespace {
+
+constexpr std::uint64_t kSeeds[] = {1, 2, 3};
 
 struct Point
 {
@@ -31,38 +34,49 @@ struct Point
 Point
 run(DiskPolicy policy, double threshold)
 {
+    // One simulation per seed, in parallel on the sweep engine's pool
+    // (results come back in seed order, so the averages are exactly
+    // the serial ones).
+    const auto points = exp::parallelMap<Point>(
+        std::size(kSeeds), 0, [&](std::size_t s) {
+            SystemConfig cfg;
+            cfg.cpus = 2;
+            cfg.memoryBytes = 44 * kMiB;
+            cfg.diskCount = 1;
+            cfg.scheme = Scheme::PIso;
+            cfg.diskPolicy = policy;
+            cfg.bwThresholdSectors = threshold;
+            cfg.diskParams.seekScale = 0.5;
+            cfg.seed = kSeeds[s];
+
+            Simulation sim(cfg);
+            const SpuId pmk =
+                sim.addSpu({.name = "pmk", .homeDisk = 0});
+            const SpuId cpy =
+                sim.addSpu({.name = "cpy", .homeDisk = 0});
+            PmakeConfig pm;
+            pm.parallelism = 2;
+            pm.filesPerWorker = 40;
+            pm.compileCpu = 25 * kMs;
+            pm.workerWsPages = 200;
+            sim.addJob(pmk, makePmake("pmake", pm));
+            FileCopyConfig cc;
+            cc.bytes = 20 * kMiB;
+            sim.addJob(cpy, makeFileCopy("copy", cc));
+
+            const SimResults r = sim.run();
+            return Point{r.job("pmake").responseSec(),
+                         r.job("copy").responseSec(),
+                         r.disks[0].avgPositionMs};
+        });
+
     Point sum;
-    int n = 0;
-    for (std::uint64_t seed : {1, 2, 3}) {
-        SystemConfig cfg;
-        cfg.cpus = 2;
-        cfg.memoryBytes = 44 * kMiB;
-        cfg.diskCount = 1;
-        cfg.scheme = Scheme::PIso;
-        cfg.diskPolicy = policy;
-        cfg.bwThresholdSectors = threshold;
-        cfg.diskParams.seekScale = 0.5;
-        cfg.seed = seed;
-
-        Simulation sim(cfg);
-        const SpuId pmk = sim.addSpu({.name = "pmk", .homeDisk = 0});
-        const SpuId cpy = sim.addSpu({.name = "cpy", .homeDisk = 0});
-        PmakeConfig pm;
-        pm.parallelism = 2;
-        pm.filesPerWorker = 40;
-        pm.compileCpu = 25 * kMs;
-        pm.workerWsPages = 200;
-        sim.addJob(pmk, makePmake("pmake", pm));
-        FileCopyConfig cc;
-        cc.bytes = 20 * kMiB;
-        sim.addJob(cpy, makeFileCopy("copy", cc));
-
-        const SimResults r = sim.run();
-        sum.pmakeSec += r.job("pmake").responseSec();
-        sum.copySec += r.job("copy").responseSec();
-        sum.latencyMs += r.disks[0].avgPositionMs;
-        ++n;
+    for (const Point &p : points) {
+        sum.pmakeSec += p.pmakeSec;
+        sum.copySec += p.copySec;
+        sum.latencyMs += p.latencyMs;
     }
+    const auto n = static_cast<double>(points.size());
     sum.pmakeSec /= n;
     sum.copySec /= n;
     sum.latencyMs /= n;

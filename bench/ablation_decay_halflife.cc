@@ -14,11 +14,14 @@
 
 #include <cstdio>
 
+#include "src/exp/pool.hh"
 #include "src/piso.hh"
 
 using namespace piso;
 
 namespace {
+
+constexpr std::uint64_t kSeeds[] = {1, 2, 3};
 
 struct Point
 {
@@ -29,36 +32,43 @@ struct Point
 Point
 run(Time halfLife)
 {
+    // One simulation per seed, in parallel on the sweep engine's pool.
+    const auto points = exp::parallelMap<Point>(
+        std::size(kSeeds), 0, [&](std::size_t s) {
+            SystemConfig cfg;
+            cfg.cpus = 2;
+            cfg.memoryBytes = 44 * kMiB;
+            cfg.diskCount = 1;
+            cfg.scheme = Scheme::PIso;
+            cfg.diskPolicy = DiskPolicy::FairPosition;
+            cfg.bwHalfLife = halfLife;
+            cfg.diskParams.seekScale = 0.5;
+            cfg.kernel.writeThrottleSectors = 64 * 1024;
+            cfg.seed = kSeeds[s];
+
+            Simulation sim(cfg);
+            const SpuId sBig =
+                sim.addSpu({.name = "big", .homeDisk = 0});
+            const SpuId sSmall =
+                sim.addSpu({.name = "small", .homeDisk = 0});
+            FileCopyConfig big;
+            big.bytes = 5 * kMiB;
+            sim.addJob(sBig, makeFileCopy("big", big));
+            FileCopyConfig small;
+            small.bytes = 500 * 1024;
+            sim.addJob(sSmall, makeFileCopy("small", small));
+
+            const SimResults r = sim.run();
+            return Point{r.job("small").responseSec(),
+                         r.job("big").responseSec()};
+        });
+
     Point sum;
-    int n = 0;
-    for (std::uint64_t seed : {1, 2, 3}) {
-        SystemConfig cfg;
-        cfg.cpus = 2;
-        cfg.memoryBytes = 44 * kMiB;
-        cfg.diskCount = 1;
-        cfg.scheme = Scheme::PIso;
-        cfg.diskPolicy = DiskPolicy::FairPosition;
-        cfg.bwHalfLife = halfLife;
-        cfg.diskParams.seekScale = 0.5;
-        cfg.kernel.writeThrottleSectors = 64 * 1024;
-        cfg.seed = seed;
-
-        Simulation sim(cfg);
-        const SpuId sBig = sim.addSpu({.name = "big", .homeDisk = 0});
-        const SpuId sSmall =
-            sim.addSpu({.name = "small", .homeDisk = 0});
-        FileCopyConfig big;
-        big.bytes = 5 * kMiB;
-        sim.addJob(sBig, makeFileCopy("big", big));
-        FileCopyConfig small;
-        small.bytes = 500 * 1024;
-        sim.addJob(sSmall, makeFileCopy("small", small));
-
-        const SimResults r = sim.run();
-        sum.smallSec += r.job("small").responseSec();
-        sum.bigSec += r.job("big").responseSec();
-        ++n;
+    for (const Point &p : points) {
+        sum.smallSec += p.smallSec;
+        sum.bigSec += p.bigSec;
     }
+    const auto n = static_cast<double>(points.size());
     sum.smallSec /= n;
     sum.bigSec /= n;
     return sum;

@@ -16,6 +16,7 @@
 
 #include <cstdio>
 
+#include "src/exp/pool.hh"
 #include "src/piso.hh"
 
 using namespace piso;
@@ -78,9 +79,13 @@ run(Time holdoff, std::uint64_t seed)
 Point
 mean(Time holdoff)
 {
+    // One simulation per seed, in parallel on the sweep engine's pool.
+    constexpr std::uint64_t seeds[] = {1, 2, 3};
+    const auto points = exp::parallelMap<Point>(
+        std::size(seeds), 0,
+        [&](std::size_t s) { return run(holdoff, seeds[s]); });
     Point sum;
-    for (std::uint64_t seed : {1, 2, 3}) {
-        const Point p = run(holdoff, seed);
+    for (const Point &p : points) {
         sum.homeSec += p.homeSec;
         sum.borrowerSec += p.borrowerSec;
         sum.revocations += p.revocations;

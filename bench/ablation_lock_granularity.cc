@@ -16,6 +16,7 @@
 
 #include <cstdio>
 
+#include "src/exp/pool.hh"
 #include "src/piso.hh"
 
 using namespace piso;
@@ -68,9 +69,14 @@ runPmakes(Scheme scheme, bool readersWriter, std::uint64_t seed,
 double
 mean(Scheme scheme, bool rw)
 {
+    // One simulation per seed, in parallel on the sweep engine's pool.
+    constexpr std::uint64_t seeds[] = {1, 2, 3};
+    const auto responses = exp::parallelMap<double>(
+        std::size(seeds), 0,
+        [&](std::size_t s) { return runPmakes(scheme, rw, seeds[s]); });
     double sum = 0.0;
-    for (std::uint64_t seed : {1, 2, 3})
-        sum += runPmakes(scheme, rw, seed);
+    for (double r : responses)
+        sum += r;
     return sum / 3.0;
 }
 

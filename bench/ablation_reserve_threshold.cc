@@ -16,11 +16,14 @@
 
 #include <cstdio>
 
+#include "src/exp/pool.hh"
 #include "src/piso.hh"
 
 using namespace piso;
 
 namespace {
+
+constexpr std::uint64_t kSeeds[] = {1, 2, 3};
 
 struct Point
 {
@@ -31,40 +34,50 @@ struct Point
 Point
 run(double reserveFraction)
 {
+    // One simulation per seed, in parallel on the sweep engine's pool.
+    const auto points = exp::parallelMap<Point>(
+        std::size(kSeeds), 0, [&](std::size_t s) {
+            SystemConfig cfg;
+            cfg.cpus = 4;
+            cfg.memoryBytes = 16 * kMiB;
+            cfg.diskCount = 2;
+            cfg.scheme = Scheme::PIso;
+            cfg.memPolicy.reserveFraction = reserveFraction;
+            cfg.seed = kSeeds[s];
+
+            Simulation sim(cfg);
+            const SpuId lender =
+                sim.addSpu({.name = "lender", .homeDisk = 0});
+            const SpuId borrower =
+                sim.addSpu({.name = "borrower", .homeDisk = 1});
+
+            // The borrower wants far more than its half for four
+            // seconds.
+            ComputeSpec hog;
+            hog.totalCpu = 4 * kSec;
+            hog.wsPages = 2600;
+            sim.addJob(borrower, makeComputeJob("hog", hog));
+
+            // The lender wakes at t=1s and ramps a 1200-page working
+            // set.
+            std::vector<Action> ramp;
+            ramp.push_back(GrowMemAction{1200});
+            ramp.push_back(ComputeAction{1500 * kMs});
+            JobSpec rampJob =
+                makeScriptJob("ramp", std::move(ramp), kSec);
+            sim.addJob(lender, std::move(rampJob));
+
+            const SimResults r = sim.run();
+            return Point{r.job("ramp").responseSec(),
+                         r.job("hog").responseSec()};
+        });
+
     Point sum;
-    int n = 0;
-    for (std::uint64_t seed : {1, 2, 3}) {
-        SystemConfig cfg;
-        cfg.cpus = 4;
-        cfg.memoryBytes = 16 * kMiB;
-        cfg.diskCount = 2;
-        cfg.scheme = Scheme::PIso;
-        cfg.memPolicy.reserveFraction = reserveFraction;
-        cfg.seed = seed;
-
-        Simulation sim(cfg);
-        const SpuId lender = sim.addSpu({.name = "lender", .homeDisk = 0});
-        const SpuId borrower =
-            sim.addSpu({.name = "borrower", .homeDisk = 1});
-
-        // The borrower wants far more than its half for four seconds.
-        ComputeSpec hog;
-        hog.totalCpu = 4 * kSec;
-        hog.wsPages = 2600;
-        sim.addJob(borrower, makeComputeJob("hog", hog));
-
-        // The lender wakes at t=1s and ramps a 1200-page working set.
-        std::vector<Action> ramp;
-        ramp.push_back(GrowMemAction{1200});
-        ramp.push_back(ComputeAction{1500 * kMs});
-        JobSpec rampJob = makeScriptJob("ramp", std::move(ramp), kSec);
-        sim.addJob(lender, std::move(rampJob));
-
-        const SimResults r = sim.run();
-        sum.lenderSec += r.job("ramp").responseSec();
-        sum.borrowerSec += r.job("hog").responseSec();
-        ++n;
+    for (const Point &p : points) {
+        sum.lenderSec += p.lenderSec;
+        sum.borrowerSec += p.borrowerSec;
     }
+    const auto n = static_cast<double>(points.size());
     sum.lenderSec /= n;
     sum.borrowerSec /= n;
     return sum;

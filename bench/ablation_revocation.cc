@@ -15,11 +15,14 @@
 
 #include <cstdio>
 
+#include "src/exp/pool.hh"
 #include "src/piso.hh"
 
 using namespace piso;
 
 namespace {
+
+constexpr std::uint64_t kSeeds[] = {1, 2, 3};
 
 struct Point
 {
@@ -31,50 +34,63 @@ struct Point
 Point
 run(bool ipi, Time tick)
 {
+    // One simulation per seed, in parallel on the sweep engine's pool.
+    const auto points = exp::parallelMap<Point>(
+        std::size(kSeeds), 0, [&](std::size_t s) {
+            SystemConfig cfg;
+            cfg.cpus = 4;
+            cfg.memoryBytes = 32 * kMiB;
+            cfg.diskCount = 2;
+            cfg.scheme = Scheme::PIso;
+            cfg.ipiRevocation = ipi;
+            cfg.tickPeriod = tick;
+            cfg.seed = kSeeds[s];
+
+            Simulation sim(cfg);
+            const SpuId a =
+                sim.addSpu({.name = "interactive", .homeDisk = 0});
+            const SpuId b = sim.addSpu({.name = "batch", .homeDisk = 1});
+
+            // 200 bursts of 2 ms separated by ~20 ms think time (varied
+            // so the cycle cannot phase-lock to the slice quantum):
+            // ~4.4 s of ideal wall-clock, exquisitely sensitive to
+            // dispatch latency.
+            std::vector<Action> bursts;
+            for (int i = 0; i < 200; ++i) {
+                bursts.push_back(ComputeAction{2 * kMs});
+                bursts.push_back(
+                    SleepAction{(15 + (i * 7) % 11) * kMs});
+            }
+            sim.addJob(a, makeScriptJob("bursty", std::move(bursts)));
+
+            for (int i = 0; i < 8; ++i) {
+                ComputeSpec hog;
+                hog.totalCpu = 5 * kSec;
+                hog.wsPages = 64;
+                sim.addJob(b,
+                           makeComputeJob("hog" + std::to_string(i), hog));
+            }
+
+            const SimResults r = sim.run();
+            Point p;
+            p.interactiveSec = r.job("bursty").responseSec();
+            p.hogSec = r.meanResponseSecByPrefix("hog");
+            p.revocations =
+                dynamic_cast<PisoScheduler &>(sim.scheduler())
+                    .revocations();
+            return p;
+        });
+
     Point sum;
-    int n = 0;
-    for (std::uint64_t seed : {1, 2, 3}) {
-        SystemConfig cfg;
-        cfg.cpus = 4;
-        cfg.memoryBytes = 32 * kMiB;
-        cfg.diskCount = 2;
-        cfg.scheme = Scheme::PIso;
-        cfg.ipiRevocation = ipi;
-        cfg.tickPeriod = tick;
-        cfg.seed = seed;
-
-        Simulation sim(cfg);
-        const SpuId a = sim.addSpu({.name = "interactive", .homeDisk = 0});
-        const SpuId b = sim.addSpu({.name = "batch", .homeDisk = 1});
-
-        // 200 bursts of 2 ms separated by ~20 ms think time (varied so
-        // the cycle cannot phase-lock to the slice quantum): ~4.4 s of
-        // ideal wall-clock, exquisitely sensitive to dispatch latency.
-        std::vector<Action> bursts;
-        for (int i = 0; i < 200; ++i) {
-            bursts.push_back(ComputeAction{2 * kMs});
-            bursts.push_back(
-                SleepAction{(15 + (i * 7) % 11) * kMs});
-        }
-        sim.addJob(a, makeScriptJob("bursty", std::move(bursts)));
-
-        for (int i = 0; i < 8; ++i) {
-            ComputeSpec hog;
-            hog.totalCpu = 5 * kSec;
-            hog.wsPages = 64;
-            sim.addJob(b, makeComputeJob("hog" + std::to_string(i), hog));
-        }
-
-        const SimResults r = sim.run();
-        sum.interactiveSec += r.job("bursty").responseSec();
-        sum.hogSec += r.meanResponseSecByPrefix("hog");
-        auto &piso = dynamic_cast<PisoScheduler &>(sim.scheduler());
-        sum.revocations += piso.revocations();
-        ++n;
+    for (const Point &p : points) {
+        sum.interactiveSec += p.interactiveSec;
+        sum.hogSec += p.hogSec;
+        sum.revocations += p.revocations;
     }
-    sum.interactiveSec /= n;
-    sum.hogSec /= n;
-    sum.revocations /= static_cast<std::uint64_t>(n);
+    const auto n = points.size();
+    sum.interactiveSec /= static_cast<double>(n);
+    sum.hogSec /= static_cast<double>(n);
+    sum.revocations /= n;
     return sum;
 }
 

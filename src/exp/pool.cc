@@ -1,0 +1,66 @@
+#include "src/exp/pool.hh"
+
+#include <atomic>
+#include <exception>
+#include <thread>
+
+namespace piso::exp {
+
+int
+effectiveJobs(int jobs, std::size_t tasks)
+{
+    if (jobs <= 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        jobs = hw > 0 ? static_cast<int>(hw) : 1;
+    }
+    if (tasks < 1)
+        tasks = 1;
+    if (static_cast<std::size_t>(jobs) > tasks)
+        jobs = static_cast<int>(tasks);
+    return jobs;
+}
+
+void
+parallelFor(std::size_t n, int jobs,
+            const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    const int workers = effectiveJobs(jobs, n);
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::vector<std::exception_ptr> errors(n);
+
+    auto worker = [&] {
+        for (std::size_t i; (i = next.fetch_add(1)) < n;) {
+            if (failed.load())
+                break;  // abandon unclaimed work after a failure
+            try {
+                fn(i);
+            } catch (...) {
+                errors[i] = std::current_exception();
+                failed.store(true);
+            }
+        }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(workers));
+    for (int t = 0; t < workers; ++t)
+        threads.emplace_back(worker);
+    for (std::thread &t : threads)
+        t.join();
+
+    for (const std::exception_ptr &e : errors) {
+        if (e)
+            std::rethrow_exception(e);
+    }
+}
+
+} // namespace piso::exp

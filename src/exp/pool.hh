@@ -1,0 +1,59 @@
+#ifndef PISO_EXP_POOL_HH
+#define PISO_EXP_POOL_HH
+
+/**
+ * @file
+ * A small batch-parallel executor for independent simulations.
+ *
+ * Each Simulation is a self-contained deterministic DES, so a
+ * parameter sweep is embarrassingly parallel: parallelFor() runs
+ * `fn(0) .. fn(n-1)` across a fixed-size pool of worker threads,
+ * claiming indices dynamically (good load balance when task runtimes
+ * differ) and blocking until every task finished. Results keyed by
+ * index are therefore deterministic regardless of the worker count —
+ * the property the determinism test battery enforces end to end.
+ */
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace piso::exp {
+
+/**
+ * Resolve a worker-count request against the task count and the host.
+ * @param jobs  Requested workers; <= 0 means "one per hardware thread".
+ * @param tasks Number of tasks (the pool never exceeds it).
+ * @return a count in [1, max(1, tasks)].
+ */
+int effectiveJobs(int jobs, std::size_t tasks);
+
+/**
+ * Run @p fn(i) for every i in [0, n) on @p jobs worker threads.
+ *
+ * Blocks until all tasks completed. With jobs <= 1 everything runs
+ * inline on the calling thread (no threads are created), which makes
+ * `--jobs 1` a pure serial baseline. If tasks throw, the remaining
+ * unclaimed tasks are abandoned and the exception of the
+ * lowest-indexed failed task is rethrown after the pool drained.
+ */
+void parallelFor(std::size_t n, int jobs,
+                 const std::function<void(std::size_t)> &fn);
+
+/**
+ * parallelFor() collecting one result per index. @p fn maps an index
+ * to a value; the returned vector is ordered by index (deterministic
+ * for any worker count). T must be default-constructible.
+ */
+template <typename T, typename Fn>
+std::vector<T>
+parallelMap(std::size_t n, int jobs, Fn fn)
+{
+    std::vector<T> out(n);
+    parallelFor(n, jobs, [&](std::size_t i) { out[i] = fn(i); });
+    return out;
+}
+
+} // namespace piso::exp
+
+#endif // PISO_EXP_POOL_HH

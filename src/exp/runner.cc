@@ -1,0 +1,112 @@
+#include "src/exp/runner.hh"
+
+#include <chrono>
+#include <sstream>
+
+#include "src/exp/pool.hh"
+#include "src/metrics/report.hh"
+
+namespace piso::exp {
+
+namespace {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+} // namespace
+
+SweepOutcome
+runTasks(std::vector<ExperimentTask> tasks, const SweepOptions &opts)
+{
+    SweepOutcome outcome;
+    outcome.jobs = effectiveJobs(opts.jobs, tasks.size());
+
+    std::vector<SimResults> results(tasks.size());
+    const auto start = std::chrono::steady_clock::now();
+    parallelFor(tasks.size(), opts.jobs, [&](std::size_t i) {
+        results[i] = runWorkloadSpec(tasks[i].spec);
+    });
+    const auto stop = std::chrono::steady_clock::now();
+    outcome.wallSec =
+        std::chrono::duration<double>(stop - start).count();
+
+    outcome.runs.reserve(tasks.size());
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+        outcome.runs.push_back(
+            TaskRun{std::move(tasks[i]), std::move(results[i])});
+    }
+    return outcome;
+}
+
+SweepOutcome
+runPlan(const ExperimentPlan &plan, const SweepOptions &opts)
+{
+    return runTasks(expandPlan(plan), opts);
+}
+
+std::string
+formatTaskJsonl(const TaskRun &run)
+{
+    std::ostringstream os;
+    os << "{\"task\":" << run.task.index
+       << ",\"seed\":" << run.task.seed << ",\"params\":{";
+    bool first = true;
+    for (const auto &[key, value] : run.task.params) {
+        os << (first ? "" : ",") << '"' << jsonEscape(key) << "\":\""
+           << jsonEscape(value) << '"';
+        first = false;
+    }
+    os << "},\"results\":" << formatResultsJson(run.results) << "}";
+    return os.str();
+}
+
+std::string
+formatSweepJsonl(const SweepOutcome &outcome)
+{
+    std::string out;
+    for (const TaskRun &run : outcome.runs) {
+        out += formatTaskJsonl(run);
+        out += '\n';
+    }
+    return out;
+}
+
+std::string
+formatSweepSummary(const SweepOutcome &outcome)
+{
+    TextTable table({"task", "params", "sim (s)", "jobs done",
+                     "mean resp (s)"});
+    for (const TaskRun &run : outcome.runs) {
+        const SimResults &r = run.results;
+        int done = 0;
+        double respSum = 0.0;
+        int respCount = 0;
+        for (const JobResult &j : r.jobs) {
+            if (j.completed && !j.failed)
+                ++done;
+            if (j.completed) {
+                respSum += j.responseSec();
+                ++respCount;
+            }
+        }
+        table.addRow({std::to_string(run.task.index), run.task.label(),
+                      TextTable::num(toSeconds(r.simulatedTime), 2),
+                      std::to_string(done) + "/" +
+                          std::to_string(r.jobs.size()),
+                      TextTable::num(
+                          respCount ? respSum / respCount : 0.0, 2)});
+    }
+    return table.str();
+}
+
+} // namespace piso::exp

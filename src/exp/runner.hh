@@ -1,0 +1,70 @@
+#ifndef PISO_EXP_RUNNER_HH
+#define PISO_EXP_RUNNER_HH
+
+/**
+ * @file
+ * The parallel sweep engine: expand an ExperimentPlan, run one
+ * Simulation per task on a fixed-size thread pool, and aggregate the
+ * results deterministically.
+ *
+ * The contract the determinism tests enforce: formatSweepJsonl() is
+ * byte-identical for any `jobs` value, because tasks are keyed by
+ * their expansion index and every Simulation is self-contained (its
+ * Rng, trace and log contexts are per-run; see src/sim/trace.hh).
+ * Wall-clock numbers are reported separately and never enter the
+ * JSONL stream.
+ */
+
+#include <string>
+#include <vector>
+
+#include "src/exp/experiment.hh"
+#include "src/metrics/results.hh"
+
+namespace piso::exp {
+
+/** Knobs of one engine invocation. */
+struct SweepOptions
+{
+    /** Worker threads; 1 = serial, <= 0 = one per hardware thread. */
+    int jobs = 1;
+};
+
+/** One task's outcome. */
+struct TaskRun
+{
+    ExperimentTask task;
+    SimResults results;
+};
+
+/** Everything a sweep produced. */
+struct SweepOutcome
+{
+    std::vector<TaskRun> runs;  //!< ordered by task index
+    int jobs = 1;               //!< resolved worker count
+    double wallSec = 0.0;       //!< wall-clock of the parallel region
+};
+
+/** Expand @p plan and run every task. */
+SweepOutcome runPlan(const ExperimentPlan &plan,
+                     const SweepOptions &opts);
+
+/** Run an already-expanded task list (tasks keep their indices). */
+SweepOutcome runTasks(std::vector<ExperimentTask> tasks,
+                      const SweepOptions &opts);
+
+/** One task's JSONL record (no trailing newline):
+ *  `{"task":N,"seed":S,"params":{...},"results":{...}}`. */
+std::string formatTaskJsonl(const TaskRun &run);
+
+/** The whole sweep as JSONL, one line per task, in task order.
+ *  Deterministic: independent of opts.jobs and scheduling. */
+std::string formatSweepJsonl(const SweepOutcome &outcome);
+
+/** Aligned summary table (task, params, simulated time, jobs,
+ *  mean response) for terminals. */
+std::string formatSweepSummary(const SweepOutcome &outcome);
+
+} // namespace piso::exp
+
+#endif // PISO_EXP_RUNNER_HH

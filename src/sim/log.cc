@@ -9,19 +9,34 @@
 namespace piso {
 
 namespace {
-LogLevel gLevel = LogLevel::Quiet;
+thread_local LogContext tlsDefaultContext;
+thread_local LogContext *tlsContext = nullptr;
 } // namespace
+
+LogContext &
+logContext()
+{
+    return tlsContext ? *tlsContext : tlsDefaultContext;
+}
+
+LogContext *
+logSetContext(LogContext *ctx)
+{
+    LogContext *prev = tlsContext;
+    tlsContext = ctx;
+    return prev;
+}
 
 void
 setLogLevel(LogLevel level)
 {
-    gLevel = level;
+    logContext().level = level;
 }
 
 LogLevel
 logLevel()
 {
-    return gLevel;
+    return logContext().level;
 }
 
 std::string
@@ -62,7 +77,7 @@ panicImpl(const char *file, int line, const std::string &msg)
 void
 logImpl(LogLevel level, const std::string &msg)
 {
-    if (static_cast<int>(level) <= static_cast<int>(gLevel))
+    if (static_cast<int>(level) <= static_cast<int>(logLevel()))
         std::fprintf(stderr, "%s\n", msg.c_str());
 }
 

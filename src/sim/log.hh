@@ -9,6 +9,11 @@
  * configuration, impossible workload parameters) and exits cleanly;
  * panic() is for internal invariant violations (simulator bugs) and
  * aborts so a core dump / debugger can capture the state.
+ *
+ * The verbosity level lives in a per-thread LogContext (mirroring
+ * TraceContext) so parallel sweep workers never share mutable log
+ * state; setLogLevel()/logLevel() are shims over the calling thread's
+ * current context.
  */
 
 #include <cstdint>
@@ -20,10 +25,44 @@ namespace piso {
 /** Verbosity levels for runtime logging. */
 enum class LogLevel : std::uint8_t { Quiet = 0, Info = 1, Debug = 2 };
 
-/** Set the global log verbosity (default: Quiet). */
+/** The mutable state of the logging facility (per thread). */
+struct LogContext
+{
+    LogLevel level = LogLevel::Quiet;
+};
+
+/** The calling thread's current log context (never null). */
+LogContext &logContext();
+
+/**
+ * Install @p ctx as the calling thread's current context (nullptr
+ * restores the thread's default context).
+ * @return the previously installed context pointer (maybe nullptr).
+ */
+LogContext *logSetContext(LogContext *ctx);
+
+/** RAII installation of a LogContext on the current thread. */
+class LogContextScope
+{
+  public:
+    explicit LogContextScope(LogContext &ctx)
+        : prev_(logSetContext(&ctx))
+    {
+    }
+
+    ~LogContextScope() { logSetContext(prev_); }
+
+    LogContextScope(const LogContextScope &) = delete;
+    LogContextScope &operator=(const LogContextScope &) = delete;
+
+  private:
+    LogContext *prev_;
+};
+
+/** Set the current thread's log verbosity (default: Quiet). */
 void setLogLevel(LogLevel level);
 
-/** Current global log verbosity. */
+/** Current log verbosity of the calling thread. */
 LogLevel logLevel();
 
 namespace detail {

@@ -5,32 +5,49 @@
 namespace piso {
 
 namespace {
-TraceCat gMask = TraceCat::None;
-TraceSink gSink;
+// Per-thread trace state: each sweep worker (and each Simulation via
+// TraceContextScope) gets independent mask/sink storage, so parallel
+// runs cannot race on it.
+thread_local TraceContext tlsDefaultContext;
+thread_local TraceContext *tlsContext = nullptr;
 } // namespace
+
+TraceContext &
+traceContext()
+{
+    return tlsContext ? *tlsContext : tlsDefaultContext;
+}
+
+TraceContext *
+traceSetContext(TraceContext *ctx)
+{
+    TraceContext *prev = tlsContext;
+    tlsContext = ctx;
+    return prev;
+}
 
 void
 traceEnable(TraceCat mask)
 {
-    gMask = mask;
+    traceContext().mask = mask;
 }
 
 void
 traceDisable()
 {
-    gMask = TraceCat::None;
+    traceContext().mask = TraceCat::None;
 }
 
 TraceCat
 traceMask()
 {
-    return gMask;
+    return traceContext().mask;
 }
 
 void
 traceSetSink(TraceSink sink)
 {
-    gSink = std::move(sink);
+    traceContext().sink = std::move(sink);
 }
 
 const char *
@@ -54,17 +71,23 @@ traceCatName(TraceCat cat)
     }
 }
 
+void
+TraceContext::emit(Time when, TraceCat cat, const std::string &msg) const
+{
+    if (sink) {
+        sink(when, cat, msg);
+        return;
+    }
+    std::fprintf(stderr, "%12s [%s] %s\n", formatTime(when).c_str(),
+                 traceCatName(cat), msg.c_str());
+}
+
 namespace detail {
 
 void
 traceEmit(TraceCat cat, Time when, const std::string &msg)
 {
-    if (gSink) {
-        gSink(when, cat, msg);
-        return;
-    }
-    std::fprintf(stderr, "%12s [%s] %s\n", formatTime(when).c_str(),
-                 traceCatName(cat), msg.c_str());
+    traceContext().emit(when, cat, msg);
 }
 
 } // namespace detail

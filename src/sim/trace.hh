@@ -14,6 +14,14 @@
  *   ...
  *   PISO_TRACE(TraceCat::Sched, now, "dispatch p", pid, " on cpu", c);
  * @endcode
+ *
+ * All trace state lives in a TraceContext. Each thread has its own
+ * ambient context (so concurrent Simulations — one per sweep worker —
+ * never share mutable trace state), and a Simulation captures the
+ * ambient context at construction and re-installs it for the duration
+ * of run(). The traceEnable()/traceSetSink() free functions are thin
+ * shims over the calling thread's current context, which keeps
+ * piso_run and every existing test unchanged.
  */
 
 #include <cstdint>
@@ -49,6 +57,58 @@ operator|(TraceCat a, TraceCat b)
 using TraceSink =
     std::function<void(Time when, TraceCat cat, const std::string &)>;
 
+/**
+ * The complete mutable state of the trace facility: the enabled
+ * category mask and the sink lines are delivered to. Copyable, so a
+ * Simulation can snapshot the ambient configuration and carry it to
+ * whichever thread eventually calls run().
+ */
+struct TraceContext
+{
+    TraceCat mask = TraceCat::None;
+    TraceSink sink;  //!< empty = format to stderr
+
+    bool
+    active(TraceCat cat) const
+    {
+        return (static_cast<std::uint32_t>(mask) &
+                static_cast<std::uint32_t>(cat)) != 0;
+    }
+
+    /** Deliver one formatted line to the sink (or stderr). */
+    void emit(Time when, TraceCat cat, const std::string &msg) const;
+};
+
+/** The calling thread's current trace context (never null). */
+TraceContext &traceContext();
+
+/**
+ * Install @p ctx as the calling thread's current context (nullptr
+ * restores the thread's default context).
+ * @return the previously installed context pointer (maybe nullptr).
+ */
+TraceContext *traceSetContext(TraceContext *ctx);
+
+/** RAII installation of a TraceContext on the current thread. */
+class TraceContextScope
+{
+  public:
+    explicit TraceContextScope(TraceContext &ctx)
+        : prev_(traceSetContext(&ctx))
+    {
+    }
+
+    ~TraceContextScope() { traceSetContext(prev_); }
+
+    TraceContextScope(const TraceContextScope &) = delete;
+    TraceContextScope &operator=(const TraceContextScope &) = delete;
+
+  private:
+    TraceContext *prev_;
+};
+
+/** @name Shims over the calling thread's current context */
+/// @{
 /** Enable the given categories (replaces the current mask). */
 void traceEnable(TraceCat mask);
 
@@ -62,12 +122,12 @@ TraceCat traceMask();
 inline bool
 traceActive(TraceCat cat)
 {
-    return (static_cast<std::uint32_t>(traceMask()) &
-            static_cast<std::uint32_t>(cat)) != 0;
+    return traceContext().active(cat);
 }
 
 /** Route trace lines to @p sink (nullptr restores stderr). */
 void traceSetSink(TraceSink sink);
+/// @}
 
 /** Short name of a category ("sched", "mem", ...). */
 const char *traceCatName(TraceCat cat);

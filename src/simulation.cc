@@ -49,6 +49,14 @@ struct Simulation::Impl
 {
     SystemConfig cfg;
     SchemeProfile profile;
+
+    // Trace/log state is per-simulation (snapshotted from the
+    // constructing thread's ambient contexts) and re-installed for the
+    // duration of run(), so concurrent Simulations on sweep workers
+    // never share mutable trace or log state.
+    TraceContext trace;
+    LogContext log;
+
     Rng rng;
 
     EventQueue events;
@@ -82,7 +90,8 @@ struct Simulation::Impl
     void applyFault(const FaultEvent &ev);
 
     explicit Impl(const SystemConfig &c)
-        : cfg(c), profile(c.resolvedProfile()), rng(c.seed),
+        : cfg(c), profile(c.resolvedProfile()), trace(traceContext()),
+          log(logContext()), rng(c.seed),
           phys(c.memoryBytes), vm(phys),
           fs(c.diskParams.sectorBytes, 4096, rng.next())
     {
@@ -377,6 +386,12 @@ Simulation::run()
     if (im.ran)
         PISO_FATAL("Simulation::run() called twice");
     im.ran = true;
+
+    // Run under this simulation's own trace/log contexts: every event
+    // callback below executes inside these scopes, whatever thread
+    // run() was called from.
+    TraceContextScope traceScope(im.trace);
+    LogContextScope logScope(im.log);
 
     const auto users = im.spuMgr.userSpus();
     if (users.empty())

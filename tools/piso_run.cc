@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/config/workload_spec.hh"
+#include "src/exp/pool.hh"
 #include "src/metrics/report.hh"
 #include "src/piso.hh"
 #include "src/sim/log.hh"
@@ -71,7 +72,7 @@ int
 usage()
 {
     std::fprintf(stderr,
-                 "usage: piso_run [--compare] [--trace=CATS] "
+                 "usage: piso_run [--compare] [--json] [--trace=CATS] "
                  "<workload-file>\n"
                  "  --compare     run the workload under all three "
                  "schemes (SMP/Quo/PIso)\n"
@@ -139,13 +140,12 @@ main(int argc, char **argv)
 
         printBanner(std::string("piso_run --compare: ") + path);
         // A spec whose resolved profile is mixed gets its own column
-        // next to the three uniform schemes.
+        // next to the three uniform schemes. All variants run in
+        // parallel on the sweep engine's pool (each Simulation is
+        // self-contained; see src/exp/pool.hh).
         const SchemeProfile specProfile = spec.config.resolvedProfile();
         const bool mixedColumn = specProfile.mixed();
-        std::optional<SimResults> mixedResults;
-        if (mixedColumn)
-            mixedResults = runWorkloadSpec(spec);
-        std::map<Scheme, SimResults> results;
+        std::vector<WorkloadSpec> variants;
         for (Scheme s :
              {Scheme::Smp, Scheme::Quota, Scheme::PIso}) {
             WorkloadSpec uniform = spec;
@@ -153,8 +153,26 @@ main(int argc, char **argv)
             uniform.config.cpuPolicy.reset();
             uniform.config.memoryPolicy.reset();
             uniform.config.netPolicy.reset();
-            results.emplace(s, runWorkloadSpec(uniform));
+            variants.push_back(std::move(uniform));
         }
+        if (mixedColumn)
+            variants.push_back(spec);
+        // Carry any --trace configuration to the worker threads (each
+        // gets its own copy; stderr writes are line-atomic).
+        const TraceContext ambientTrace = traceContext();
+        const auto all = exp::parallelMap<SimResults>(
+            variants.size(), 0, [&](std::size_t i) {
+                TraceContext ctx = ambientTrace;
+                TraceContextScope scope(ctx);
+                return runWorkloadSpec(variants[i]);
+            });
+        std::map<Scheme, SimResults> results;
+        results.emplace(Scheme::Smp, all[0]);
+        results.emplace(Scheme::Quota, all[1]);
+        results.emplace(Scheme::PIso, all[2]);
+        std::optional<SimResults> mixedResults;
+        if (mixedColumn)
+            mixedResults = all[3];
         std::vector<std::string> headers{"job", "SMP (s)", "Quo (s)",
                                          "PIso (s)"};
         if (mixedColumn) {
