@@ -30,7 +30,7 @@ DiskBandwidthTracker::setShare(SpuId spu, double share)
 {
     if (share <= 0.0)
         PISO_FATAL("bandwidth share must be positive, got ", share);
-    entries_.try_emplace(spu);
+    entries_.tryEmplace(spu);
     shares_.setShare(spu, share);
 }
 
@@ -46,18 +46,18 @@ DiskBandwidthTracker::addSectors(SpuId spu, std::uint64_t sectors,
 double
 DiskBandwidthTracker::usage(SpuId spu, Time now) const
 {
-    auto it = entries_.find(spu);
-    return it == entries_.end() ? 0.0 : decayed(it->second, now);
+    const Entry *e = entries_.find(spu);
+    return e ? decayed(*e, now) : 0.0;
 }
 
 double
 DiskBandwidthTracker::ratio(SpuId spu, Time now) const
 {
-    auto it = entries_.find(spu);
-    if (it == entries_.end())
+    const Entry *e = entries_.find(spu);
+    if (!e)
         return 0.0;
     // shares_.share() defaults to 1 for SPUs never given a share.
-    return decayed(it->second, now) / shares_.share(spu);
+    return decayed(*e, now) / shares_.share(spu);
 }
 
 FairDiskScheduler::FairDiskScheduler(Time halfLife, Time sharedWait)
@@ -159,11 +159,12 @@ PisoDiskScheduler::pick(const std::deque<DiskRequest> &queue,
         PISO_PANIC("PIso disk policy asked to pick from an empty queue");
 
     // Ratios of the user SPUs with active requests.
-    std::map<SpuId, double> ratios;
+    SpuTable<double> ratios;
     for (const DiskRequest &r : queue) {
         if (r.spu == kSharedSpu || r.spu == kKernelSpu)
             continue;
-        ratios.emplace(r.spu, tracker_.ratio(r.spu, now));
+        if (!ratios.contains(r.spu))
+            ratios[r.spu] = tracker_.ratio(r.spu, now);
     }
 
     if (ratios.empty() || sharedEligible(queue, now)) {
@@ -188,15 +189,15 @@ PisoDiskScheduler::pick(const std::deque<DiskRequest> &queue,
     const double cutoff = avg + threshold_;
     std::size_t idx = CScanScheduler::pickAmong(
         queue, headSector, [&](const DiskRequest &r) {
-            auto it = ratios.find(r.spu);
-            return it != ratios.end() && it->second <= cutoff;
+            const double *ratio = ratios.find(r.spu);
+            return ratio && *ratio <= cutoff;
         });
     if (idx == queue.size()) {
         // Numerical corner (all user SPUs above cutoff): fall back to
         // plain C-SCAN over user requests.
         idx = CScanScheduler::pickAmong(
             queue, headSector, [&](const DiskRequest &r) {
-                return ratios.count(r.spu) > 0;
+                return ratios.contains(r.spu);
             });
     }
     if (idx == queue.size()) {

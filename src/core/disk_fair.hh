@@ -18,9 +18,9 @@
  */
 
 #include <cstdint>
-#include <map>
 
 #include "src/core/ledger.hh"
+#include "src/core/spu_table.hh"
 #include "src/machine/disk.hh"
 #include "src/sim/time.hh"
 
@@ -58,7 +58,7 @@ class DiskBandwidthTracker
     double decayed(const Entry &e, Time now) const;
 
     Time halfLife_;
-    std::map<SpuId, Entry> entries_;
+    SpuTable<Entry> entries_;
     ResourceLedger shares_{"bandwidth"};
 };
 

@@ -15,7 +15,7 @@ ResourceLedger::ResourceLedger(std::string resource)
 void
 ResourceLedger::registerSpu(SpuId spu)
 {
-    spus_.try_emplace(spu);
+    spus_.tryEmplace(spu);
 }
 
 void
@@ -27,26 +27,22 @@ ResourceLedger::forget(SpuId spu)
 bool
 ResourceLedger::knows(SpuId spu) const
 {
-    return spus_.count(spu) > 0;
+    return spus_.contains(spu);
 }
 
 std::vector<SpuId>
 ResourceLedger::spus() const
 {
-    std::vector<SpuId> out;
-    out.reserve(spus_.size());
-    for (const auto &[spu, e] : spus_)
-        out.push_back(spu);
-    return out;
+    return spus_.ids();
 }
 
 const ResourceLedger::Entry &
 ResourceLedger::entry(SpuId spu) const
 {
-    auto it = spus_.find(spu);
-    if (it == spus_.end())
+    const Entry *e = spus_.find(spu);
+    if (!e)
         PISO_PANIC(resource_, " ledger: unknown SPU ", spu);
-    return it->second;
+    return *e;
 }
 
 ResourceLedger::Entry &
@@ -69,8 +65,8 @@ ResourceLedger::setShare(SpuId spu, double share)
 double
 ResourceLedger::share(SpuId spu) const
 {
-    auto it = spus_.find(spu);
-    return it == spus_.end() ? 1.0 : it->second.share;
+    const Entry *e = spus_.find(spu);
+    return e ? e->share : 1.0;
 }
 
 double
@@ -184,7 +180,7 @@ ResourceLedger::entitleByShare(std::uint64_t divisible)
 {
     const double total = totalShare();
     if (spus_.empty() || total == 0.0) {
-        for (auto &[spu, e] : spus_)
+        for (auto [spu, e] : spus_)
             e.levels.entitled = 0;
         return;
     }
@@ -192,7 +188,7 @@ ResourceLedger::entitleByShare(std::uint64_t divisible)
     // Floor allocation, remembering each SPU's fractional remainder.
     std::uint64_t assigned = 0;
     std::vector<std::pair<double, SpuId>> fractions;
-    for (auto &[spu, e] : spus_) {
+    for (auto [spu, e] : spus_) {
         const double exact = e.share / total *
                              static_cast<double>(divisible);
         const std::uint64_t floor =
@@ -204,8 +200,9 @@ ResourceLedger::entitleByShare(std::uint64_t divisible)
                                    spu);
     }
 
-    // Largest remainder first; ties go to the lower SPU id (the map
-    // order made `fractions` ascending by id, stable_sort keeps it).
+    // Largest remainder first; ties go to the lower SPU id (ascending
+    // iteration made `fractions` ascending by id, stable_sort keeps
+    // it).
     std::stable_sort(fractions.begin(), fractions.end(),
                      [](const auto &a, const auto &b) {
                          return a.first > b.first;

@@ -17,10 +17,10 @@
  */
 
 #include <cstdint>
-#include <map>
 #include <string>
 #include <vector>
 
+#include "src/core/spu_table.hh"
 #include "src/sim/ids.hh"
 
 namespace piso {
@@ -143,7 +143,7 @@ class ResourceLedger
     Entry &entry(SpuId spu);
 
     std::string resource_;
-    std::map<SpuId, Entry> spus_;
+    SpuTable<Entry> spus_;
     std::uint64_t capacity_ = 0;
 };
 

@@ -82,10 +82,16 @@ formatSweepJsonl(const SweepOutcome &outcome)
 }
 
 std::string
-formatSweepSummary(const SweepOutcome &outcome)
+formatSweepSummary(const SweepOutcome &outcome, bool includePerf)
 {
-    TextTable table({"task", "params", "sim (s)", "jobs done",
-                     "mean resp (s)"});
+    std::vector<std::string> header{"task", "params", "sim (s)",
+                                    "jobs done", "mean resp (s)"};
+    if (includePerf) {
+        header.push_back("events");
+        header.push_back("wall (ms)");
+        header.push_back("M ev/s");
+    }
+    TextTable table(header);
     for (const TaskRun &run : outcome.runs) {
         const SimResults &r = run.results;
         int done = 0;
@@ -99,12 +105,18 @@ formatSweepSummary(const SweepOutcome &outcome)
                 ++respCount;
             }
         }
-        table.addRow({std::to_string(run.task.index), run.task.label(),
-                      TextTable::num(toSeconds(r.simulatedTime), 2),
-                      std::to_string(done) + "/" +
-                          std::to_string(r.jobs.size()),
-                      TextTable::num(
-                          respCount ? respSum / respCount : 0.0, 2)});
+        std::vector<std::string> row{
+            std::to_string(run.task.index), run.task.label(),
+            TextTable::num(toSeconds(r.simulatedTime), 2),
+            std::to_string(done) + "/" + std::to_string(r.jobs.size()),
+            TextTable::num(respCount ? respSum / respCount : 0.0, 2)};
+        if (includePerf) {
+            row.push_back(std::to_string(r.perf.events));
+            row.push_back(TextTable::num(r.perf.wallSec * 1e3, 1));
+            row.push_back(
+                TextTable::num(r.perf.eventsPerSec() / 1e6, 2));
+        }
+        table.addRow(std::move(row));
     }
     return table.str();
 }

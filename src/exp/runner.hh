@@ -62,8 +62,12 @@ std::string formatTaskJsonl(const TaskRun &run);
 std::string formatSweepJsonl(const SweepOutcome &outcome);
 
 /** Aligned summary table (task, params, simulated time, jobs,
- *  mean response) for terminals. */
-std::string formatSweepSummary(const SweepOutcome &outcome);
+ *  mean response) for terminals. @p includePerf adds per-task
+ *  simulator-performance columns (events, wall ms, M events/s); it
+ *  defaults off because host timing varies run to run, and the
+ *  jobs-invariance test compares the perf-free table. */
+std::string formatSweepSummary(const SweepOutcome &outcome,
+                               bool includePerf = false);
 
 } // namespace piso::exp
 

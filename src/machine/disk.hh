@@ -15,10 +15,10 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <map>
 #include <memory>
 #include <string>
 
+#include "src/core/spu_table.hh"
 #include "src/machine/disk_model.hh"
 #include "src/sim/event_queue.hh"
 #include "src/sim/ids.hh"
@@ -197,7 +197,7 @@ class DiskDevice
     std::uint64_t nextId_ = 1;
 
     DiskStats stats_;
-    mutable std::map<SpuId, SpuDiskStats> spuStats_;
+    mutable SpuTable<SpuDiskStats> spuStats_;
 };
 
 } // namespace piso

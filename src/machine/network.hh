@@ -17,10 +17,10 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <map>
 #include <memory>
 #include <string>
 
+#include "src/core/spu_table.hh"
 #include "src/sim/event_queue.hh"
 #include "src/sim/ids.hh"
 #include "src/sim/stats.hh"
@@ -119,7 +119,7 @@ class NetworkInterface
     bool busy_ = false;
     std::uint64_t nextId_ = 1;
     Counter total_;
-    mutable std::map<SpuId, SpuNetStats> spuStats_;
+    mutable SpuTable<SpuNetStats> spuStats_;
 };
 
 } // namespace piso

@@ -88,7 +88,7 @@ printBanner(const std::string &title)
 }
 
 std::string
-formatResults(const SimResults &r)
+formatResults(const SimResults &r, bool withPerf)
 {
     std::ostringstream os;
     os << "simulated time: " << formatTime(r.simulatedTime)
@@ -164,6 +164,12 @@ formatResults(const SimResults &r)
            << " failed I/Os, " << r.kernel.lostWrites.value()
            << " lost writes\n";
     }
+    if (withPerf) {
+        os << "perf: " << r.perf.events << " events in "
+           << TextTable::num(r.perf.wallSec * 1e3, 1) << " ms ("
+           << TextTable::num(r.perf.eventsPerSec() / 1e6, 2)
+           << " M events/s)\n";
+    }
     return os.str();
 }
 
@@ -211,7 +217,7 @@ jsonEscape(const std::string &s)
 } // namespace
 
 std::string
-formatResultsJson(const SimResults &r)
+formatResultsJson(const SimResults &r, bool withPerf)
 {
     std::ostringstream os;
     os << "{\"simulated_time_s\":" << toSeconds(r.simulatedTime)
@@ -279,6 +285,12 @@ formatResultsJson(const SimResults &r)
        << ",\"io_timeouts\":" << r.kernel.ioTimeouts.value()
        << ",\"failed_ios\":" << r.kernel.failedIos.value()
        << ",\"lost_writes\":" << r.kernel.lostWrites.value() << "}";
+
+    if (withPerf) {
+        os << ",\"perf\":{\"events\":" << r.perf.events
+           << ",\"wall_ms\":" << r.perf.wallSec * 1e3
+           << ",\"events_per_sec\":" << r.perf.eventsPerSec() << "}";
+    }
 
     os << "}";
     return os.str();

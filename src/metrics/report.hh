@@ -48,8 +48,12 @@ void printBanner(const std::string &title);
 struct SimResults;
 
 /** Render a full run summary (jobs, SPUs, disks, kernel counters) as
- *  aligned tables — a one-call report for examples and debugging. */
-std::string formatResults(const SimResults &results);
+ *  aligned tables — a one-call report for examples and debugging.
+ *  @p withPerf adds a simulator-performance line (events executed,
+ *  host wall-clock, events/sec); it defaults off because host timing
+ *  is nondeterministic and must stay out of golden comparisons. */
+std::string formatResults(const SimResults &results,
+                          bool withPerf = false);
 
 /** formatResults() to stdout. */
 void printResults(const SimResults &results);
@@ -58,8 +62,15 @@ void printResults(const SimResults &results);
  * Render a run's results as a JSON object (jobs, SPUs, disks, kernel
  * counters) for scripting and plotting. Stable key names; numbers in
  * seconds/milliseconds as named.
+ *
+ * @p withPerf appends a "perf" object (events, wall_ms,
+ * events_per_sec) describing the *simulator's* host-side speed. It
+ * defaults off — and must stay off wherever byte-identical output is
+ * required (golden fixtures, sweep JSONL streams) — because wall-clock
+ * varies run to run.
  */
-std::string formatResultsJson(const SimResults &results);
+std::string formatResultsJson(const SimResults &results,
+                              bool withPerf = false);
 
 } // namespace piso
 

@@ -80,6 +80,24 @@ struct DiskResult
     std::map<SpuId, SpuDiskResult> perSpu;
 };
 
+/**
+ * Host-side performance of the simulator itself for one run: how many
+ * events the queue executed and how long the host took. This measures
+ * the *simulator*, not the simulated machine, so it is reported out of
+ * band (never in deterministic outputs such as sweep JSONL streams or
+ * golden fixtures).
+ */
+struct RunPerf
+{
+    std::uint64_t events = 0;  //!< events executed by the run loop
+    double wallSec = 0.0;      //!< host wall-clock for run()
+
+    double eventsPerSec() const
+    {
+        return wallSec > 0.0 ? static_cast<double>(events) / wallSec : 0.0;
+    }
+};
+
 /** Everything measured in one run. */
 struct SimResults
 {
@@ -92,6 +110,10 @@ struct SimResults
     std::map<SpuId, SpuResult> spus;
     std::vector<DiskResult> disks;
     KernelStats kernel;
+
+    /** Simulator (host) performance; see RunPerf for the out-of-band
+     *  reporting contract. */
+    RunPerf perf;
 
     /** Result of the job named @p name (fatal if absent). */
     const JobResult &job(const std::string &name) const;

@@ -1,39 +1,157 @@
 #include "src/os/buffer_cache.hh"
 
+#include <algorithm>
+
 #include "src/sim/log.hh"
 
 namespace piso {
 
+std::uint64_t
+BufferCache::hashKey(const BlockKey &key)
+{
+    // Mix file and block, then a splitmix64-style finalizer; the low
+    // bits must be well distributed because the table is a power of
+    // two and probing is linear.
+    std::uint64_t x =
+        key.block * 0x9e3779b97f4a7c15ull +
+        (static_cast<std::uint64_t>(
+             static_cast<std::uint32_t>(key.file)) *
+         0xc2b2ae3d27d4eb4full);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return x;
+}
+
+std::size_t
+BufferCache::probe(const BlockKey &key) const
+{
+    std::size_t pos = hashKey(key) & indexMask_;
+    while (index_[pos].key.file != kNoFile) {
+        if (index_[pos].key == key)
+            return pos;
+        pos = (pos + 1) & indexMask_;
+    }
+    return pos;
+}
+
+void
+BufferCache::ensureIndexCapacity()
+{
+    if (!index_.empty() && (size_ + 1) * 4 <= index_.size() * 3)
+        return;
+
+    const std::size_t newCap = index_.empty() ? 64 : index_.size() * 2;
+    std::vector<IndexEntry> old = std::move(index_);
+    index_.assign(newCap, IndexEntry{});
+    indexMask_ = newCap - 1;
+    for (const IndexEntry &e : old) {
+        if (e.key.file == kNoFile)
+            continue;
+        std::size_t pos = hashKey(e.key) & indexMask_;
+        while (index_[pos].key.file != kNoFile)
+            pos = (pos + 1) & indexMask_;
+        index_[pos] = e;
+    }
+}
+
+void
+BufferCache::eraseIndexAt(std::size_t pos)
+{
+    // Backward-shift deletion: pull displaced entries into the hole so
+    // probe chains never need tombstones.
+    std::size_t hole = pos;
+    std::size_t next = (hole + 1) & indexMask_;
+    while (index_[next].key.file != kNoFile) {
+        const std::size_t home = hashKey(index_[next].key) & indexMask_;
+        // Movable iff its home slot is outside the cyclic range
+        // (hole, next] — i.e. probing from home reaches the hole
+        // before (or at) its current position.
+        if (((next - home) & indexMask_) >= ((next - hole) & indexMask_)) {
+            index_[hole] = index_[next];
+            hole = next;
+        }
+        next = (next + 1) & indexMask_;
+    }
+    index_[hole] = IndexEntry{};
+}
+
+void
+BufferCache::lruUnlink(CacheBlock &blk)
+{
+    if (blk.lruPrev != kNullSlot)
+        slab_[blk.lruPrev].lruNext = blk.lruNext;
+    else
+        lruHead_ = blk.lruNext;
+    if (blk.lruNext != kNullSlot)
+        slab_[blk.lruNext].lruPrev = blk.lruPrev;
+    else
+        lruTail_ = blk.lruPrev;
+}
+
+void
+BufferCache::lruPushFront(CacheBlock &blk)
+{
+    blk.lruPrev = kNullSlot;
+    blk.lruNext = lruHead_;
+    if (lruHead_ != kNullSlot)
+        slab_[lruHead_].lruPrev = blk.slabIndex;
+    else
+        lruTail_ = blk.slabIndex;
+    lruHead_ = blk.slabIndex;
+}
+
 CacheBlock *
 BufferCache::find(const BlockKey &key)
 {
-    auto it = blocks_.find(key);
-    return it == blocks_.end() ? nullptr : &it->second;
+    if (index_.empty())
+        return nullptr;
+    const std::size_t pos = probe(key);
+    if (index_[pos].key.file == kNoFile)
+        return nullptr;
+    return &slab_[index_[pos].slot];
 }
 
 CacheBlock &
 BufferCache::insert(const BlockKey &key, SpuId owner, bool valid)
 {
-    auto [it, inserted] = blocks_.try_emplace(key);
-    if (!inserted)
+    ensureIndexCapacity();
+    const std::size_t pos = probe(key);
+    if (index_[pos].key.file != kNoFile)
         PISO_PANIC("duplicate cache insert for file ", key.file,
                    " block ", key.block);
-    CacheBlock &blk = it->second;
+
+    std::uint32_t slot;
+    if (!freeSlab_.empty()) {
+        slot = freeSlab_.back();
+        freeSlab_.pop_back();
+    } else {
+        slot = static_cast<std::uint32_t>(slab_.size());
+        slab_.emplace_back();
+    }
+    index_[pos] = IndexEntry{key, slot};
+
+    CacheBlock &blk = slab_[slot];
     blk.key = key;
-    blk.owner = owner;
     blk.valid = valid;
-    lru_.push_front(key);
-    blk.lruPos = lru_.begin();
+    blk.dirty = false;
+    blk.flushing = false;
+    blk.owner = owner;
+    blk.waiters.clear();
+    blk.slabIndex = slot;
+    lruPushFront(blk);
     ++perSpu_[owner];
+    ++size_;
     return blk;
 }
 
 void
 BufferCache::touch(CacheBlock &blk)
 {
-    lru_.erase(blk.lruPos);
-    lru_.push_front(blk.key);
-    blk.lruPos = lru_.begin();
+    lruUnlink(blk);
+    lruPushFront(blk);
 }
 
 void
@@ -49,33 +167,44 @@ BufferCache::setOwner(CacheBlock &blk, SpuId owner)
 void
 BufferCache::remove(const BlockKey &key)
 {
-    auto it = blocks_.find(key);
-    if (it == blocks_.end())
+    if (index_.empty())
         PISO_PANIC("removing uncached block");
-    CacheBlock &blk = it->second;
+    const std::size_t pos = probe(key);
+    if (index_[pos].key.file == kNoFile)
+        PISO_PANIC("removing uncached block");
+
+    CacheBlock &blk = slab_[index_[pos].slot];
     if (!blk.waiters.empty())
         PISO_PANIC("removing a block with waiters");
     if (blk.dirty)
         --dirty_;
     --perSpu_[blk.owner];
-    lru_.erase(blk.lruPos);
-    blocks_.erase(it);
+    lruUnlink(blk);
+    freeSlab_.push_back(blk.slabIndex);
+    eraseIndexAt(pos);
+    --size_;
+    // Scrub the freed block so slab scans (forEachDirty) skip it.
+    blk.key = BlockKey{};
+    blk.valid = false;
+    blk.dirty = false;
+    blk.flushing = false;
+    blk.owner = kNoSpu;
 }
 
 bool
 BufferCache::stealClean(SpuId victim, SpuId &owner)
 {
     // Walk from least-recently-used towards the front.
-    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
-        CacheBlock *blk = find(*it);
-        if (!blk)
-            PISO_PANIC("LRU entry without a block");
-        if (!blk->valid || blk->dirty || blk->flushing)
+    for (std::uint32_t idx = lruTail_; idx != kNullSlot;
+         idx = slab_[idx].lruPrev) {
+        CacheBlock &blk = slab_[idx];
+        if (!blk.valid || blk.dirty || blk.flushing)
             continue;
-        if (victim != kNoSpu && blk->owner != victim)
+        if (victim != kNoSpu && blk.owner != victim)
             continue;
-        owner = blk->owner;
-        remove(blk->key);
+        owner = blk.owner;
+        const BlockKey key = blk.key; // remove() scrubs blk.key
+        remove(key);
         return true;
     }
     return false;
@@ -113,17 +242,27 @@ BufferCache::markClean(CacheBlock &blk)
 std::size_t
 BufferCache::pagesOf(SpuId spu) const
 {
-    auto it = perSpu_.find(spu);
-    return it == perSpu_.end() ? 0 : it->second;
+    const std::size_t *count = perSpu_.find(spu);
+    return count ? *count : 0;
 }
 
 void
 BufferCache::forEachDirty(const std::function<void(CacheBlock &)> &fn)
 {
-    for (auto &[key, blk] : blocks_) {
+    // Collect and sort so callers see ascending key order — flush
+    // clustering and first-dirty-victim selection depend on it.
+    std::vector<std::pair<BlockKey, std::uint32_t>> dirty;
+    dirty.reserve(dirty_);
+    for (const CacheBlock &blk : slab_) {
         if (blk.valid && blk.dirty && !blk.flushing)
-            fn(blk);
+            dirty.emplace_back(blk.key, blk.slabIndex);
     }
+    std::sort(dirty.begin(), dirty.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    for (const auto &[key, slot] : dirty)
+        fn(slab_[slot]);
 }
 
 } // namespace piso

@@ -11,14 +11,20 @@
  * and LRU order for stealing. The cache holds *no* frames itself — the
  * Kernel charges/uncharges frames through VirtualMemory and tells the
  * cache what happened; this keeps all memory policy in one place.
+ *
+ * Storage is an open-addressed hash index (linear probing with
+ * backward-shift deletion) over a pointer-stable block slab, with the
+ * LRU order kept as an intrusive doubly-linked list of slab indices —
+ * lookup and eviction cost no red-black-tree rebalances and no
+ * per-node allocations.
  */
 
 #include <cstdint>
+#include <deque>
 #include <functional>
-#include <list>
-#include <map>
 #include <vector>
 
+#include "src/core/spu_table.hh"
 #include "src/sim/ids.hh"
 
 namespace piso {
@@ -44,8 +50,12 @@ struct CacheBlock
     /** Callbacks run when an in-flight read completes. */
     std::vector<std::function<void()>> waiters;
 
-    /** Position in the LRU list (most recent at front). */
-    std::list<BlockKey>::iterator lruPos;
+    /** @name BufferCache internals (slab index and LRU links). */
+    /// @{
+    std::uint32_t slabIndex = 0;
+    std::uint32_t lruPrev = 0;
+    std::uint32_t lruNext = 0;
+    /// @}
 };
 
 /** Buffer-cache block table with LRU stealing. */
@@ -61,7 +71,9 @@ class BufferCache
 
     /**
      * Insert a block whose frame the caller has already charged to
-     * @p owner. @p valid=false marks a read in flight.
+     * @p owner. @p valid=false marks a read in flight. The returned
+     * reference (like every CacheBlock pointer) stays valid until the
+     * block is removed: the slab never relocates blocks.
      */
     CacheBlock &insert(const BlockKey &key, SpuId owner, bool valid);
 
@@ -92,7 +104,7 @@ class BufferCache
     void markClean(CacheBlock &blk);
 
     /** Total cached blocks. */
-    std::size_t size() const { return blocks_.size(); }
+    std::size_t size() const { return size_; }
 
     /** Dirty (unflushed) blocks. */
     std::size_t dirtyCount() const { return dirty_; }
@@ -100,14 +112,47 @@ class BufferCache
     /** Blocks charged to @p spu. */
     std::size_t pagesOf(SpuId spu) const;
 
-    /** Invoke @p fn on every dirty, valid, non-flushing block. */
+    /** Invoke @p fn on every dirty, valid, non-flushing block, in
+     *  ascending key order (the order the old std::map walk produced,
+     *  which downstream flush clustering depends on). */
     void forEachDirty(const std::function<void(CacheBlock &)> &fn);
 
   private:
-    std::map<BlockKey, CacheBlock> blocks_;
-    std::list<BlockKey> lru_;  //!< front = most recently used
+    /** Slab index meaning "none" (end of an LRU chain, free entry). */
+    static constexpr std::uint32_t kNullSlot = 0xffffffffu;
+
+    /** One hash-table entry; key.file == kNoFile marks it empty. */
+    struct IndexEntry
+    {
+        BlockKey key;
+        std::uint32_t slot = kNullSlot;
+    };
+
+    static std::uint64_t hashKey(const BlockKey &key);
+
+    /** Grow (or create) the index so one more insert keeps the load
+     *  factor at or below 3/4. */
+    void ensureIndexCapacity();
+
+    /** Probe for @p key. @return the index position holding it, or the
+     *  first empty position when absent. */
+    std::size_t probe(const BlockKey &key) const;
+
+    /** Backward-shift deletion at index position @p pos. */
+    void eraseIndexAt(std::size_t pos);
+
+    void lruUnlink(CacheBlock &blk);
+    void lruPushFront(CacheBlock &blk);
+
+    std::deque<CacheBlock> slab_;
+    std::vector<std::uint32_t> freeSlab_;
+    std::vector<IndexEntry> index_;
+    std::size_t indexMask_ = 0;
+    std::uint32_t lruHead_ = kNullSlot;
+    std::uint32_t lruTail_ = kNullSlot;
+    std::size_t size_ = 0;
     std::size_t dirty_ = 0;
-    std::map<SpuId, std::size_t> perSpu_;
+    SpuTable<std::size_t> perSpu_;
 };
 
 } // namespace piso

@@ -236,10 +236,9 @@ Kernel::segmentEnd(Process &p)
         auto granted = locks_.release(p.lockHeld, &p);
         p.lockHeld = -1;
         // Undo any inherited priority boost.
-        auto boosted = boostedNice_.find(&p);
-        if (boosted != boostedNice_.end()) {
-            p.nice = boosted->second;
-            boostedNice_.erase(boosted);
+        if (const double *boosted = boostedNice_.find(p.pid())) {
+            p.nice = *boosted;
+            boostedNice_.erase(p.pid());
         }
         for (Process *q : granted)
             wakeProcess(*q);
@@ -406,7 +405,8 @@ Kernel::doLock(Process &p, const LockAction &a)
             if (q->priority() > p.priority()) {
                 PISO_TRACE(TraceCat::Lock, events_.now(), q->name(),
                            " inherits priority of ", p.name());
-                boostedNice_.try_emplace(q, q->nice);
+                if (!boostedNice_.contains(q->pid()))
+                    boostedNice_[q->pid()] = q->nice;
                 // Inherit the waiter's priority and keep it through
                 // the rest of the critical section (the holder's own
                 // usage during the hold must not re-demote it).
@@ -448,19 +448,21 @@ void
 Kernel::swapLocation(SpuId spu, DiskId &disk, std::uint64_t &sector,
                      Rng &rng, std::uint64_t pages)
 {
-    auto dIt = spuDisk_.find(spu);
-    disk = dIt == spuDisk_.end() ? 0 : dIt->second;
+    const DiskId *d = spuDisk_.find(spu);
+    disk = d ? *d : 0;
 
-    auto it = swapExtent_.find(spu);
-    if (it == swapExtent_.end()) {
+    FileId extent;
+    if (const FileId *known = swapExtent_.find(spu)) {
+        extent = *known;
+    } else {
         const std::uint64_t bytes =
             config_.swapExtentPages *
             static_cast<std::uint64_t>(fs_.blockBytes());
-        FileId ext = fs_.createExtent("swap-spu" + std::to_string(spu),
-                                      disk, bytes);
-        it = swapExtent_.emplace(spu, ext).first;
+        extent = fs_.createExtent("swap-spu" + std::to_string(spu),
+                                  disk, bytes);
+        swapExtent_[spu] = extent;
     }
-    const FileInfo &f = fs_.file(it->second);
+    const FileInfo &f = fs_.file(extent);
     const std::uint32_t spb = fs_.sectorsPerBlock();
     const std::uint64_t extentPages = f.sectors / spb;
     if (pages > extentPages)
@@ -487,10 +489,9 @@ Kernel::reclaimPage(SpuId victim)
     }
 
     // 2. An anonymous page of the victim's largest process.
-    auto it = spuProcs_.find(victim);
-    if (it != spuProcs_.end()) {
+    if (const std::vector<Process *> *procs = spuProcs_.find(victim)) {
         Process *vp = nullptr;
-        for (Process *q : it->second) {
+        for (Process *q : *procs) {
             if (q->resident > 0 && (!vp || q->resident > vp->resident))
                 vp = q;
         }
@@ -748,8 +749,8 @@ Kernel::pageoutDaemon()
     // clustered requests at the end of the pass.
     std::map<std::pair<SpuId, DiskId>, std::uint64_t> dirty;
     auto spuDisk = [this](SpuId spu) {
-        auto it = spuDisk_.find(spu);
-        return it == spuDisk_.end() ? DiskId{0} : it->second;
+        const DiskId *d = spuDisk_.find(spu);
+        return d ? *d : DiskId{0};
     };
 
     // 1. Enforce allowed levels: reclaim from over-allowed SPUs
@@ -1114,9 +1115,8 @@ Kernel::maybeReadAhead(Process &p, FileId file, std::uint64_t endBlock)
 bool
 Kernel::throttled(DiskId disk) const
 {
-    auto it = flushBacklog_.find(disk);
-    return it != flushBacklog_.end() &&
-           it->second > config_.writeThrottleSectors;
+    const std::uint64_t *backlog = flushBacklog_.find(disk);
+    return backlog && *backlog > config_.writeThrottleSectors;
 }
 
 void
@@ -1139,11 +1139,11 @@ Kernel::wakeThrottled(DiskId disk)
 {
     if (flushBacklog_[disk] > config_.writeThrottleSectors / 2)
         return;
-    auto it = throttleWaiters_.find(disk);
-    if (it == throttleWaiters_.end() || it->second.empty())
+    std::vector<Process *> *list = throttleWaiters_.find(disk);
+    if (!list || list->empty())
         return;
-    auto waiters = std::move(it->second);
-    it->second.clear();
+    auto waiters = std::move(*list);
+    list->clear();
     for (Process *q : waiters)
         wakeProcess(*q);
 }

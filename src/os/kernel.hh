@@ -394,30 +394,31 @@ class Kernel : public SchedClient
     KernelConfig config_;
 
     std::vector<std::unique_ptr<Process>> processes_;
-    std::map<SpuId, std::vector<Process *>> spuProcs_;
+    SpuTable<std::vector<Process *>> spuProcs_;
     std::size_t live_ = 0;
     Pid nextPid_ = 1;
 
     std::vector<Barrier> barriers_;
     LockTable locks_;
-    /** Original nice values of priority-boosted lock holders. */
-    std::map<Process *, double> boostedNice_;
+    /** Original nice values of priority-boosted lock holders, by pid
+     *  (pids, unlike pointers, keep any iteration deterministic). */
+    DenseTable<Pid, double> boostedNice_;
 
     NetworkInterface *net_ = nullptr;
 
-    std::map<SpuId, DiskId> spuDisk_;
-    std::map<SpuId, FileId> swapExtent_;
+    SpuTable<DiskId> spuDisk_;
+    SpuTable<FileId> swapExtent_;
 
     /** Outstanding kernel-write sectors per disk (throttling). */
-    std::map<DiskId, std::uint64_t> flushBacklog_;
-    std::map<DiskId, std::vector<Process *>> throttleWaiters_;
+    DenseTable<DiskId, std::uint64_t> flushBacklog_;
+    DenseTable<DiskId, std::vector<Process *>> throttleWaiters_;
     bool bdflushPending_ = false;
 
     /** Sequential-read detection: (pid, file) -> next expected block. */
     std::map<std::pair<Pid, FileId>, std::uint64_t> readCursor_;
 
     KernelStats stats_;
-    mutable std::map<SpuId, SpuFaultStats> spuFaults_;
+    mutable SpuTable<SpuFaultStats> spuFaults_;
     bool started_ = false;
 };
 

@@ -249,8 +249,8 @@ CpuScheduler::tick()
 Time
 CpuScheduler::spuCpuTime(SpuId spu) const
 {
-    auto it = spuCpuTime_.find(spu);
-    Time t = it == spuCpuTime_.end() ? 0 : it->second;
+    const Time *accrued = spuCpuTime_.find(spu);
+    Time t = accrued ? *accrued : 0;
     // Include the in-flight portion of currently running processes.
     for (const auto &c : cpus_) {
         if (c.running && c.running->spu() == spu)

@@ -25,6 +25,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/core/spu_table.hh"
 #include "src/os/process.hh"
 #include "src/sim/event_queue.hh"
 #include "src/sim/ids.hh"
@@ -238,7 +239,7 @@ class CpuScheduler
     /** Rotation period for time-partitioned CPUs. */
     Time sharePeriod_ = 100 * kMs;
 
-    std::map<SpuId, Time> spuCpuTime_;
+    SpuTable<Time> spuCpuTime_;
 };
 
 } // namespace piso

@@ -13,16 +13,16 @@ void
 VirtualMemory::registerSpu(SpuId spu)
 {
     ledger_.registerSpu(spu);
-    pressure_.try_emplace(spu, 0);
+    pressure_.tryEmplace(spu);
 }
 
 std::uint64_t &
 VirtualMemory::pressureEntry(SpuId spu)
 {
-    auto it = pressure_.find(spu);
-    if (it == pressure_.end())
+    std::uint64_t *p = pressure_.find(spu);
+    if (!p)
         PISO_PANIC("unknown SPU ", spu);
-    return it->second;
+    return *p;
 }
 
 void
@@ -157,10 +157,10 @@ VirtualMemory::takePressure(SpuId spu)
 std::uint64_t
 VirtualMemory::pressure(SpuId spu) const
 {
-    auto it = pressure_.find(spu);
-    if (it == pressure_.end())
+    const std::uint64_t *p = pressure_.find(spu);
+    if (!p)
         PISO_PANIC("unknown SPU ", spu);
-    return it->second;
+    return *p;
 }
 
 std::vector<SpuId>

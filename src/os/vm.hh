@@ -16,7 +16,6 @@
  */
 
 #include <cstdint>
-#include <map>
 #include <vector>
 
 #include "src/core/ledger.hh"
@@ -115,7 +114,7 @@ class VirtualMemory
 
     PhysicalMemory &phys_;
     ResourceLedger ledger_{"memory"};
-    std::map<SpuId, std::uint64_t> pressure_;
+    SpuTable<std::uint64_t> pressure_;
     std::uint64_t reservePages_ = 0;
 };
 

@@ -14,38 +14,52 @@ EventQueue::schedule(Time when, Callback cb, const char *name)
     if (!cb)
         PISO_PANIC("event '", name, "' scheduled with empty callback");
 
-    EventId id = nextId_++;
-    heap_.push(Entry{when, nextSeq_++, id, std::move(cb), name});
-    liveIds_.insert(id);
+    std::uint32_t idx;
+    if (!freeSlots_.empty()) {
+        idx = freeSlots_.back();
+        freeSlots_.pop_back();
+    } else {
+        idx = static_cast<std::uint32_t>(slots_.size());
+        slots_.emplace_back();
+        state_.push_back(packState(0, false));
+    }
+    Slot &slot = slots_[idx];
+    slot.cb = std::move(cb);
+    slot.name = name;
+    const std::uint32_t gen = state_[idx] >> 1;
+    state_[idx] = packState(gen, true);
+
+    heap_.push(HeapEntry{when, nextSeq_++, idx, gen});
     ++live_;
-    return id;
+    return makeId(idx, gen);
 }
 
 bool
 EventQueue::cancel(EventId id)
 {
-    if (id == kNoEvent || liveIds_.find(id) == liveIds_.end())
+    if (id == kNoEvent)
         return false;
-    liveIds_.erase(id);
-    cancelled_.insert(id);
+    const std::uint32_t idx = slotOf(id);
+    if (idx >= state_.size() ||
+        state_[idx] != packState(genOf(id), true))
+        return false;
+
+    // Free the slot now; the heap entry goes stale (its generation no
+    // longer matches) and is discarded when it reaches the head.
+    slots_[idx].cb.reset();
+    state_[idx] = packState(genOf(id) + 1, false);
+    freeSlots_.push_back(idx);
     --live_;
     return true;
 }
 
-bool
-EventQueue::pendingEvent(EventId id) const
-{
-    return id != kNoEvent && liveIds_.find(id) != liveIds_.end();
-}
-
 void
-EventQueue::skipCancelled() const
+EventQueue::skipStale() const
 {
     while (!heap_.empty()) {
-        auto it = cancelled_.find(heap_.top().id);
-        if (it == cancelled_.end())
+        const HeapEntry &top = heap_.top();
+        if (state_[top.slot] == packState(top.gen, true))
             break;
-        cancelled_.erase(it);
         heap_.pop();
     }
 }
@@ -53,26 +67,38 @@ EventQueue::skipCancelled() const
 Time
 EventQueue::nextEventTime() const
 {
-    skipCancelled();
+    skipStale();
     return heap_.empty() ? kTimeNever : heap_.top().when;
+}
+
+void
+EventQueue::popAndRun()
+{
+    const HeapEntry entry = heap_.top();
+    heap_.pop();
+
+    // Retire the event before invoking so the callback may freely
+    // schedule and cancel other events: the state bump makes cancel()
+    // on the firing id a no-op, and the slot joins the free list only
+    // after the callback finishes, so it cannot be reused (and the
+    // deque keeps the in-place callable stable) while it runs.
+    Slot &slot = slots_[entry.slot];
+    state_[entry.slot] = packState(entry.gen + 1, false);
+    --live_;
+    ++executed_;
+
+    now_ = entry.when;
+    slot.cb.invokeAndReset();
+    freeSlots_.push_back(entry.slot);
 }
 
 bool
 EventQueue::runOne()
 {
-    skipCancelled();
+    skipStale();
     if (heap_.empty())
         return false;
-
-    // Move the entry out before popping so the callback may freely
-    // schedule (and even cancel) other events.
-    Entry entry = std::move(const_cast<Entry &>(heap_.top()));
-    heap_.pop();
-    liveIds_.erase(entry.id);
-    --live_;
-
-    now_ = entry.when;
-    entry.cb();
+    popAndRun();
     return true;
 }
 
@@ -80,8 +106,13 @@ std::size_t
 EventQueue::runAll(Time limit)
 {
     std::size_t count = 0;
-    while (nextEventTime() <= limit && runOne())
+    for (;;) {
+        skipStale();
+        if (heap_.empty() || heap_.top().when > limit)
+            break;
+        popAndRun();
         ++count;
+    }
     return count;
 }
 

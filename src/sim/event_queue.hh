@@ -9,36 +9,221 @@
  * activity (clock ticks, disk completions, compute-slice expiries,
  * policy daemons) is an event. Events scheduled for the same instant
  * fire in scheduling order, which keeps runs fully deterministic.
+ *
+ * Internally the queue is a generation-counted slab: each scheduled
+ * event occupies a reusable slot, and an EventId encodes
+ * (slot, generation) so cancel() and pendingEvent() are O(1) array
+ * probes with no hashing. The binary heap holds small POD entries;
+ * callbacks live in the slab behind a small-buffer wrapper so the
+ * common capture sizes ([this], [this, ptr], [this, id, time]) never
+ * touch the allocator.
  */
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <string>
-#include <unordered_set>
+#include <deque>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "src/sim/time.hh"
 
 namespace piso {
 
-/** Opaque handle identifying a scheduled event; used for cancellation. */
+/**
+ * Opaque handle identifying a scheduled event; used for cancellation.
+ * Encodes (slot generation << 32) | (slot index + 1), so a handle is
+ * never 0 and a reused slot invalidates stale handles automatically.
+ */
 using EventId = std::uint64_t;
 
 /** EventId value meaning "no event". */
 inline constexpr EventId kNoEvent = 0;
 
 /**
+ * Move-only callable wrapper with a small-buffer optimisation sized
+ * for event-loop lambdas. Captures up to kInlineSize bytes are stored
+ * in place; larger ones fall back to the heap.
+ */
+class EventCallback
+{
+  public:
+    EventCallback() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, EventCallback> &&
+                  std::is_invocable_r_v<void, std::decay_t<F> &>>>
+    EventCallback(F &&f) // NOLINT: implicit like std::function
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (sizeof(Fn) <= kInlineSize &&
+                      alignof(Fn) <= alignof(std::max_align_t) &&
+                      std::is_nothrow_move_constructible_v<Fn>) {
+            new (buf_) Fn(std::forward<F>(f));
+            vt_ = &vtableFor<Fn, /*OnHeap=*/false>;
+        } else {
+            heap_ = new Fn(std::forward<F>(f));
+            vt_ = &vtableFor<Fn, /*OnHeap=*/true>;
+        }
+    }
+
+    EventCallback(EventCallback &&other) noexcept { moveFrom(other); }
+
+    EventCallback &
+    operator=(EventCallback &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    EventCallback(const EventCallback &) = delete;
+    EventCallback &operator=(const EventCallback &) = delete;
+
+    ~EventCallback() { reset(); }
+
+    /** True when a callable is held. */
+    explicit operator bool() const { return vt_ != nullptr; }
+
+    /** Invoke the held callable. Undefined when empty. */
+    void operator()() { vt_->invoke(target()); }
+
+    /**
+     * Invoke the held callable, then destroy it, leaving the wrapper
+     * empty — one indirect call instead of two on the fire path.
+     * Undefined when empty.
+     */
+    void
+    invokeAndReset()
+    {
+        const VTable *vt = vt_;
+        vt_ = nullptr;
+        vt->invokeDestroy(vt->onHeap ? heap_
+                                     : static_cast<void *>(buf_));
+    }
+
+    /** Destroy the held callable, leaving the wrapper empty. */
+    void
+    reset()
+    {
+        if (vt_) {
+            vt_->destroy(target());
+            vt_ = nullptr;
+        }
+    }
+
+    /** Inline storage size; tuned to the kernel's largest hot capture. */
+    static constexpr std::size_t kInlineSize = 48;
+
+  private:
+    struct VTable
+    {
+        void (*invoke)(void *obj);
+        void (*destroy)(void *obj);
+        void (*invokeDestroy)(void *obj);
+        /** Move src's inline object into dstBuf and destroy src. */
+        void (*relocate)(void *dstBuf, void *src);
+        bool onHeap;
+    };
+
+    template <typename Fn>
+    static void
+    invokeImpl(void *obj)
+    {
+        (*static_cast<Fn *>(obj))();
+    }
+
+    template <typename Fn>
+    static void
+    destroyInline(void *obj)
+    {
+        static_cast<Fn *>(obj)->~Fn();
+    }
+
+    template <typename Fn>
+    static void
+    destroyHeap(void *obj)
+    {
+        delete static_cast<Fn *>(obj);
+    }
+
+    template <typename Fn>
+    static void
+    relocateInline(void *dstBuf, void *src)
+    {
+        new (dstBuf) Fn(std::move(*static_cast<Fn *>(src)));
+        static_cast<Fn *>(src)->~Fn();
+    }
+
+    template <typename Fn>
+    static void
+    invokeDestroyInline(void *obj)
+    {
+        Fn *fn = static_cast<Fn *>(obj);
+        (*fn)();
+        fn->~Fn();
+    }
+
+    template <typename Fn>
+    static void
+    invokeDestroyHeap(void *obj)
+    {
+        Fn *fn = static_cast<Fn *>(obj);
+        (*fn)();
+        delete fn;
+    }
+
+    template <typename Fn, bool OnHeap>
+    static constexpr VTable vtableFor{
+        &invokeImpl<Fn>,
+        OnHeap ? &destroyHeap<Fn> : &destroyInline<Fn>,
+        OnHeap ? &invokeDestroyHeap<Fn> : &invokeDestroyInline<Fn>,
+        OnHeap ? nullptr : &relocateInline<Fn>, OnHeap};
+
+    void *
+    target()
+    {
+        return vt_->onHeap ? heap_ : static_cast<void *>(buf_);
+    }
+
+    void
+    moveFrom(EventCallback &other) noexcept
+    {
+        vt_ = other.vt_;
+        if (!vt_)
+            return;
+        if (vt_->onHeap)
+            heap_ = other.heap_;
+        else
+            vt_->relocate(buf_, other.buf_);
+        other.vt_ = nullptr;
+    }
+
+    union
+    {
+        alignas(std::max_align_t) unsigned char buf_[kInlineSize];
+        void *heap_;
+    };
+    const VTable *vt_ = nullptr;
+};
+
+/**
  * A deterministic, cancellable discrete-event queue.
  *
- * Ordering is (time, scheduling sequence number); cancellation is lazy
- * (cancelled entries are discarded when they reach the head), which
- * makes cancel() O(1) while keeping pop() amortised O(log n).
+ * Ordering is (time, scheduling sequence number). Cancellation frees
+ * the slab slot immediately (destroying the callback) and bumps the
+ * slot's generation; the matching heap entry becomes stale and is
+ * discarded when it reaches the head, keeping cancel() O(1) and pop()
+ * amortised O(log n).
  */
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = EventCallback;
 
     EventQueue() = default;
     EventQueue(const EventQueue &) = delete;
@@ -51,7 +236,8 @@ class EventQueue
      * Schedule @p cb to run at absolute time @p when.
      * @param when Absolute firing time; must be >= now().
      * @param cb   Callback executed when the event fires.
-     * @param name Optional label used in debug traces.
+     * @param name Optional label used in debug traces; must point at
+     *             storage outliving the event (string literals do).
      * @return Handle usable with cancel().
      */
     EventId schedule(Time when, Callback cb, const char *name = "");
@@ -71,13 +257,22 @@ class EventQueue
     bool cancel(EventId id);
 
     /** True if a given event is still pending (scheduled, not fired). */
-    bool pendingEvent(EventId id) const;
+    bool
+    pendingEvent(EventId id) const
+    {
+        const std::uint32_t idx = slotOf(id);
+        return idx < state_.size() &&
+               state_[idx] == packState(genOf(id), true);
+    }
 
     /** Number of live (non-cancelled) events still queued. */
     std::size_t pending() const { return live_; }
 
     /** True when no live events remain. */
     bool empty() const { return live_ == 0; }
+
+    /** Total number of events executed (fired) so far. */
+    std::uint64_t executedEvents() const { return executed_; }
 
     /**
      * Pop and execute the next event, advancing now().
@@ -96,36 +291,144 @@ class EventQueue
     Time nextEventTime() const;
 
   private:
-    struct Entry
+    struct Slot
+    {
+        Callback cb;
+        const char *name = "";
+    };
+
+    // Per-slot (generation << 1) | live, kept in a dense side array so
+    // the stale-entry checks in the pop loop (and cancel/pendingEvent
+    // probes) stay within a few cache lines instead of striding across
+    // the fat callback slots.
+    static std::uint32_t
+    packState(std::uint32_t gen, bool live)
+    {
+        return (gen << 1) | static_cast<std::uint32_t>(live);
+    }
+
+    /** POD heap entry; slot+gen resolve the callback at pop time. */
+    struct HeapEntry
     {
         Time when;
         std::uint64_t seq;
-        EventId id;
-        Callback cb;
-        std::string name;
+        std::uint32_t slot;
+        std::uint32_t gen;
     };
 
-    struct Later
+    /**
+     * 4-ary min-heap of HeapEntry ordered by (when, seq). Shallower
+     * than a binary heap and with children sharing cache lines, so the
+     * pop-heavy event loop touches fewer lines per operation.
+     */
+    class EventHeap
     {
-        bool
-        operator()(const Entry &a, const Entry &b) const
+      public:
+        bool empty() const { return v_.empty(); }
+        const HeapEntry &top() const { return v_.front(); }
+
+        void
+        push(const HeapEntry &e)
+        {
+            v_.push_back(e);
+            siftUp(v_.size() - 1);
+        }
+
+        void
+        pop()
+        {
+            v_.front() = v_.back();
+            v_.pop_back();
+            if (!v_.empty())
+                siftDown(0);
+        }
+
+      private:
+        static bool
+        before(const HeapEntry &a, const HeapEntry &b)
         {
             if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
+                return a.when < b.when;
+            return a.seq < b.seq;
         }
+
+        void
+        siftUp(std::size_t i)
+        {
+            const HeapEntry e = v_[i];
+            while (i > 0) {
+                const std::size_t parent = (i - 1) / 4;
+                if (!before(e, v_[parent]))
+                    break;
+                v_[i] = v_[parent];
+                i = parent;
+            }
+            v_[i] = e;
+        }
+
+        void
+        siftDown(std::size_t i)
+        {
+            const HeapEntry e = v_[i];
+            const std::size_t n = v_.size();
+            for (;;) {
+                const std::size_t first = 4 * i + 1;
+                if (first >= n)
+                    break;
+                const std::size_t last =
+                    first + 4 < n ? first + 4 : n;
+                std::size_t best = first;
+                for (std::size_t c = first + 1; c < last; ++c) {
+                    if (before(v_[c], v_[best]))
+                        best = c;
+                }
+                if (!before(v_[best], e))
+                    break;
+                v_[i] = v_[best];
+                i = best;
+            }
+            v_[i] = e;
+        }
+
+        std::vector<HeapEntry> v_;
     };
 
-    /** Drop cancelled entries sitting at the head of the heap. */
-    void skipCancelled() const;
+    static std::uint32_t
+    slotOf(EventId id)
+    {
+        return static_cast<std::uint32_t>(id & 0xffffffffu) - 1;
+    }
 
-    mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-    mutable std::unordered_set<EventId> cancelled_;
-    std::unordered_set<EventId> liveIds_;
+    static std::uint32_t
+    genOf(EventId id)
+    {
+        return static_cast<std::uint32_t>(id >> 32);
+    }
+
+    static EventId
+    makeId(std::uint32_t slot, std::uint32_t gen)
+    {
+        return (static_cast<EventId>(gen) << 32) |
+               (static_cast<EventId>(slot) + 1);
+    }
+
+    /** Drop stale (cancelled-and-reused-slot) heap heads. */
+    void skipStale() const;
+
+    /** Pop the (live) head and run its callback. */
+    void popAndRun();
+
+    // Slots live in a deque so references stay valid while a callback
+    // executes in place even if the callback schedules new events and
+    // grows the slab.
+    mutable EventHeap heap_;
+    std::deque<Slot> slots_;
+    std::vector<std::uint32_t> state_;
+    std::vector<std::uint32_t> freeSlots_;
     Time now_ = 0;
     std::uint64_t nextSeq_ = 0;
-    EventId nextId_ = 1;
     std::size_t live_ = 0;
+    std::uint64_t executed_ = 0;
 };
 
 } // namespace piso

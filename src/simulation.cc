@@ -1,6 +1,7 @@
 #include "src/simulation.hh"
 
 #include <algorithm>
+#include <chrono>
 
 #include "src/core/disk_fair.hh"
 #include "src/core/ledger.hh"
@@ -478,6 +479,12 @@ Simulation::run()
     }
 
     // --- Go ----------------------------------------------------------
+    // Host-side timing of the whole run loop (start through drain); the
+    // event counter on the queue gives events/sec for piso_bench and
+    // the out-of-band perf report.
+    const auto wallStart = std::chrono::steady_clock::now();
+    const std::uint64_t eventsBefore = im.events.executedEvents();
+
     im.kernel->start();
     if (im.memPolicy)
         im.memPolicy->start();
@@ -503,6 +510,11 @@ Simulation::run()
     res.simulatedTime = im.events.now();
     res.completed = im.kernel->liveProcesses() == 0;
     res.kernel = im.kernel->stats();
+    res.perf.events = im.events.executedEvents() - eventsBefore;
+    res.perf.wallSec =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wallStart)
+            .count();
 
     for (const Job &job : im.jobs) {
         JobResult jr;

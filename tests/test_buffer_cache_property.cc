@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Randomized BufferCache testing against a reference model.
+ *
+ * The cache's open-addressed index and intrusive LRU list replaced a
+ * std::map + std::list pair; this fuzz harness replays random
+ * insert / find+touch / dirty / clean / remove / steal / reown
+ * sequences against exactly that simple structure and checks every
+ * observable after each step: lookup results, size and dirty counts,
+ * per-SPU occupancy, LRU steal order, and forEachDirty's ascending key
+ * order (the property flush clustering depends on).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <vector>
+
+#include "src/os/buffer_cache.hh"
+#include "src/sim/random.hh"
+
+using namespace piso;
+
+namespace {
+
+/** What the model remembers about one cached block. */
+struct ModelBlock
+{
+    bool valid = false;
+    bool dirty = false;
+    bool flushing = false;
+    SpuId owner = kNoSpu;
+};
+
+/** The reference: ordered map for state, list for LRU (front = MRU). */
+struct ModelCache
+{
+    std::map<BlockKey, ModelBlock> blocks;
+    std::list<BlockKey> lru;
+
+    void touch(const BlockKey &key)
+    {
+        lru.remove(key);
+        lru.push_front(key);
+    }
+
+    void remove(const BlockKey &key)
+    {
+        blocks.erase(key);
+        lru.remove(key);
+    }
+
+    std::size_t dirtyCount() const
+    {
+        std::size_t n = 0;
+        for (const auto &[k, b] : blocks)
+            n += b.dirty ? 1 : 0;
+        return n;
+    }
+
+    std::size_t pagesOf(SpuId spu) const
+    {
+        std::size_t n = 0;
+        for (const auto &[k, b] : blocks)
+            n += b.owner == spu ? 1 : 0;
+        return n;
+    }
+
+    /** LRU-most clean/valid/non-flushing block owned by @p victim
+     *  (any owner when kNoSpu); nullptr when none qualifies. */
+    const BlockKey *stealCandidate(SpuId victim) const
+    {
+        for (auto it = lru.rbegin(); it != lru.rend(); ++it) {
+            const ModelBlock &b = blocks.at(*it);
+            if (!b.valid || b.dirty || b.flushing)
+                continue;
+            if (victim != kNoSpu && b.owner != victim)
+                continue;
+            return &*it;
+        }
+        return nullptr;
+    }
+};
+
+constexpr SpuId kSpus[] = {0, 1, 2, 3, 4};
+
+BlockKey
+randomKey(Rng &rng)
+{
+    // A small key universe so hits, collisions, reinsertion after
+    // removal, and probe-chain shifts all happen constantly.
+    return BlockKey{static_cast<FileId>(rng.uniformInt(4)),
+                    rng.uniformInt(32)};
+}
+
+} // namespace
+
+TEST(BufferCacheProperty, FuzzAgainstReferenceModel)
+{
+    Rng rng(2024);
+    for (int trial = 0; trial < 10; ++trial) {
+        BufferCache cache;
+        ModelCache model;
+
+        for (int op = 0; op < 2000; ++op) {
+            const BlockKey key = randomKey(rng);
+            CacheBlock *blk = cache.find(key);
+            const auto mit = model.blocks.find(key);
+            ASSERT_EQ(blk != nullptr, mit != model.blocks.end());
+            if (blk) {
+                EXPECT_EQ(blk->key, key);
+                EXPECT_EQ(blk->valid, mit->second.valid);
+                EXPECT_EQ(blk->dirty, mit->second.dirty);
+                EXPECT_EQ(blk->flushing, mit->second.flushing);
+                EXPECT_EQ(blk->owner, mit->second.owner);
+            }
+
+            switch (rng.uniformInt(8)) {
+            case 0:
+            case 1: { // insert on miss, touch on hit
+                if (!blk) {
+                    const SpuId owner =
+                        kSpus[rng.uniformInt(std::size(kSpus))];
+                    const bool valid = rng.chance(0.8);
+                    CacheBlock &nb = cache.insert(key, owner, valid);
+                    EXPECT_EQ(nb.key, key);
+                    EXPECT_EQ(nb.owner, owner);
+                    EXPECT_EQ(nb.valid, valid);
+                    EXPECT_FALSE(nb.dirty);
+                    model.blocks[key] =
+                        ModelBlock{valid, false, false, owner};
+                    model.lru.push_front(key);
+                } else {
+                    cache.touch(*blk);
+                    model.touch(key);
+                }
+                break;
+            }
+            case 2: { // dirty a valid block
+                if (blk && blk->valid) {
+                    cache.markDirty(*blk);
+                    model.blocks[key].dirty = true;
+                }
+                break;
+            }
+            case 3: { // clean (also ends any flush)
+                if (blk) {
+                    cache.markClean(*blk);
+                    model.blocks[key].dirty = false;
+                    model.blocks[key].flushing = false;
+                }
+                break;
+            }
+            case 4: { // start or finish a flush; validate reads
+                if (blk && rng.chance(0.5)) {
+                    blk->flushing = !blk->flushing;
+                    model.blocks[key].flushing = blk->flushing;
+                } else if (blk && !blk->valid) {
+                    cache.markValid(*blk);
+                    model.blocks[key].valid = true;
+                }
+                break;
+            }
+            case 5: { // remove
+                if (blk) {
+                    cache.remove(key);
+                    model.remove(key);
+                }
+                break;
+            }
+            case 6: { // reown (shared-page reclassification)
+                if (blk) {
+                    const SpuId owner =
+                        kSpus[rng.uniformInt(std::size(kSpus))];
+                    cache.setOwner(*blk, owner);
+                    model.blocks[key].owner = owner;
+                }
+                break;
+            }
+            default: { // stealClean, sometimes victim-filtered
+                const SpuId victim =
+                    rng.chance(0.5)
+                        ? kNoSpu
+                        : kSpus[rng.uniformInt(std::size(kSpus))];
+                const BlockKey *want = model.stealCandidate(victim);
+                SpuId owner = kNoSpu;
+                const bool stole = cache.stealClean(victim, owner);
+                ASSERT_EQ(stole, want != nullptr);
+                if (stole) {
+                    EXPECT_EQ(owner, model.blocks.at(*want).owner);
+                    EXPECT_EQ(cache.find(*want), nullptr);
+                    model.remove(*want);
+                }
+                break;
+            }
+            }
+
+            // Aggregate observables agree after every operation.
+            ASSERT_EQ(cache.size(), model.blocks.size());
+            ASSERT_EQ(cache.dirtyCount(), model.dirtyCount());
+            for (SpuId spu : kSpus)
+                ASSERT_EQ(cache.pagesOf(spu), model.pagesOf(spu));
+
+            // forEachDirty: ascending key order over exactly the
+            // valid, dirty, non-flushing set.
+            if ((op & 63) == 0) {
+                std::vector<BlockKey> got;
+                cache.forEachDirty([&](CacheBlock &b) {
+                    EXPECT_TRUE(b.valid && b.dirty && !b.flushing);
+                    got.push_back(b.key);
+                });
+                std::vector<BlockKey> want;
+                for (const auto &[k, b] : model.blocks) {
+                    if (b.valid && b.dirty && !b.flushing)
+                        want.push_back(k);  // map order == ascending
+                }
+                ASSERT_EQ(got, want);
+            }
+        }
+
+        // Drain with steals: eviction must proceed in exact LRU order
+        // over the clean blocks, then stall on the dirty remainder.
+        for (;;) {
+            const BlockKey *want = model.stealCandidate(kNoSpu);
+            SpuId owner = kNoSpu;
+            const bool stole = cache.stealClean(kNoSpu, owner);
+            ASSERT_EQ(stole, want != nullptr);
+            if (!stole)
+                break;
+            model.remove(*want);
+        }
+        ASSERT_EQ(cache.size(), model.blocks.size());
+    }
+}
+
+TEST(BufferCacheProperty, StealOrderIsExactLru)
+{
+    // Deterministic check: insert A..E, touch two of them, steal
+    // everything — the eviction order must be the reverse touch order.
+    BufferCache cache;
+    std::vector<BlockKey> keys;
+    for (std::uint64_t i = 0; i < 5; ++i) {
+        keys.push_back(BlockKey{1, i});
+        cache.insert(keys.back(), 0, true);
+    }
+    cache.touch(*cache.find(keys[1]));  // LRU now: 0,2,3,4,1 (old->new)
+    cache.touch(*cache.find(keys[0]));  // LRU now: 2,3,4,1,0
+
+    const std::uint64_t wantOrder[] = {2, 3, 4, 1, 0};
+    for (std::uint64_t want : wantOrder) {
+        SpuId owner = kNoSpu;
+        ASSERT_TRUE(cache.stealClean(kNoSpu, owner));
+        EXPECT_EQ(cache.find(BlockKey{1, want}), nullptr)
+            << "expected block " << want << " stolen";
+        // All later keys must still be resident.
+        std::size_t resident = 0;
+        for (const BlockKey &k : keys)
+            resident += cache.find(k) != nullptr ? 1 : 0;
+        EXPECT_EQ(resident, cache.size());
+    }
+    EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(BufferCacheProperty, PerSpuOccupancyTracksOwnershipChanges)
+{
+    BufferCache cache;
+    for (std::uint64_t i = 0; i < 6; ++i)
+        cache.insert(BlockKey{2, i}, static_cast<SpuId>(i % 2), true);
+    EXPECT_EQ(cache.pagesOf(0), 3u);
+    EXPECT_EQ(cache.pagesOf(1), 3u);
+    EXPECT_EQ(cache.pagesOf(7), 0u);  // never-seen SPU
+
+    cache.setOwner(*cache.find(BlockKey{2, 0}), 1);
+    EXPECT_EQ(cache.pagesOf(0), 2u);
+    EXPECT_EQ(cache.pagesOf(1), 4u);
+
+    // Victim-filtered steal only ever takes the victim's blocks.
+    SpuId owner = kNoSpu;
+    ASSERT_TRUE(cache.stealClean(0, owner));
+    EXPECT_EQ(owner, 0);
+    EXPECT_EQ(cache.pagesOf(0), 1u);
+    EXPECT_EQ(cache.pagesOf(1), 4u);
+}

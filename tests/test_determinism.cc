@@ -112,6 +112,51 @@ TEST(Determinism, SummaryTableInvariantUnderJobs)
 }
 
 // ---------------------------------------------------------------------
+// Simulator perf counters (events, wall-clock) are host-side noise and
+// must never reach deterministic outputs: the JSONL stream and the
+// default-format JSON/summary stay perf-free, perf is strictly opt-in.
+// ---------------------------------------------------------------------
+
+TEST(Determinism, PerfCountersStayOutOfJsonl)
+{
+    const exp::ExperimentPlan plan = smallPlan();
+    const std::string jsonl = sweepJsonl(plan, 4);
+    EXPECT_EQ(jsonl.find("\"perf\""), std::string::npos);
+    EXPECT_EQ(jsonl.find("wall_ms"), std::string::npos);
+    EXPECT_EQ(jsonl.find("events_per_sec"), std::string::npos);
+}
+
+TEST(Determinism, PerfJsonIsOptIn)
+{
+    const WorkloadSpec spec = parseWorkloadSpec(kSpec);
+    const SimResults r = runWorkloadSpec(spec);
+
+    const std::string plain = formatResultsJson(r);
+    EXPECT_EQ(plain.find("\"perf\""), std::string::npos);
+
+    const std::string withPerf = formatResultsJson(r, true);
+    EXPECT_NE(withPerf.find("\"perf\""), std::string::npos);
+    EXPECT_NE(withPerf.find("\"wall_ms\""), std::string::npos);
+    EXPECT_NE(withPerf.find("\"events_per_sec\""), std::string::npos);
+
+    // The counters themselves are real: the run executed events and
+    // took measurable time.
+    EXPECT_GT(r.perf.events, 0u);
+    EXPECT_GT(r.perf.wallSec, 0.0);
+    EXPECT_GT(r.perf.eventsPerSec(), 0.0);
+}
+
+TEST(Determinism, SummaryPerfColumnsAreOptIn)
+{
+    const exp::ExperimentPlan plan = smallPlan();
+    const exp::SweepOutcome out = exp::runPlan(plan, {.jobs = 2});
+    EXPECT_EQ(exp::formatSweepSummary(out).find("M ev/s"),
+              std::string::npos);
+    EXPECT_NE(exp::formatSweepSummary(out, true).find("M ev/s"),
+              std::string::npos);
+}
+
+// ---------------------------------------------------------------------
 // Rng::fork() stream independence (the property the parallel engine
 // leans on: one task's draw count cannot perturb a sibling's stream)
 // ---------------------------------------------------------------------

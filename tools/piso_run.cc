@@ -126,7 +126,11 @@ main(int argc, char **argv)
         if (!compare) {
             const SimResults r = runWorkloadSpec(spec);
             if (json) {
-                std::printf("%s\n", formatResultsJson(r).c_str());
+                // Interactive output: include the simulator's own perf
+                // counters. Deterministic consumers (goldens, sweep
+                // JSONL) call formatResultsJson without perf.
+                std::printf("%s\n",
+                            formatResultsJson(r, true).c_str());
                 return 0;
             }
             const SchemeProfile profile = spec.config.resolvedProfile();
@@ -134,7 +138,7 @@ main(int argc, char **argv)
                         (profile.mixed() ? profile.str()
                                          : schemeName(spec.config.scheme)) +
                         ")");
-            printResults(r);
+            std::fputs(formatResults(r, true).c_str(), stdout);
             return 0;
         }
 

@@ -176,8 +176,11 @@ main(int argc, char **argv)
         } else {
             std::fwrite(jsonl.data(), 1, jsonl.size(), stdout);
         }
+        // The summary (stderr, human-facing) carries the simulator's
+        // perf columns; the JSONL stream (stdout, deterministic) never
+        // does.
         if (summary)
-            std::fputs(exp::formatSweepSummary(outcome).c_str(),
+            std::fputs(exp::formatSweepSummary(outcome, true).c_str(),
                        stderr);
         return 0;
     } catch (const std::exception &e) {
