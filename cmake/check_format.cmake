@@ -1,0 +1,44 @@
+# Run `clang-format --dry-run -Werror` over the .cc/.hh files the
+# current branch touches relative to BASE_REF (plus anything dirty in
+# the worktree). Invoked by the check-format target; variables
+# CLANG_FORMAT, GIT, and BASE_REF arrive via -D.
+
+execute_process(
+    COMMAND ${GIT} merge-base HEAD ${BASE_REF}
+    OUTPUT_VARIABLE MERGE_BASE
+    OUTPUT_STRIP_TRAILING_WHITESPACE
+    RESULT_VARIABLE MERGE_BASE_RC)
+if(NOT MERGE_BASE_RC EQUAL 0)
+    # No such ref (shallow clone, detached CI checkout): fall back to
+    # comparing against HEAD so only uncommitted changes are checked.
+    set(MERGE_BASE HEAD)
+endif()
+
+execute_process(
+    COMMAND ${GIT} diff --name-only --diff-filter=d ${MERGE_BASE}
+    OUTPUT_VARIABLE CHANGED
+    OUTPUT_STRIP_TRAILING_WHITESPACE)
+
+string(REPLACE "\n" ";" CHANGED "${CHANGED}")
+set(TO_CHECK "")
+foreach(f ${CHANGED})
+    if(f MATCHES "\\.(cc|hh)$" AND EXISTS ${CMAKE_SOURCE_DIR}/${f})
+        list(APPEND TO_CHECK ${f})
+    endif()
+endforeach()
+
+if(NOT TO_CHECK)
+    message(STATUS "check-format: no touched .cc/.hh files")
+    return()
+endif()
+
+list(LENGTH TO_CHECK N)
+message(STATUS "check-format: ${N} touched file(s)")
+execute_process(
+    COMMAND ${CLANG_FORMAT} --dry-run -Werror ${TO_CHECK}
+    RESULT_VARIABLE FMT_RC)
+if(NOT FMT_RC EQUAL 0)
+    message(FATAL_ERROR
+            "check-format: formatting differs; run clang-format -i on "
+            "the files above")
+endif()

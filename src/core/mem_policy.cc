@@ -55,7 +55,7 @@ MemorySharingPolicy::recompute()
         return;
 
     // 1. Recompute entitlements from the sharing contract.
-    std::map<SpuId, std::uint64_t> entitled;
+    SpuTable<std::uint64_t> entitled;
     for (SpuId spu : users) {
         vm_.registerSpu(spu);
         entitled[spu] = ResourceLedger::entitledFloor(

@@ -5,8 +5,8 @@ namespace piso {
 std::size_t
 QuotaScheduler::readyCount(SpuId spu) const
 {
-    auto it = ready_.find(spu);
-    return it == ready_.end() ? 0 : it->second.size();
+    const auto *queue = ready_.find(spu);
+    return queue ? queue->size() : 0;
 }
 
 void
@@ -18,10 +18,10 @@ QuotaScheduler::enqueueReady(Process *p)
 Process *
 QuotaScheduler::popBest(SpuId spu)
 {
-    auto it = ready_.find(spu);
-    if (it == ready_.end() || it->second.empty())
+    auto *qp = ready_.find(spu);
+    if (!qp || qp->empty())
         return nullptr;
-    auto &queue = it->second;
+    auto &queue = *qp;
     auto best = queue.begin();
     for (auto q = std::next(queue.begin()); q != queue.end(); ++q) {
         if (higherPriority(*q, *best))
@@ -36,7 +36,8 @@ Process *
 QuotaScheduler::popBestForeign(SpuId exclude)
 {
     Process *best = nullptr;
-    for (auto &[spu, queue] : ready_) {
+    // DenseTable iteration yields (id, reference) pairs by value.
+    for (auto [spu, queue] : ready_) {
         if (spu == exclude)
             continue;
         for (Process *q : queue) {

@@ -12,7 +12,6 @@
  */
 
 #include <list>
-#include <map>
 
 #include "src/os/scheduler.hh"
 
@@ -40,7 +39,7 @@ class QuotaScheduler : public CpuScheduler
     /** Best ready process across all SPUs except @p exclude. */
     Process *popBestForeign(SpuId exclude);
 
-    std::map<SpuId, std::list<Process *>> ready_;
+    SpuTable<std::list<Process *>> ready_;
 };
 
 } // namespace piso

@@ -38,44 +38,45 @@ SpuManager::destroy(SpuId spu)
 {
     if (spu == kKernelSpu || spu == kSharedSpu)
         PISO_FATAL("the default SPUs cannot be destroyed");
-    if (!spus_.erase(spu))
+    if (!spus_.contains(spu))
         PISO_FATAL("destroying unknown SPU ", spu);
+    spus_.erase(spu);
     shares_.forget(spu);
 }
 
 void
 SpuManager::suspend(SpuId spu)
 {
-    auto it = spus_.find(spu);
-    if (it == spus_.end() || spu < kFirstUserSpu)
+    Spu *s = spus_.find(spu);
+    if (!s || spu < kFirstUserSpu)
         PISO_FATAL("cannot suspend SPU ", spu);
-    it->second.state = SpuState::Suspended;
+    s->state = SpuState::Suspended;
     shares_.setShare(spu, 0.0);
 }
 
 void
 SpuManager::resume(SpuId spu)
 {
-    auto it = spus_.find(spu);
-    if (it == spus_.end() || spu < kFirstUserSpu)
+    Spu *s = spus_.find(spu);
+    if (!s || spu < kFirstUserSpu)
         PISO_FATAL("cannot resume SPU ", spu);
-    it->second.state = SpuState::Active;
-    shares_.setShare(spu, it->second.share);
+    s->state = SpuState::Active;
+    shares_.setShare(spu, s->share);
 }
 
 const Spu &
 SpuManager::spu(SpuId id) const
 {
-    auto it = spus_.find(id);
-    if (it == spus_.end())
+    const Spu *s = spus_.find(id);
+    if (!s)
         PISO_FATAL("unknown SPU ", id);
-    return it->second;
+    return *s;
 }
 
 bool
 SpuManager::exists(SpuId id) const
 {
-    return spus_.count(id) > 0;
+    return spus_.contains(id);
 }
 
 std::vector<SpuId>
@@ -104,10 +105,10 @@ SpuManager::shareOf(SpuId spu) const
     return shares_.normalizedShare(spu);
 }
 
-std::map<SpuId, double>
+SpuTable<double>
 SpuManager::cpuShares() const
 {
-    std::map<SpuId, double> shares;
+    SpuTable<double> shares;
     for (SpuId id : userSpus())
         shares[id] = shareOf(id);
     return shares;

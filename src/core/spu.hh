@@ -14,11 +14,11 @@
  */
 
 #include <cstdint>
-#include <map>
 #include <string>
 #include <vector>
 
 #include "src/core/ledger.hh"
+#include "src/core/spu_table.hh"
 #include "src/sim/ids.hh"
 
 namespace piso {
@@ -87,10 +87,10 @@ class SpuManager
 
     /** Normalised CPU shares of active user SPUs, for
      *  CpuScheduler::partitionCpus(). */
-    std::map<SpuId, double> cpuShares() const;
+    SpuTable<double> cpuShares() const;
 
   private:
-    std::map<SpuId, Spu> spus_;
+    SpuTable<Spu> spus_;
 
     /** Raw shares of user SPUs (suspended = 0), normalised by the
      *  ledger; the single source of the `share / Σ shares` rule. */

@@ -16,6 +16,7 @@
  */
 
 #include <cstddef>
+#include <initializer_list>
 #include <optional>
 #include <type_traits>
 #include <utility>
@@ -42,6 +43,15 @@ class DenseTable
                   "DenseTable keys must be integral ids");
 
   public:
+    DenseTable() = default;
+
+    /** Build from explicit (id, value) pairs (tests, partition specs). */
+    DenseTable(std::initializer_list<std::pair<Id, T>> init)
+    {
+        for (const auto &[id, value] : init)
+            (*this)[id] = value;
+    }
+
     /** Access the entry for @p id, default-constructing it if absent. */
     T &
     operator[](Id id)
@@ -76,6 +86,26 @@ class DenseTable
 
     /** True when an entry exists for @p id. */
     bool contains(Id id) const { return find(id) != nullptr; }
+
+    /** 1 when an entry exists for @p id, else 0 (std::map::count). */
+    std::size_t count(Id id) const { return contains(id) ? 1 : 0; }
+
+    /** The entry for @p id; fatal when absent (std::map::at). */
+    T &
+    at(Id id)
+    {
+        T *p = find(id);
+        if (!p)
+            PISO_FATAL("dense table has no entry for id ",
+                       static_cast<long long>(id));
+        return *p;
+    }
+
+    const T &
+    at(Id id) const
+    {
+        return const_cast<DenseTable *>(this)->at(id);
+    }
 
     /**
      * Default-construct an entry for @p id if absent.

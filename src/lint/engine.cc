@@ -1,0 +1,235 @@
+#include "src/lint/engine.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace piso::lint {
+
+namespace {
+
+/** Raw findings for one tokenized file, suppressions applied. */
+void
+lintOne(const SourceFile &file, std::vector<Finding> &out)
+{
+    std::vector<Finding> raw;
+    for (const Rule &rule : ruleRegistry()) {
+        if (rule.applies(file.path))
+            rule.check(file, raw);
+    }
+
+    // A suppression on its own line covers the next line that carries
+    // code; one trailing a code line covers that line.
+    std::vector<int> target(file.suppressions.size(), 0);
+    std::vector<bool> used(file.suppressions.size(), false);
+    for (std::size_t s = 0; s < file.suppressions.size(); ++s) {
+        const Suppression &sup = file.suppressions[s];
+        int t = sup.line;
+        if (sup.ownLine) {
+            int next = 0;
+            for (const Token &tok : file.tokens) {
+                if (tok.line > sup.line &&
+                    (next == 0 || tok.line < next))
+                    next = tok.line;
+            }
+            t = next == 0 ? sup.line : next;
+        }
+        target[s] = t;
+    }
+
+    for (Finding &fnd : raw) {
+        bool suppressed = false;
+        for (std::size_t s = 0; s < file.suppressions.size(); ++s) {
+            const Suppression &sup = file.suppressions[s];
+            if (target[s] != fnd.line)
+                continue;
+            if (std::find(sup.rules.begin(), sup.rules.end(),
+                          fnd.rule) == sup.rules.end())
+                continue;
+            suppressed = true;
+            used[s] = true;
+        }
+        if (!suppressed)
+            out.push_back(std::move(fnd));
+    }
+
+    // The suppressions themselves are linted: every directive must
+    // name known rules, carry a justification, and actually suppress
+    // something.
+    for (std::size_t s = 0; s < file.suppressions.size(); ++s) {
+        const Suppression &sup = file.suppressions[s];
+        bool allKnown = true;
+        for (const std::string &name : sup.rules) {
+            if (!knownRule(name)) {
+                allKnown = false;
+                out.push_back(
+                    {kSuppressionUnknownRule, file.path, sup.line,
+                     "allow() names unknown rule '" + name +
+                         "' (see piso_lint --list-rules)"});
+            }
+        }
+        if (sup.justification.empty()) {
+            out.push_back(
+                {kSuppressionJustification, file.path, sup.line,
+                 "suppression lacks a justification (write "
+                 "// piso-lint: allow(<rule>) -- <why this is safe>)"});
+        }
+        if (!used[s] && allKnown) {
+            out.push_back({kSuppressionUnused, file.path, sup.line,
+                           "suppression matched no finding (stale "
+                           "allow(); delete it)"});
+        }
+    }
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned char>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+LintResult
+lintSources(
+    const std::vector<std::pair<std::string, std::string>> &sources)
+{
+    LintResult result;
+    result.filesScanned = static_cast<int>(sources.size());
+    for (const auto &[path, text] : sources) {
+        const SourceFile file = lexSource(projectRelative(path), text);
+        lintOne(file, result.findings);
+    }
+    std::sort(result.findings.begin(), result.findings.end(),
+              [](const Finding &a, const Finding &b) {
+                  if (a.path != b.path)
+                      return a.path < b.path;
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  return a.rule < b.rule;
+              });
+    return result;
+}
+
+bool
+collectFiles(const std::vector<std::string> &paths,
+             std::vector<std::string> &files, std::string &error)
+{
+    namespace fs = std::filesystem;
+    for (const std::string &p : paths) {
+        std::error_code ec;
+        if (fs::is_directory(p, ec)) {
+            for (auto it = fs::recursive_directory_iterator(p, ec);
+                 !ec && it != fs::recursive_directory_iterator(); ++it) {
+                if (!it->is_regular_file())
+                    continue;
+                const std::string ext = it->path().extension().string();
+                if (ext == ".cc" || ext == ".hh")
+                    files.push_back(it->path().generic_string());
+            }
+        } else if (fs::is_regular_file(p, ec)) {
+            files.push_back(p);
+        } else {
+            error = "no such file or directory: " + p;
+            return false;
+        }
+    }
+    std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()), files.end());
+    return true;
+}
+
+bool
+lintFiles(const std::vector<std::string> &paths, LintResult &result,
+          std::string &error)
+{
+    std::vector<std::string> files;
+    if (!collectFiles(paths, files, error))
+        return false;
+    std::vector<std::pair<std::string, std::string>> sources;
+    sources.reserve(files.size());
+    for (const std::string &f : files) {
+        std::ifstream in(f, std::ios::binary);
+        if (!in) {
+            error = "cannot read: " + f;
+            return false;
+        }
+        std::ostringstream os;
+        os << in.rdbuf();
+        sources.emplace_back(f, os.str());
+    }
+    result = lintSources(sources);
+    return true;
+}
+
+std::string
+formatText(const LintResult &result)
+{
+    std::ostringstream os;
+    for (const Finding &f : result.findings) {
+        os << f.path << ":" << f.line << ": [" << f.rule << "] "
+           << f.message << "\n";
+    }
+    if (result.findings.empty()) {
+        os << "piso-lint: clean (" << result.filesScanned
+           << " files scanned)\n";
+    } else {
+        os << "piso-lint: " << result.findings.size() << " finding(s) ("
+           << result.filesScanned << " files scanned)\n";
+    }
+    return os.str();
+}
+
+std::string
+formatSarif(const LintResult &result)
+{
+    std::ostringstream os;
+    os << "{\n  \"version\": \"2.1.0\",\n  \"runs\": [{\n"
+       << "    \"tool\": {\"driver\": {\"name\": \"piso-lint\",\n"
+       << "      \"informationUri\": \"docs/static-analysis.md\",\n"
+       << "      \"rules\": [\n";
+    const auto &rules = ruleRegistry();
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+        os << "        {\"id\": \"" << rules[i].name
+           << "\", \"shortDescription\": {\"text\": \""
+           << jsonEscape(rules[i].summary) << "\"}}"
+           << (i + 1 < rules.size() ? "," : "") << "\n";
+    }
+    os << "      ]}},\n    \"results\": [\n";
+    for (std::size_t i = 0; i < result.findings.size(); ++i) {
+        const Finding &f = result.findings[i];
+        os << "      {\"ruleId\": \"" << f.rule
+           << "\", \"level\": \"error\", \"message\": {\"text\": \""
+           << jsonEscape(f.message)
+           << "\"}, \"locations\": [{\"physicalLocation\": "
+           << "{\"artifactLocation\": {\"uri\": \"" << jsonEscape(f.path)
+           << "\"}, \"region\": {\"startLine\": " << f.line
+           << "}}}]}" << (i + 1 < result.findings.size() ? "," : "")
+           << "\n";
+    }
+    os << "    ]\n  }]\n}\n";
+    return os.str();
+}
+
+} // namespace piso::lint

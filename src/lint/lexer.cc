@@ -1,0 +1,306 @@
+#include "src/lint/lexer.hh"
+
+#include <cctype>
+#include <cstddef>
+
+namespace piso::lint {
+
+namespace {
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Strip leading/trailing whitespace. */
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+/**
+ * Parse a suppression directive (`piso-lint:` then `allow(rule-a,
+ * rule-b)` then an optional justification) out of @p comment. The
+ * marker must lead the comment — modulo whitespace and doxygen
+ * decoration — so documentation that merely *mentions* the syntax
+ * mid-sentence is not a directive. Returns false when the comment
+ * holds no directive.
+ */
+bool
+parseDirective(const std::string &comment, Suppression &out)
+{
+    const std::string kMarker = "piso-lint:";
+    std::size_t mark = 0;
+    while (mark < comment.size() &&
+           (std::isspace(static_cast<unsigned char>(comment[mark])) ||
+            comment[mark] == '*' || comment[mark] == '!' ||
+            comment[mark] == '/'))
+        ++mark;
+    if (comment.compare(mark, kMarker.size(), kMarker) != 0)
+        return false;
+    std::size_t i = mark + kMarker.size();
+    while (i < comment.size() &&
+           std::isspace(static_cast<unsigned char>(comment[i])))
+        ++i;
+    const std::string kAllow = "allow";
+    if (comment.compare(i, kAllow.size(), kAllow) != 0)
+        return false;
+    i += kAllow.size();
+    while (i < comment.size() &&
+           std::isspace(static_cast<unsigned char>(comment[i])))
+        ++i;
+    if (i >= comment.size() || comment[i] != '(')
+        return false;
+    ++i;
+    const std::size_t close = comment.find(')', i);
+    if (close == std::string::npos)
+        return false;
+
+    // Comma-separated rule names.
+    std::string names = comment.substr(i, close - i);
+    std::size_t pos = 0;
+    while (pos <= names.size()) {
+        const std::size_t comma = names.find(',', pos);
+        const std::string name = trim(
+            comma == std::string::npos ? names.substr(pos)
+                                       : names.substr(pos, comma - pos));
+        if (!name.empty())
+            out.rules.push_back(name);
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+
+    // Optional justification after `--`.
+    const std::size_t dash = comment.find("--", close);
+    if (dash != std::string::npos)
+        out.justification = trim(comment.substr(dash + 2));
+    return true;
+}
+
+} // namespace
+
+std::string
+projectRelative(const std::string &path)
+{
+    // Normalise separators, then find the last component that names a
+    // project root.
+    std::string p = path;
+    for (char &c : p) {
+        if (c == '\\')
+            c = '/';
+    }
+    std::size_t best = std::string::npos;
+    std::size_t start = 0;
+    while (start <= p.size()) {
+        const std::size_t slash = p.find('/', start);
+        const std::string comp =
+            slash == std::string::npos ? p.substr(start)
+                                       : p.substr(start, slash - start);
+        if (comp == "src" || comp == "tools" || comp == "tests" ||
+            comp == "bench" || comp == "examples") {
+            best = start;
+        }
+        if (slash == std::string::npos)
+            break;
+        start = slash + 1;
+    }
+    return best == std::string::npos ? p : p.substr(best);
+}
+
+SourceFile
+lexSource(std::string path, const std::string &text)
+{
+    SourceFile out;
+    out.path = std::move(path);
+
+    int line = 1;
+    bool lineHasCode = false;  //!< code token seen on the current line
+    std::size_t i = 0;
+    const std::size_t n = text.size();
+
+    auto push = [&](TokKind kind, std::string tok, bool preproc) {
+        out.tokens.push_back(
+            {kind, std::move(tok), line, preproc});
+        lineHasCode = true;
+    };
+
+    auto addComment = [&](int startLine, bool hadCode,
+                          const std::string &body) {
+        Suppression s;
+        s.line = startLine;
+        s.ownLine = !hadCode;
+        if (parseDirective(body, s))
+            out.suppressions.push_back(std::move(s));
+    };
+
+    bool preprocLine = false;  //!< current logical line starts with '#'
+
+    while (i < n) {
+        const char c = text[i];
+
+        if (c == '\n') {
+            ++line;
+            lineHasCode = false;
+            preprocLine = false;
+            ++i;
+            continue;
+        }
+        // Backslash-newline splices the next line into this logical
+        // line; multi-line #define bodies stay flagged as preproc.
+        if (c == '\\' && i + 1 < n &&
+            (text[i + 1] == '\n' ||
+             (text[i + 1] == '\r' && i + 2 < n && text[i + 2] == '\n'))) {
+            i += text[i + 1] == '\n' ? 2 : 3;
+            ++line;
+            lineHasCode = false;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+
+        // Line comment.
+        if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+            const int startLine = line;
+            const bool hadCode = lineHasCode;
+            std::size_t e = i;
+            while (e < n && text[e] != '\n')
+                ++e;
+            addComment(startLine, hadCode, text.substr(i + 2, e - i - 2));
+            i = e;
+            continue;
+        }
+
+        // Block comment.
+        if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+            const int startLine = line;
+            const bool hadCode = lineHasCode;
+            std::size_t e = i + 2;
+            while (e + 1 < n && !(text[e] == '*' && text[e + 1] == '/')) {
+                if (text[e] == '\n') {
+                    ++line;
+                    lineHasCode = false;
+                }
+                ++e;
+            }
+            addComment(startLine, hadCode,
+                       text.substr(i + 2, e - (i + 2)));
+            i = e + 1 < n ? e + 2 : n;
+            continue;
+        }
+
+        // Raw string literal.
+        if (c == 'R' && i + 1 < n && text[i + 1] == '"') {
+            std::size_t d = i + 2;
+            while (d < n && text[d] != '(')
+                ++d;
+            std::string delim = ")";
+            delim += text.substr(i + 2, d - i - 2);
+            delim += '"';
+            const std::size_t end = text.find(delim, d);
+            const std::size_t stop =
+                end == std::string::npos ? n : end + delim.size();
+            std::string body =
+                text.substr(d + 1,
+                            (end == std::string::npos ? n : end) - d - 1);
+            push(TokKind::String, std::move(body), preprocLine);
+            for (std::size_t k = i; k < stop; ++k) {
+                if (text[k] == '\n')
+                    ++line;
+            }
+            i = stop;
+            continue;
+        }
+
+        // String / char literal.
+        if (c == '"' || c == '\'') {
+            const char quote = c;
+            std::size_t e = i + 1;
+            std::string body;
+            while (e < n && text[e] != quote) {
+                if (text[e] == '\\' && e + 1 < n) {
+                    body += text[e];
+                    body += text[e + 1];
+                    e += 2;
+                    continue;
+                }
+                if (text[e] == '\n')  // unterminated; resync
+                    break;
+                body += text[e];
+                ++e;
+            }
+            push(quote == '"' ? TokKind::String : TokKind::Char,
+                 std::move(body), preprocLine);
+            i = e < n ? e + 1 : n;
+            continue;
+        }
+
+        // Identifier.
+        if (isIdentStart(c)) {
+            std::size_t e = i + 1;
+            while (e < n && isIdentChar(text[e]))
+                ++e;
+            push(TokKind::Ident, text.substr(i, e - i), preprocLine);
+            i = e;
+            continue;
+        }
+
+        // Number.
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::size_t e = i + 1;
+            while (e < n &&
+                   (isIdentChar(text[e]) || text[e] == '.' ||
+                    text[e] == '\'' ||
+                    ((text[e] == '+' || text[e] == '-') && e > i &&
+                     (text[e - 1] == 'e' || text[e - 1] == 'E' ||
+                      text[e - 1] == 'p' || text[e - 1] == 'P')))) {
+                ++e;
+            }
+            push(TokKind::Number, text.substr(i, e - i), preprocLine);
+            i = e;
+            continue;
+        }
+
+        // '#' opens a preprocessor logical line (with \-continuations).
+        if (c == '#' && !lineHasCode) {
+            preprocLine = true;
+            push(TokKind::Punct, "#", true);
+            ++i;
+            continue;
+        }
+
+        // Punctuation; keep '::' and '->' whole for the rule matchers.
+        if (c == ':' && i + 1 < n && text[i + 1] == ':') {
+            push(TokKind::Punct, "::", preprocLine);
+            i += 2;
+            continue;
+        }
+        if (c == '-' && i + 1 < n && text[i + 1] == '>') {
+            push(TokKind::Punct, "->", preprocLine);
+            i += 2;
+            continue;
+        }
+        push(TokKind::Punct, std::string(1, c), preprocLine);
+        ++i;
+    }
+
+    return out;
+}
+
+} // namespace piso::lint

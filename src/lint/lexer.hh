@@ -1,0 +1,76 @@
+#ifndef PISO_LINT_LEXER_HH
+#define PISO_LINT_LEXER_HH
+
+/**
+ * @file
+ * Comment- and string-aware C++ tokenizer for piso-lint.
+ *
+ * Deliberately not a real C++ front end: the project rules only need
+ * identifier/punctuation sequences with line numbers, with comments and
+ * literals kept out of the token stream so `// old std::map<SpuId` in a
+ * comment can never trigger a rule. Suppression directives
+ * (`// piso-lint: allow(<rule>) -- <why>`) are recognised while the
+ * comments are consumed.
+ */
+
+#include <string>
+#include <vector>
+
+namespace piso::lint {
+
+/** Lexical class of one token. */
+enum class TokKind
+{
+    Ident,   //!< identifier or keyword
+    Number,  //!< numeric literal
+    String,  //!< string literal (text is the literal *contents*)
+    Char,    //!< character literal
+    Punct,   //!< punctuation; `::` and `->` arrive as single tokens
+};
+
+/** One token of a source file. */
+struct Token
+{
+    TokKind kind = TokKind::Punct;
+    std::string text;
+    int line = 0;       //!< 1-based
+    bool preproc = false;  //!< token belongs to a preprocessor line
+};
+
+/** One `piso-lint: allow(...)` directive found in a comment. */
+struct Suppression
+{
+    int line = 0;                     //!< line the comment starts on
+    std::vector<std::string> rules;   //!< rule names inside allow(...)
+    std::string justification;        //!< text after `--` (maybe empty)
+    bool ownLine = false;  //!< comment-only line: applies to the next
+                           //!< code line instead of its own
+};
+
+/** A tokenized source file. */
+struct SourceFile
+{
+    std::string path;  //!< project-relative, forward slashes
+    std::vector<Token> tokens;
+    std::vector<Suppression> suppressions;
+};
+
+/**
+ * Tokenize @p text.
+ * @param path Stored verbatim in the result (used for rule scoping).
+ */
+SourceFile lexSource(std::string path, const std::string &text);
+
+/**
+ * Map an arbitrary file path onto the project-relative form the rules
+ * are scoped by: the suffix starting at the last path component named
+ * `src`, `tools`, `tests`, `bench`, or `examples`. Returns @p path
+ * unchanged when no such component exists. Taking the *last* match
+ * lets test fixtures mirror the tree (tests/lint_fixtures/src/... is
+ * scoped as src/...).
+ */
+std::string projectRelative(const std::string &path);
+
+} // namespace piso::lint
+
+#endif // PISO_LINT_LEXER_HH

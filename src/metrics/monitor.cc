@@ -59,9 +59,8 @@ SpuMonitor::peakUsed(SpuId spu) const
 {
     std::uint64_t peak = 0;
     for (const MonitorSample &s : samples_) {
-        auto it = s.spus.find(spu);
-        if (it != s.spus.end())
-            peak = std::max(peak, it->second.used);
+        if (const SpuSample *ss = s.spus.find(spu))
+            peak = std::max(peak, ss->used);
     }
     return peak;
 }

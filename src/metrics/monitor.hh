@@ -9,9 +9,9 @@
  * examples/memory_pressure.cpp for the rendered form).
  */
 
-#include <map>
 #include <vector>
 
+#include "src/core/spu_table.hh"
 #include "src/os/scheduler.hh"
 #include "src/os/vm.hh"
 #include "src/sim/event_queue.hh"
@@ -34,7 +34,7 @@ struct MonitorSample
 {
     Time when = 0;
     std::uint64_t freePages = 0;
-    std::map<SpuId, SpuSample> spus;
+    SpuTable<SpuSample> spus;
 };
 
 /**

@@ -8,11 +8,11 @@
  * statistics.
  */
 
-#include <map>
 #include <string>
 #include <vector>
 
 #include "src/core/scheme_profile.hh"
+#include "src/core/spu_table.hh"
 #include "src/os/kernel.hh"
 #include "src/sim/ids.hh"
 #include "src/sim/time.hh"
@@ -77,7 +77,7 @@ struct DiskResult
     double avgPositionMs = 0.0;  //!< mean seek+rotation ("disk latency")
     double avgSeekMs = 0.0;
     double busyFraction = 0.0;
-    std::map<SpuId, SpuDiskResult> perSpu;
+    SpuTable<SpuDiskResult> perSpu;
 };
 
 /**
@@ -107,7 +107,7 @@ struct SimResults
     Time simulatedTime = 0;
     bool completed = false;  //!< all jobs finished before maxTime
     std::vector<JobResult> jobs;
-    std::map<SpuId, SpuResult> spus;
+    SpuTable<SpuResult> spus;
     std::vector<DiskResult> disks;
     KernelStats kernel;
 

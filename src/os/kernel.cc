@@ -1349,7 +1349,7 @@ Kernel::bdflush()
             }
 
             std::vector<BlockKey> keys;
-            std::map<SpuId, std::uint32_t> chargeMap;
+            SpuTable<std::uint32_t> chargeMap;
             for (std::size_t k = i; k < j; ++k) {
                 keys.push_back(items[k].key);
                 chargeMap[items[k].owner] += spb;
@@ -1362,7 +1362,9 @@ Kernel::bdflush()
             req.startSector = items[i].sector;
             req.sectors = static_cast<std::uint32_t>((j - i) * spb);
             req.write = true;
-            req.charges.assign(chargeMap.begin(), chargeMap.end());
+            req.charges.clear();
+            for (const auto &[owner, sectors] : chargeMap)
+                req.charges.emplace_back(owner, sectors);
             req.onComplete = [this,
                               keys = std::move(keys)](const DiskRequest &r) {
                 if (r.failed) {

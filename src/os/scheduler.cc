@@ -337,7 +337,7 @@ CpuScheduler::bringCpusOnline(int count)
 }
 
 void
-CpuScheduler::repartitionCpus(const std::map<SpuId, double> &cpuShares)
+CpuScheduler::repartitionCpus(const SpuTable<double> &cpuShares)
 {
     for (auto &c : cpus_) {
         c.homeSpu = kNoSpu;
@@ -361,7 +361,7 @@ CpuScheduler::repartitionCpus(const std::map<SpuId, double> &cpuShares)
 }
 
 void
-CpuScheduler::partitionCpus(const std::map<SpuId, double> &cpuShares)
+CpuScheduler::partitionCpus(const SpuTable<double> &cpuShares)
 {
     if (cpuShares.empty())
         return;

@@ -160,8 +160,8 @@ class CpuScheduler
     /** Assign home SPUs to CPUs from per-SPU CPU shares (the hybrid
      *  space/time partition of Section 3.1): each SPU gets
      *  floor(share) dedicated CPUs; fractional remainders are packed
-     *  onto shared CPUs as time shares. No-op for an empty map. */
-    void partitionCpus(const std::map<SpuId, double> &cpuShares);
+     *  onto shared CPUs as time shares. No-op for an empty table. */
+    void partitionCpus(const SpuTable<double> &cpuShares);
 
     /**
      * Re-run the partition mid-run (SPUs created, destroyed,
@@ -169,7 +169,7 @@ class CpuScheduler
      * Running processes are not preempted here; ownership takes
      * effect through the normal tick/slice machinery.
      */
-    void repartitionCpus(const std::map<SpuId, double> &cpuShares);
+    void repartitionCpus(const SpuTable<double> &cpuShares);
 
     /** @name Fault injection: CPU offline/online */
     /// @{

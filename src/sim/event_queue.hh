@@ -64,6 +64,7 @@ class EventCallback
             new (buf_) Fn(std::forward<F>(f));
             vt_ = &vtableFor<Fn, /*OnHeap=*/false>;
         } else {
+            // piso-lint: allow(memory-raw-new) -- small-buffer wrapper's heap fallback; ownership sits in vt_, freed by destroyHeap/invokeDestroyHeap
             heap_ = new Fn(std::forward<F>(f));
             vt_ = &vtableFor<Fn, /*OnHeap=*/true>;
         }
@@ -148,6 +149,7 @@ class EventCallback
     static void
     destroyHeap(void *obj)
     {
+        // piso-lint: allow(memory-raw-new) -- matching release for the wrapper's heap-fallback new above
         delete static_cast<Fn *>(obj);
     }
 
@@ -174,6 +176,7 @@ class EventCallback
     {
         Fn *fn = static_cast<Fn *>(obj);
         (*fn)();
+        // piso-lint: allow(memory-raw-new) -- matching release for the wrapper's heap-fallback new above
         delete fn;
     }
 

@@ -78,6 +78,7 @@ TraceContext::emit(Time when, TraceCat cat, const std::string &msg) const
         sink(when, cat, msg);
         return;
     }
+    // piso-lint: allow(hygiene-io) -- default trace sink when no TraceContext sink is installed; stderr keeps traces out of report streams
     std::fprintf(stderr, "%12s [%s] %s\n", formatTime(when).c_str(),
                  traceCatName(cat), msg.c_str());
 }

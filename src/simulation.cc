@@ -482,6 +482,7 @@ Simulation::run()
     // Host-side timing of the whole run loop (start through drain); the
     // event counter on the queue gives events/sec for piso_bench and
     // the out-of-band perf report.
+    // piso-lint: allow(determinism-wallclock) -- host-side RunPerf timing; reported out-of-band, never feeds simulated state
     const auto wallStart = std::chrono::steady_clock::now();
     const std::uint64_t eventsBefore = im.events.executedEvents();
 
@@ -512,6 +513,7 @@ Simulation::run()
     res.kernel = im.kernel->stats();
     res.perf.events = im.events.executedEvents() - eventsBefore;
     res.perf.wallSec =
+        // piso-lint: allow(determinism-wallclock) -- host-side RunPerf timing; reported out-of-band, never feeds simulated state
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       wallStart)
             .count();

@@ -1,0 +1,24 @@
+// Fixture: mutable namespace-scope and static-local state in the sim
+// core. Only the two mutable names may be flagged.
+namespace piso {
+
+int liveCounter = 0;             // hit: mutable namespace-scope state
+const int kLimit = 64;           // clean: const
+constexpr double kRatio = 0.5;   // clean: constexpr
+thread_local int tlsDepth = 0;   // clean: sanctioned per-thread context
+
+int
+bump()
+{
+    static int calls = 0;        // hit: stateful static local
+    return ++calls + liveCounter;
+}
+
+int
+pure(int x)
+{
+    int local = x + 1;           // clean: plain local
+    return local;
+}
+
+} // namespace piso

@@ -1,0 +1,12 @@
+// Fixture: unordered container in an emission path (src/metrics).
+#include <string>
+
+namespace piso {
+
+void
+emitRows(const std::unordered_map<std::string, double> &cells)  // hit
+{
+    (void)cells;
+}
+
+} // namespace piso

@@ -1,0 +1,14 @@
+// Fixture: direct stdio and stream output in the library.
+#include <cstdio>
+#include <iostream>
+
+namespace piso {
+
+void
+dumpStats(int n)
+{
+    std::printf("n=%d\n", n);  // hit: hygiene-io (stdio call)
+    std::cout << n << "\n";    // hit: hygiene-io (stream)
+}
+
+} // namespace piso

@@ -1,0 +1,27 @@
+// Fixture: std::map keyed by a dense id, plus raw new/delete.
+#include <cstddef>
+#include <map>
+
+namespace piso {
+
+using SpuId = int;
+
+struct DiskPlan
+{
+    std::map<SpuId, double> shares;  // hit: table-map-key
+    std::map<long, double> byLba;    // clean: not a dense id key
+};
+
+char *
+makeScratch(std::size_t n)
+{
+    return new char[n];  // hit: memory-raw-new
+}
+
+void
+freeScratch(char *p)
+{
+    delete[] p;  // hit: memory-raw-new (delete)
+}
+
+} // namespace piso

@@ -1,0 +1,15 @@
+#ifndef WRONG_GUARD_HH
+#define WRONG_GUARD_HH
+
+// Fixture: include guard not matching the canonical
+// PISO_SIM_BAD_GUARD_HH name.
+
+namespace piso {
+inline int
+answer()
+{
+    return 42;
+}
+} // namespace piso
+
+#endif // WRONG_GUARD_HH

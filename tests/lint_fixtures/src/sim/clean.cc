@@ -1,0 +1,19 @@
+// Fixture: idiomatic sim-core code; every rule must stay quiet. The
+// comment below must NOT trip determinism-wallclock or table-map-key:
+// the old code used std::map<SpuId, int> and steady_clock here.
+#include <vector>
+
+namespace piso {
+
+int
+sum(const std::vector<int> &v)
+{
+    int total = 0;
+    for (int x : v)
+        total += x;
+    return total;
+}
+
+const char *kBanner = "rand() and printf(...) inside a string literal";
+
+} // namespace piso

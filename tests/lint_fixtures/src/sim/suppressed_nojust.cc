@@ -1,0 +1,13 @@
+// Fixture: suppression without the mandatory justification. The
+// violation is still suppressed, but the bare allow() is itself a
+// finding.
+namespace piso {
+
+int *
+makeRaw()
+{
+    // piso-lint: allow(memory-raw-new)
+    return new int(7);
+}
+
+} // namespace piso

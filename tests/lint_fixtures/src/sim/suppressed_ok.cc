@@ -1,0 +1,17 @@
+// Fixture: a violation covered by a justified suppression -> clean.
+namespace piso {
+
+int *
+makeRaw()
+{
+    // piso-lint: allow(memory-raw-new) -- fixture: exercising a justified own-line suppression
+    return new int(7);
+}
+
+inline void
+drop(int *p)
+{
+    delete p;  // piso-lint: allow(memory-raw-new) -- fixture: exercising a justified trailing suppression
+}
+
+} // namespace piso

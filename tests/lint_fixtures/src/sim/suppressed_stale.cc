@@ -1,0 +1,11 @@
+// Fixture: a suppression that matches no finding -> stale allow().
+namespace piso {
+
+// piso-lint: allow(hygiene-io) -- fixture: nothing here writes to stdio
+inline int
+identity(int x)
+{
+    return x;
+}
+
+} // namespace piso

@@ -1,0 +1,12 @@
+// Fixture: allow() naming a rule that does not exist. The misspelled
+// directive suppresses nothing, so the violation also surfaces.
+namespace piso {
+
+// piso-lint: allow(no-such-rule) -- fixture: unknown rule name
+int *
+makeRaw()
+{
+    return new int(7);
+}
+
+} // namespace piso

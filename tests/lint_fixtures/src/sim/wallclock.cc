@@ -1,0 +1,23 @@
+// Fixture: wall-clock sources in deterministic code. Never compiled;
+// linted by test_piso_lint, which asserts the exact hits below.
+#include <chrono>
+#include <ctime>
+
+namespace piso {
+
+double
+hostSeconds()
+{
+    const auto t0 = std::chrono::steady_clock::now();  // hit: line 11
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)  // hit: line 13
+        .count();
+}
+
+long
+stamp()
+{
+    return std::time(nullptr) + std::rand();  // hits: time, rand
+}
+
+} // namespace piso

@@ -1,0 +1,14 @@
+// Fixture: host timing is fine in tools/ -- determinism-wallclock is
+// scoped to the library.
+#include <chrono>
+#include <cstdio>
+
+int
+main()
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    std::printf("%f\n", std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count());
+    return 0;
+}

@@ -1,0 +1,277 @@
+/**
+ * @file
+ * The lint engine linted: every rule run against known-bad fixtures
+ * under tests/lint_fixtures/ (which mirror project paths so the rule
+ * scoping applies), plus the suppression machinery and the exit-code
+ * contract. Each expected violation must be reported exactly once.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/lint/engine.hh"
+#include "src/lint/lexer.hh"
+#include "src/lint/rules.hh"
+
+using namespace piso::lint;
+
+namespace {
+
+std::string
+fixture(const std::string &rel)
+{
+    return std::string(PISO_LINT_FIXTURE_DIR) + "/" + rel;
+}
+
+/** Lint one fixture file; hard-fails the test on I/O errors. */
+LintResult
+lintFixture(const std::string &rel)
+{
+    LintResult result;
+    std::string error;
+    if (!lintFiles({fixture(rel)}, result, error))
+        ADD_FAILURE() << "cannot lint " << rel << ": " << error;
+    return result;
+}
+
+/** (rule, line) pairs, sorted — the shape the expectations use. */
+std::vector<std::pair<std::string, int>>
+hits(const LintResult &result)
+{
+    std::vector<std::pair<std::string, int>> out;
+    for (const Finding &f : result.findings)
+        out.emplace_back(f.rule, f.line);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+using Hits = std::vector<std::pair<std::string, int>>;
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// One fixture per rule: exact findings, each reported exactly once.
+// ---------------------------------------------------------------------
+
+TEST(LintRules, WallclockFlagsEveryHostTimeSource)
+{
+    const LintResult r = lintFixture("src/sim/wallclock.cc");
+    EXPECT_EQ(hits(r), (Hits{{"determinism-wallclock", 11},
+                             {"determinism-wallclock", 13},
+                             {"determinism-wallclock", 20},
+                             {"determinism-wallclock", 20}}));
+    EXPECT_EQ(r.exitCode(), 1);
+}
+
+TEST(LintRules, UnorderedContainerInEmissionPath)
+{
+    const LintResult r = lintFixture("src/metrics/unordered.cc");
+    EXPECT_EQ(hits(r), (Hits{{"determinism-unordered", 7}}));
+}
+
+TEST(LintRules, MutableGlobalsAndStaticLocals)
+{
+    // const / constexpr / thread_local / plain locals stay clean; the
+    // bare namespace-scope int and the static local are flagged.
+    const LintResult r = lintFixture("src/core/global_state.cc");
+    EXPECT_EQ(hits(r), (Hits{{"thread-global-state", 5},
+                             {"thread-global-state", 13}}));
+}
+
+TEST(LintRules, MapKeyedByDenseIdAndRawNewDelete)
+{
+    const LintResult r = lintFixture("src/os/tables.cc");
+    EXPECT_EQ(hits(r), (Hits{{"memory-raw-new", 18},
+                             {"memory-raw-new", 24},
+                             {"table-map-key", 11}}));
+}
+
+TEST(LintRules, NonCanonicalIncludeGuard)
+{
+    const LintResult r = lintFixture("src/sim/bad_guard.hh");
+    EXPECT_EQ(hits(r), (Hits{{"hygiene-include-guard", 1}}));
+    ASSERT_EQ(r.findings.size(), 1u);
+    EXPECT_NE(r.findings[0].message.find("PISO_SIM_BAD_GUARD_HH"),
+              std::string::npos);
+}
+
+TEST(LintRules, DirectIoInTheLibrary)
+{
+    const LintResult r = lintFixture("src/os/io.cc");
+    EXPECT_EQ(hits(r), (Hits{{"hygiene-io", 10}, {"hygiene-io", 11}}));
+}
+
+// ---------------------------------------------------------------------
+// Scoping: the same constructs are legal where the rules don't apply.
+// ---------------------------------------------------------------------
+
+TEST(LintScoping, HostTimingAndStdioAreFineInTools)
+{
+    const LintResult r = lintFixture("tools/scoped_ok.cc");
+    EXPECT_EQ(r.findings.size(), 0u);
+    EXPECT_EQ(r.exitCode(), 0);
+}
+
+TEST(LintScoping, CleanSimFileStaysClean)
+{
+    // Banned names inside comments and string literals must not trip.
+    const LintResult r = lintFixture("src/sim/clean.cc");
+    EXPECT_EQ(r.findings.size(), 0u);
+    EXPECT_EQ(r.exitCode(), 0);
+}
+
+TEST(LintScoping, FixturePathsMapOntoProjectPaths)
+{
+    EXPECT_EQ(projectRelative(fixture("src/sim/clean.cc")),
+              "src/sim/clean.cc");
+    EXPECT_EQ(projectRelative(fixture("tools/scoped_ok.cc")),
+              "tools/scoped_ok.cc");
+    EXPECT_EQ(projectRelative("no/known/root.cc"), "no/known/root.cc");
+}
+
+// ---------------------------------------------------------------------
+// Suppressions: justified allow() silences; the directive is linted too.
+// ---------------------------------------------------------------------
+
+TEST(LintSuppression, JustifiedAllowSilencesOwnLineAndTrailing)
+{
+    const LintResult r = lintFixture("src/sim/suppressed_ok.cc");
+    EXPECT_EQ(r.findings.size(), 0u) << formatText(r);
+    EXPECT_EQ(r.exitCode(), 0);
+}
+
+TEST(LintSuppression, MissingJustificationIsItselfAFinding)
+{
+    const LintResult r = lintFixture("src/sim/suppressed_nojust.cc");
+    EXPECT_EQ(hits(r), (Hits{{kSuppressionJustification, 9}}));
+}
+
+TEST(LintSuppression, UnknownRuleNameSuppressesNothing)
+{
+    const LintResult r = lintFixture("src/sim/suppressed_unknown.cc");
+    EXPECT_EQ(hits(r), (Hits{{"memory-raw-new", 9},
+                             {kSuppressionUnknownRule, 5}}));
+}
+
+TEST(LintSuppression, StaleAllowIsReported)
+{
+    const LintResult r = lintFixture("src/sim/suppressed_stale.cc");
+    EXPECT_EQ(hits(r), (Hits{{kSuppressionUnused, 4}}));
+}
+
+TEST(LintSuppression, DocumentationMentioningTheSyntaxIsNotADirective)
+{
+    const SourceFile f = lexSource(
+        "src/sim/x.cc",
+        "// Suppress with `piso-lint: allow(rule)` on the line.\n"
+        "int a;\n"
+        "// piso-lint: allow(hygiene-io) -- leading marker parses\n");
+    ASSERT_EQ(f.suppressions.size(), 1u);
+    EXPECT_EQ(f.suppressions[0].line, 3);
+    EXPECT_EQ(f.suppressions[0].rules,
+              std::vector<std::string>{"hygiene-io"});
+    EXPECT_EQ(f.suppressions[0].justification, "leading marker parses");
+}
+
+// ---------------------------------------------------------------------
+// Lexer corners the rules depend on.
+// ---------------------------------------------------------------------
+
+TEST(LintLexer, MultiLineMacroBodiesStayPreproc)
+{
+    // Backslash continuations keep every token of a #define flagged as
+    // preprocessor, so macro bodies can't confuse the scope tracker.
+    const SourceFile f = lexSource("src/sim/x.hh",
+                                   "#define LOOP(x)   \\\n"
+                                   "    do {          \\\n"
+                                   "    } while (0)\n"
+                                   "int y;\n");
+    for (const Token &t : f.tokens) {
+        if (t.line < 4) {
+            EXPECT_TRUE(t.preproc) << t.text << " line " << t.line;
+        }
+    }
+    ASSERT_GE(f.tokens.size(), 3u);
+    EXPECT_FALSE(f.tokens[f.tokens.size() - 3].preproc);  // 'int'
+}
+
+TEST(LintLexer, CommentsAndStringsLeaveNoTokens)
+{
+    const SourceFile f =
+        lexSource("src/sim/x.cc",
+                  "int a; // rand() here\n"
+                  "/* new delete */ const char *s = \"printf(\";\n"
+                  "const char *r = R\"(std::cout << rand())\";\n");
+    for (const Token &t : f.tokens) {
+        if (t.kind == TokKind::Ident) {
+            EXPECT_NE(t.text, "rand");
+            EXPECT_NE(t.text, "printf");
+            EXPECT_NE(t.text, "cout");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Whole-tree run, output formats, and the exit-code contract.
+// ---------------------------------------------------------------------
+
+TEST(LintEngine, FixtureTreeTotals)
+{
+    LintResult r;
+    std::string error;
+    ASSERT_TRUE(lintFiles({std::string(PISO_LINT_FIXTURE_DIR)}, r, error))
+        << error;
+    EXPECT_EQ(r.filesScanned, 12);
+    // 4 wallclock + 1 unordered + 2 globals + 3 tables + 1 guard +
+    // 2 io + 1 nojust + 2 unknown + 1 stale = 17, each exactly once.
+    EXPECT_EQ(r.findings.size(), 17u);
+    EXPECT_EQ(r.exitCode(), 1);
+}
+
+TEST(LintEngine, MissingPathIsAUsageError)
+{
+    LintResult r;
+    std::string error;
+    EXPECT_FALSE(lintFiles({"does/not/exist"}, r, error));
+    EXPECT_NE(error.find("does/not/exist"), std::string::npos);
+}
+
+TEST(LintEngine, TextAndSarifNameEveryFinding)
+{
+    const LintResult r = lintFixture("src/os/io.cc");
+    const std::string text = formatText(r);
+    EXPECT_NE(text.find("src/os/io.cc:10: [hygiene-io]"),
+              std::string::npos);
+    EXPECT_NE(text.find("2 finding(s)"), std::string::npos);
+
+    const std::string sarif = formatSarif(r);
+    EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+    EXPECT_NE(sarif.find("\"ruleId\": \"hygiene-io\""),
+              std::string::npos);
+    EXPECT_NE(sarif.find("\"startLine\": 10"), std::string::npos);
+
+    const LintResult clean = lintFixture("src/sim/clean.cc");
+    EXPECT_NE(formatText(clean).find("piso-lint: clean"),
+              std::string::npos);
+}
+
+TEST(LintEngine, RegistryIsCompleteAndKnown)
+{
+    const std::vector<std::string> expected = {
+        "determinism-wallclock", "determinism-unordered",
+        "thread-global-state",   "table-map-key",
+        "memory-raw-new",        "hygiene-include-guard",
+        "hygiene-io",
+    };
+    const auto &rules = ruleRegistry();
+    ASSERT_EQ(rules.size(), expected.size());
+    for (std::size_t i = 0; i < rules.size(); ++i)
+        EXPECT_EQ(rules[i].name, expected[i]);
+    for (const std::string &name : expected)
+        EXPECT_TRUE(knownRule(name));
+    EXPECT_FALSE(knownRule("no-such-rule"));
+}

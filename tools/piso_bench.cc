@@ -180,17 +180,24 @@ runFig2Batch(int inner)
     return (nowSec() - start) / inner;
 }
 
-int
-usage()
+void
+usage(std::FILE *to)
 {
-    std::fprintf(stderr,
+    std::fprintf(to,
                  "usage: piso_bench [--quick] [--check] [--reps N] "
                  "[eventq|cache|fig2]...\n"
-                 "  --quick    smaller workloads (CI smoke)\n"
-                 "  --check    exit 1 when a result is >5x below the "
+                 "  --quick      smaller workloads (CI smoke)\n"
+                 "  --check      exit 1 when a result is >5x below the "
                  "recorded Release baseline\n"
-                 "  --reps N   fig2 repetitions (default 5, quick 3)\n"
+                 "  --reps N     fig2 repetitions (default 5, quick 3)\n"
+                 "  -h, --help   show this help and exit\n"
                  "With no benchmark names, all three run.\n");
+}
+
+int
+usageError()
+{
+    usage(stderr);
     return 2;
 }
 
@@ -211,8 +218,12 @@ main(int argc, char **argv)
             check = true;
         } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
             reps = std::atoi(argv[++i]);
+        } else if (std::strcmp(argv[i], "-h") == 0 ||
+                   std::strcmp(argv[i], "--help") == 0) {
+            usage(stdout);
+            return 0;
         } else if (argv[i][0] == '-') {
-            return usage();
+            return usageError();
         } else {
             which.emplace_back(argv[i]);
         }

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * piso_lint: the project-invariant static checker.
+ *
+ *   piso_lint src tools           # lint the library and the CLIs
+ *   piso_lint --json src          # SARIF-lite output
+ *   piso_lint --list-rules        # what is enforced, one line each
+ *
+ * Exit codes: 0 clean, 1 findings, 2 usage/I-O error. Rules and the
+ * suppression syntax are documented in docs/static-analysis.md.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/lint/engine.hh"
+
+namespace {
+
+void
+printUsage(std::FILE *to)
+{
+    std::fprintf(to,
+                 "usage: piso_lint [--json] [--list-rules] "
+                 "<file-or-dir>...\n"
+                 "  --json        SARIF-lite JSON output instead of "
+                 "text\n"
+                 "  --list-rules  print the rule registry and exit\n"
+                 "  -h, --help    show this help and exit\n"
+                 "\n"
+                 "Directories are searched recursively for .cc/.hh "
+                 "files. Suppress a\n"
+                 "finding with  // piso-lint: allow(<rule>) -- "
+                 "<justification>  on (or\n"
+                 "immediately above) the offending line; the "
+                 "justification is mandatory.\n"
+                 "See docs/static-analysis.md.\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool json = false;
+    std::vector<std::string> paths;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0) {
+            json = true;
+        } else if (std::strcmp(argv[i], "--list-rules") == 0) {
+            for (const piso::lint::Rule &r : piso::lint::ruleRegistry())
+                std::printf("%-24s %s\n", r.name, r.summary);
+            return 0;
+        } else if (std::strcmp(argv[i], "-h") == 0 ||
+                   std::strcmp(argv[i], "--help") == 0) {
+            printUsage(stdout);
+            return 0;
+        } else if (argv[i][0] == '-') {
+            std::fprintf(stderr, "piso_lint: unknown option '%s'\n",
+                         argv[i]);
+            printUsage(stderr);
+            return 2;
+        } else {
+            paths.emplace_back(argv[i]);
+        }
+    }
+    if (paths.empty()) {
+        printUsage(stderr);
+        return 2;
+    }
+
+    piso::lint::LintResult result;
+    std::string error;
+    if (!piso::lint::lintFiles(paths, result, error)) {
+        std::fprintf(stderr, "piso_lint: %s\n", error.c_str());
+        return 2;
+    }
+    const std::string out = json ? piso::lint::formatSarif(result)
+                                 : piso::lint::formatText(result);
+    std::fputs(out.c_str(), stdout);
+    return result.exitCode();
+}

@@ -68,10 +68,10 @@ readFile(const char *path)
     return os.str();
 }
 
-int
-usage()
+void
+usage(std::FILE *to)
 {
-    std::fprintf(stderr,
+    std::fprintf(to,
                  "usage: piso_run [--compare] [--json] [--trace=CATS] "
                  "<workload-file>\n"
                  "  --compare     run the workload under all three "
@@ -79,12 +79,19 @@ usage()
                  "  --trace=CATS  comma list of sched,mem,disk,net,"
                  "lock,kernel,all\n"
                  "  --json        print machine-readable results\n"
+                 "  -h, --help    show this help and exit\n"
                  "\n"
                  "The workload file may end with a [faults] section "
                  "injecting hardware\n"
                  "misbehaviour (disk_slow, disk_error, disk_dead, "
                  "cpu_offline, cpu_online,\n"
                  "mem_shrink, mem_grow); see docs/faults.md.\n");
+}
+
+int
+usageError()
+{
+    usage(stderr);
     return 2;
 }
 
@@ -103,15 +110,19 @@ main(int argc, char **argv)
             json = true;
         else if (std::strncmp(argv[i], "--trace=", 8) == 0)
             traceEnable(parseTraceList(argv[i] + 8));
-        else if (argv[i][0] == '-')
-            return usage();
+        else if (std::strcmp(argv[i], "-h") == 0 ||
+                 std::strcmp(argv[i], "--help") == 0) {
+            usage(stdout);
+            return 0;
+        } else if (argv[i][0] == '-')
+            return usageError();
         else if (!path)
             path = argv[i];
         else
-            return usage();
+            return usageError();
     }
     if (!path)
-        return usage();
+        return usageError();
 
     WorkloadSpec spec;
     try {

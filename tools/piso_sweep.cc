@@ -42,11 +42,11 @@ readFile(const char *path)
     return os.str();
 }
 
-int
-usage()
+void
+usage(std::FILE *to)
 {
     std::fprintf(
-        stderr,
+        to,
         "usage: piso_sweep [--grid key=v1,v2,...]... [--seeds N] "
         "[--jobs N]\n"
         "                  [--out FILE] [--summary] [--speedup] "
@@ -73,11 +73,18 @@ usage()
         "--jobs N),\n"
         "                        verify byte-identical output, report "
         "the speedup\n"
+        "  -h, --help            show this help and exit\n"
         "\n"
         "Output: one JSON object per task "
         "({\"task\",\"seed\",\"params\",\"results\"}),\n"
         "ordered by task index — byte-identical for any --jobs "
         "value.\n");
+}
+
+int
+usageError()
+{
+    usage(stderr);
     return 2;
 }
 
@@ -113,16 +120,20 @@ main(int argc, char **argv)
                 summary = true;
             } else if (std::strcmp(argv[i], "--speedup") == 0) {
                 speedup = true;
+            } else if (std::strcmp(argv[i], "-h") == 0 ||
+                       std::strcmp(argv[i], "--help") == 0) {
+                usage(stdout);
+                return 0;
             } else if (argv[i][0] == '-') {
-                return usage();
+                return usageError();
             } else if (!path) {
                 path = argv[i];
             } else {
-                return usage();
+                return usageError();
             }
         }
         if (!path)
-            return usage();
+            return usageError();
         if (seeds < 0)
             PISO_FATAL("--seeds wants a count >= 0, got ", seeds);
         for (int s = 1; s <= seeds; ++s)
