@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Containment-layer overhead (google-benchmark): the fault-contained
+ * execution layer must be close to free on the hot path. Three
+ * measurements back the docs/robustness.md claims:
+ *
+ *   - an unguarded run vs the same run with watchdog budgets armed
+ *     (the per-event checkBudgets probe that never trips);
+ *   - a contained sweep vs the raw simulation cost it wraps
+ *     (TaskOutcome bookkeeping, manifest-ready result capture);
+ *   - a sweep where every task fails fast, measuring the quarantine
+ *     path itself (throw, classify, record) rather than simulation.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "src/config/workload_spec.hh"
+#include "src/exp/runner.hh"
+#include "src/piso.hh"
+
+using namespace piso;
+
+namespace {
+
+const char *kSpec = R"(
+machine cpus=2 memory_mb=16 disks=1 scheme=piso seed=7
+spu a share=1 disk=0
+spu b share=1 disk=0
+job a compute name=spin cpu_ms=100 ws_pages=50
+job b copy    name=cp bytes_kb=256
+)";
+
+void
+BM_RunUnguarded(benchmark::State &state)
+{
+    const WorkloadSpec spec = parseWorkloadSpec(kSpec);
+    for (auto _ : state) {
+        const SimResults r = runWorkloadSpec(spec);
+        benchmark::DoNotOptimize(r.simulatedTime);
+    }
+}
+BENCHMARK(BM_RunUnguarded)->Unit(benchmark::kMillisecond);
+
+void
+BM_RunWatchdogArmed(benchmark::State &state)
+{
+    // Budgets far above what the run needs: pays the per-event probe,
+    // never trips. The delta against BM_RunUnguarded is the whole
+    // watchdog cost.
+    WorkloadSpec spec = parseWorkloadSpec(kSpec);
+    spec.config.watchdogSimTime = 3600 * kSec;
+    spec.config.watchdogEvents = ~0ull;
+    for (auto _ : state) {
+        const SimResults r = runWorkloadSpec(spec);
+        benchmark::DoNotOptimize(r.simulatedTime);
+    }
+}
+BENCHMARK(BM_RunWatchdogArmed)->Unit(benchmark::kMillisecond);
+
+void
+BM_ContainedSweep(benchmark::State &state)
+{
+    // Six tasks through the full containment path (runContained,
+    // TaskOutcome, manifest formatting) on one worker: the per-task
+    // orchestration overhead on top of six raw runs.
+    exp::ExperimentPlan plan;
+    plan.base = parseWorkloadSpec(kSpec);
+    plan.axes.push_back(exp::parseGridAxis("scheme=smp,quota,piso"));
+    plan.seeds = {1, 2};
+    const std::vector<exp::ExperimentTask> tasks =
+        exp::expandPlan(plan);
+    for (auto _ : state) {
+        const exp::SweepOutcome out =
+            exp::runTasks(tasks, {.jobs = 1});
+        benchmark::DoNotOptimize(out.runs.size());
+        const std::string jsonl = exp::formatSweepJsonl(out);
+        benchmark::DoNotOptimize(jsonl.size());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(tasks.size()));
+}
+BENCHMARK(BM_ContainedSweep)->Unit(benchmark::kMillisecond);
+
+void
+BM_QuarantinePath(benchmark::State &state)
+{
+    // Every task fails up front with injected resource pressure that
+    // outlasts the retry budget: measures throw -> classify -> retry
+    // x2 -> TaskOutcome -> failure record, with almost no simulation
+    // underneath (and none of PISO_FATAL's stderr output).
+    exp::ExperimentPlan plan;
+    plan.base = parseWorkloadSpec(kSpec);
+    plan.base.config.chaos.resourceUntilAttempt = 100;
+    plan.seeds = {1, 2, 3, 4, 5, 6, 7, 8};
+    const std::vector<exp::ExperimentTask> tasks =
+        exp::expandPlan(plan);
+    for (auto _ : state) {
+        const exp::SweepOutcome out =
+            exp::runTasks(tasks, {.jobs = 1});
+        benchmark::DoNotOptimize(out.failures());
+        const std::string jsonl = exp::formatSweepJsonl(out);
+        benchmark::DoNotOptimize(jsonl.size());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(tasks.size()));
+}
+BENCHMARK(BM_QuarantinePath);
+
+} // namespace
+
+BENCHMARK_MAIN();

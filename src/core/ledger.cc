@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/sim/log.hh"
+#include "src/util/error.hh"
 
 namespace piso {
 
@@ -40,8 +41,7 @@ const ResourceLedger::Entry &
 ResourceLedger::entry(SpuId spu) const
 {
     const Entry *e = spus_.find(spu);
-    if (!e)
-        PISO_PANIC(resource_, " ledger: unknown SPU ", spu);
+    PISO_INVARIANT(e, resource_, " ledger: unknown SPU ", spu);
     return *e;
 }
 
@@ -130,15 +130,18 @@ ResourceLedger::tryUse(SpuId spu)
 void
 ResourceLedger::use(SpuId spu, std::uint64_t units)
 {
-    entry(spu).levels.used += units;
+    ResourceLevels &l = entry(spu).levels;
+    PISO_CHECK(l.used + units >= l.used, resource_,
+               " ledger: use of SPU ", spu, " overflows used units");
+    l.used += units;
 }
 
 void
 ResourceLedger::release(SpuId spu, std::uint64_t units)
 {
     ResourceLevels &l = entry(spu).levels;
-    if (l.used < units)
-        PISO_PANIC(resource_, " ledger: release of SPU ", spu,
+    PISO_INVARIANT(l.used >= units, resource_,
+                   " ledger: release of SPU ", spu,
                    " below zero used units");
     l.used -= units;
 }

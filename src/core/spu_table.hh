@@ -24,6 +24,7 @@
 
 #include "src/sim/ids.hh"
 #include "src/sim/log.hh"
+#include "src/util/error.hh"
 
 namespace piso {
 
@@ -214,8 +215,8 @@ class DenseTable
     std::size_t
     checkedIndex(Id id) const
     {
-        if (static_cast<long long>(id) < 0)
-            PISO_PANIC("dense table id is negative: ",
+        PISO_INVARIANT(static_cast<long long>(id) >= 0,
+                       "dense table id is negative: ",
                        static_cast<long long>(id));
         return static_cast<std::size_t>(id);
     }

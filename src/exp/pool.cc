@@ -26,36 +26,43 @@ parallelFor(std::size_t n, int jobs,
 {
     if (n == 0)
         return;
-    const int workers = effectiveJobs(jobs, n);
-    if (workers <= 1) {
-        for (std::size_t i = 0; i < n; ++i)
-            fn(i);
-        return;
-    }
 
-    std::atomic<std::size_t> next{0};
-    std::atomic<bool> failed{false};
+    // Full-drain semantics: one task throwing must not cost any other
+    // task its run (the execution-layer mirror of the paper's
+    // isolation property). Every index executes; every exception is
+    // collected; the lowest-indexed one is rethrown once the pool
+    // drained, so the error a caller sees is independent of worker
+    // count and scheduling.
     std::vector<std::exception_ptr> errors(n);
 
-    auto worker = [&] {
-        for (std::size_t i; (i = next.fetch_add(1)) < n;) {
-            if (failed.load())
-                break;  // abandon unclaimed work after a failure
+    const int workers = effectiveJobs(jobs, n);
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < n; ++i) {
             try {
                 fn(i);
             } catch (...) {
                 errors[i] = std::current_exception();
-                failed.store(true);
             }
         }
-    };
+    } else {
+        std::atomic<std::size_t> next{0};
+        auto worker = [&] {
+            for (std::size_t i; (i = next.fetch_add(1)) < n;) {
+                try {
+                    fn(i);
+                } catch (...) {
+                    errors[i] = std::current_exception();
+                }
+            }
+        };
 
-    std::vector<std::thread> threads;
-    threads.reserve(static_cast<std::size_t>(workers));
-    for (int t = 0; t < workers; ++t)
-        threads.emplace_back(worker);
-    for (std::thread &t : threads)
-        t.join();
+        std::vector<std::thread> threads;
+        threads.reserve(static_cast<std::size_t>(workers));
+        for (int t = 0; t < workers; ++t)
+            threads.emplace_back(worker);
+        for (std::thread &t : threads)
+            t.join();
+    }
 
     for (const std::exception_ptr &e : errors) {
         if (e)

@@ -33,9 +33,11 @@ int effectiveJobs(int jobs, std::size_t tasks);
  *
  * Blocks until all tasks completed. With jobs <= 1 everything runs
  * inline on the calling thread (no threads are created), which makes
- * `--jobs 1` a pure serial baseline. If tasks throw, the remaining
- * unclaimed tasks are abandoned and the exception of the
- * lowest-indexed failed task is rethrown after the pool drained.
+ * `--jobs 1` a pure serial baseline. Throwing tasks never cost other
+ * tasks their run: every index executes to completion regardless of
+ * failures elsewhere, and the exception of the lowest-indexed failed
+ * task is rethrown once the pool drained — so both the work done and
+ * the error reported are independent of worker count.
  */
 void parallelFor(std::size_t n, int jobs,
                  const std::function<void(std::size_t)> &fn);

@@ -1,7 +1,11 @@
 #include "src/exp/runner.hh"
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <sstream>
+#include <thread>
 
 #include "src/exp/pool.hh"
 #include "src/metrics/report.hh"
@@ -14,16 +18,133 @@ std::string
 jsonEscape(const std::string &s)
 {
     std::string out;
-    out.reserve(s.size());
+    out.reserve(s.size() + 2);
     for (char c : s) {
-        if (c == '"' || c == '\\')
-            out += '\\';
-        out += c;
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
     }
     return out;
 }
 
+/** Orchestration-level retry delays saturate like the kernel's I/O
+ *  backoff; one minute of wall clock is far beyond any sane sweep. */
+constexpr Time kMaxTaskRetryBackoff = 60 * kSec;
+
+/**
+ * Run one task with containment: every escaping exception becomes a
+ * TaskOutcome, retryable (resource) failures are retried up to the
+ * budget with clamped exponential backoff, and a watchdog trip ends
+ * the task TimedOut instead of failing the sweep.
+ */
+TaskOutcome
+runContained(const ExperimentTask &task, const SweepOptions &opts,
+             SimResults &results)
+{
+    TaskOutcome outcome;
+    const int maxRetries = std::max(0, opts.maxRetries);
+    for (int attempt = 1;; ++attempt) {
+        // Attempt-local copy: the attempt counter must not leak into
+        // the shared task list, and watchdog overrides are per-run.
+        WorkloadSpec spec = task.spec;
+        spec.config.chaos.attempt = attempt;
+        if (opts.watchdogSimTime > 0)
+            spec.config.watchdogSimTime = opts.watchdogSimTime;
+        if (opts.watchdogEvents > 0)
+            spec.config.watchdogEvents = opts.watchdogEvents;
+
+        try {
+            results = runWorkloadSpec(spec);
+            outcome.status = TaskStatus::Ok;
+            return outcome;
+        } catch (SimError &e) {
+            e.annotateTask(static_cast<long>(task.index));
+            outcome.category = e.category();
+            outcome.message = e.what();
+            outcome.simTime = e.simTime();
+            if (e.retryable() && outcome.retries < maxRetries) {
+                ++outcome.retries;
+                if (opts.retryBackoff > 0) {
+                    const Time delay = retryBackoffClamped(
+                        opts.retryBackoff, attempt, kMaxTaskRetryBackoff);
+                    std::this_thread::sleep_for(
+                        std::chrono::nanoseconds(delay));
+                }
+                continue;
+            }
+            outcome.status = e.category() == ErrorCategory::Runaway
+                                 ? TaskStatus::TimedOut
+                                 : TaskStatus::Failed;
+            return outcome;
+        } catch (const std::exception &e) {
+            // Anything unstructured that still escapes a task is by
+            // definition an internal bug: quarantine as an invariant
+            // failure rather than killing the sweep.
+            outcome.category = ErrorCategory::Invariant;
+            outcome.message = e.what();
+            outcome.simTime = 0;
+            outcome.status = TaskStatus::Failed;
+            return outcome;
+        }
+    }
+}
+
 } // namespace
+
+const char *
+taskStatusName(TaskStatus status)
+{
+    switch (status) {
+      case TaskStatus::Ok:
+        return "ok";
+      case TaskStatus::Failed:
+        return "failed";
+      case TaskStatus::TimedOut:
+        return "timed_out";
+      case TaskStatus::Skipped:
+        return "skipped";
+    }
+    return "unknown";
+}
+
+std::size_t
+SweepOutcome::failures() const
+{
+    std::size_t n = 0;
+    for (const TaskRun &run : runs) {
+        if (!run.outcome.ok())
+            ++n;
+    }
+    return n;
+}
+
+int
+SweepOutcome::totalRetries() const
+{
+    int n = 0;
+    for (const TaskRun &run : runs)
+        n += run.outcome.retries;
+    return n;
+}
 
 SweepOutcome
 runTasks(std::vector<ExperimentTask> tasks, const SweepOptions &opts)
@@ -32,18 +153,28 @@ runTasks(std::vector<ExperimentTask> tasks, const SweepOptions &opts)
     outcome.jobs = effectiveJobs(opts.jobs, tasks.size());
 
     std::vector<SimResults> results(tasks.size());
+    std::vector<TaskOutcome> outcomes(tasks.size());
+    std::atomic<bool> stop{false};
     const auto start = std::chrono::steady_clock::now();
     parallelFor(tasks.size(), opts.jobs, [&](std::size_t i) {
-        results[i] = runWorkloadSpec(tasks[i].spec);
+        if (!opts.keepGoing && stop.load()) {
+            outcomes[i].status = TaskStatus::Skipped;
+            outcomes[i].message = "skipped: an earlier task failed";
+            return;
+        }
+        outcomes[i] = runContained(tasks[i], opts, results[i]);
+        if (!outcomes[i].ok() && !opts.keepGoing)
+            stop.store(true);
     });
-    const auto stop = std::chrono::steady_clock::now();
+    const auto stopTime = std::chrono::steady_clock::now();
     outcome.wallSec =
-        std::chrono::duration<double>(stop - start).count();
+        std::chrono::duration<double>(stopTime - start).count();
 
     outcome.runs.reserve(tasks.size());
     for (std::size_t i = 0; i < tasks.size(); ++i) {
-        outcome.runs.push_back(
-            TaskRun{std::move(tasks[i]), std::move(results[i])});
+        outcome.runs.push_back(TaskRun{std::move(tasks[i]),
+                                       std::move(results[i]),
+                                       std::move(outcomes[i])});
     }
     return outcome;
 }
@@ -66,7 +197,21 @@ formatTaskJsonl(const TaskRun &run)
            << jsonEscape(value) << '"';
         first = false;
     }
-    os << "},\"results\":" << formatResultsJson(run.results) << "}";
+    os << "}";
+    if (run.outcome.ok()) {
+        // Exactly the bytes a failure-free sweep emits: failures
+        // elsewhere must never perturb a succeeding task's record.
+        os << ",\"results\":" << formatResultsJson(run.results);
+    } else {
+        os << ",\"status\":\"" << taskStatusName(run.outcome.status)
+           << "\",\"error\":{\"category\":\""
+           << errorCategoryName(run.outcome.category)
+           << "\",\"retries\":" << run.outcome.retries
+           << ",\"sim_time_s\":" << toSeconds(run.outcome.simTime)
+           << ",\"message\":\"" << jsonEscape(run.outcome.message)
+           << "\"}";
+    }
+    os << "}";
     return os.str();
 }
 
@@ -74,9 +219,26 @@ std::string
 formatSweepJsonl(const SweepOutcome &outcome)
 {
     std::string out;
+    std::size_t counts[4] = {0, 0, 0, 0};
     for (const TaskRun &run : outcome.runs) {
         out += formatTaskJsonl(run);
         out += '\n';
+        ++counts[static_cast<int>(run.outcome.status)];
+    }
+    // The trailing summary appears only when something went wrong, so
+    // a failure-free stream is bit-for-bit what it always was.
+    if (outcome.failures() > 0) {
+        std::ostringstream os;
+        os << "{\"summary\":{\"tasks\":" << outcome.runs.size()
+           << ",\"ok\":" << counts[static_cast<int>(TaskStatus::Ok)]
+           << ",\"failed\":"
+           << counts[static_cast<int>(TaskStatus::Failed)]
+           << ",\"timed_out\":"
+           << counts[static_cast<int>(TaskStatus::TimedOut)]
+           << ",\"skipped\":"
+           << counts[static_cast<int>(TaskStatus::Skipped)]
+           << ",\"retries\":" << outcome.totalRetries() << "}}\n";
+        out += os.str();
     }
     return out;
 }
@@ -84,8 +246,9 @@ formatSweepJsonl(const SweepOutcome &outcome)
 std::string
 formatSweepSummary(const SweepOutcome &outcome, bool includePerf)
 {
-    std::vector<std::string> header{"task", "params", "sim (s)",
-                                    "jobs done", "mean resp (s)"};
+    std::vector<std::string> header{"task", "params", "status",
+                                    "sim (s)", "jobs done",
+                                    "mean resp (s)"};
     if (includePerf) {
         header.push_back("events");
         header.push_back("wall (ms)");
@@ -107,6 +270,7 @@ formatSweepSummary(const SweepOutcome &outcome, bool includePerf)
         }
         std::vector<std::string> row{
             std::to_string(run.task.index), run.task.label(),
+            taskStatusName(run.outcome.status),
             TextTable::num(toSeconds(r.simulatedTime), 2),
             std::to_string(done) + "/" + std::to_string(r.jobs.size()),
             TextTable::num(respCount ? respSum / respCount : 0.0, 2)};

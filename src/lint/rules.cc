@@ -447,6 +447,37 @@ ioCheck(const SourceFile &f, std::vector<Finding> &out)
     }
 }
 
+// ---------------------------------------------------------------------
+// error-taxonomy
+// ---------------------------------------------------------------------
+
+bool
+errorTaxonomyApplies(const std::string &p)
+{
+    // The layers the sweep runner quarantines: every failure escaping
+    // a task must carry a SimError category it can act on.
+    return startsWith(p, "src/exp/") || startsWith(p, "src/sim/");
+}
+
+void
+errorTaxonomyCheck(const SourceFile &f, std::vector<Finding> &out)
+{
+    for (std::size_t i = 0; i < f.tokens.size(); ++i) {
+        const Token &t = f.tokens[i];
+        if (t.kind != TokKind::Ident || t.text != "throw")
+            continue;
+        std::size_t j = i + 1;
+        if (at(f, j) == "std" && at(f, j + 1) == "::")
+            j += 2;
+        if (at(f, j) == "runtime_error" && at(f, j + 1) == "(") {
+            report(f, out, "error-taxonomy", t.line,
+                   "bare 'throw std::runtime_error' (throw a SimError "
+                   "subclass from src/util/error.hh so the sweep "
+                   "runner can classify and quarantine the failure)");
+        }
+    }
+}
+
 } // namespace
 
 const std::vector<Rule> &
@@ -474,6 +505,10 @@ ruleRegistry()
         {"hygiene-io",
          "direct stdio/stream output outside src/metrics",
          ioApplies, ioCheck},
+        {"error-taxonomy",
+         "bare throw std::runtime_error in src/exp and src/sim "
+         "(use SimError)",
+         errorTaxonomyApplies, errorTaxonomyCheck},
     };
     return kRules;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/sim/log.hh"
+#include "src/util/error.hh"
 
 namespace piso {
 
@@ -81,6 +82,9 @@ BufferCache::eraseIndexAt(std::size_t pos)
 void
 BufferCache::lruUnlink(CacheBlock &blk)
 {
+    PISO_CHECK(blk.lruPrev != kNullSlot || lruHead_ == blk.slabIndex,
+               "LRU unlink of a block that is not on the list (slot ",
+               blk.slabIndex, ")");
     if (blk.lruPrev != kNullSlot)
         slab_[blk.lruPrev].lruNext = blk.lruNext;
     else
@@ -119,8 +123,8 @@ BufferCache::insert(const BlockKey &key, SpuId owner, bool valid)
 {
     ensureIndexCapacity();
     const std::size_t pos = probe(key);
-    if (index_[pos].key.file != kNoFile)
-        PISO_PANIC("duplicate cache insert for file ", key.file,
+    PISO_INVARIANT(index_[pos].key.file == kNoFile,
+                   "duplicate cache insert for file ", key.file,
                    " block ", key.block);
 
     std::uint32_t slot;
@@ -167,15 +171,17 @@ BufferCache::setOwner(CacheBlock &blk, SpuId owner)
 void
 BufferCache::remove(const BlockKey &key)
 {
-    if (index_.empty())
-        PISO_PANIC("removing uncached block");
+    PISO_INVARIANT(!index_.empty(), "removing uncached block");
     const std::size_t pos = probe(key);
-    if (index_[pos].key.file == kNoFile)
-        PISO_PANIC("removing uncached block");
+    PISO_INVARIANT(index_[pos].key.file != kNoFile,
+                   "removing uncached block");
 
     CacheBlock &blk = slab_[index_[pos].slot];
-    if (!blk.waiters.empty())
-        PISO_PANIC("removing a block with waiters");
+    PISO_INVARIANT(blk.waiters.empty(),
+                   "removing a block with waiters");
+    PISO_CHECK(blk.key == key,
+               "cache index slot disagrees with its slab block (file ",
+               key.file, " block ", key.block, ")");
     if (blk.dirty)
         --dirty_;
     --perSpu_[blk.owner];

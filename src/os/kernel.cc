@@ -4,6 +4,7 @@
 
 #include "src/sim/log.hh"
 #include "src/sim/trace.hh"
+#include "src/util/error.hh"
 
 namespace piso {
 
@@ -815,10 +816,12 @@ Kernel::spuFaults(SpuId spu) const
 Time
 Kernel::retryBackoff(Time base, int attempt)
 {
-    if (attempt < 1)
-        attempt = 1;
-    const int shift = std::min(attempt - 1, 20);
-    return base << shift;
+    // Exponential, but capped: a large configured base with a high
+    // attempt count must saturate at the cap rather than overflow Time
+    // (base << shift silently wrapped before). One minute dwarfs any
+    // real ioRetryLimit schedule while keeping the default 20 ms base
+    // schedule (20/40/80 ms ...) bit-for-bit unchanged.
+    return retryBackoffClamped(base, attempt, 60 * kSec);
 }
 
 void

@@ -33,6 +33,7 @@
 #include "src/os/kernel.hh"
 #include "src/os/sched_smp.hh"
 #include "src/simulation.hh"
+#include "src/util/error.hh"
 #include "src/workload/filecopy.hh"
 #include "src/workload/oltp.hh"
 #include "src/workload/pmake.hh"

@@ -1,18 +1,18 @@
 #include "src/sim/event_queue.hh"
 
 #include "src/sim/log.hh"
+#include "src/util/error.hh"
 
 namespace piso {
 
 EventId
 EventQueue::schedule(Time when, Callback cb, const char *name)
 {
-    if (when < now_) {
-        PISO_PANIC("event '", name, "' scheduled in the past (",
-                   formatTime(when), " < now=", formatTime(now_), ")");
-    }
-    if (!cb)
-        PISO_PANIC("event '", name, "' scheduled with empty callback");
+    PISO_INVARIANT(when >= now_, "event '", name,
+                   "' scheduled in the past (", formatTime(when),
+                   " < now=", formatTime(now_), ")");
+    PISO_INVARIANT(cb, "event '", name,
+                   "' scheduled with empty callback");
 
     std::uint32_t idx;
     if (!freeSlots_.empty()) {
@@ -76,6 +76,11 @@ EventQueue::popAndRun()
 {
     const HeapEntry entry = heap_.top();
     heap_.pop();
+    PISO_CHECK(entry.slot < slots_.size(),
+               "event heap entry points past the slab (slot ",
+               entry.slot, " of ", slots_.size(), ")");
+    PISO_CHECK(state_[entry.slot] == packState(entry.gen, true),
+               "live heap entry with a stale slot generation");
 
     // Retire the event before invoking so the callback may freely
     // schedule and cancel other events: the state bump makes cancel()

@@ -2,9 +2,9 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <stdexcept>
 
 #include "src/sim/time.hh"
+#include "src/util/error.hh"
 
 namespace piso {
 
@@ -64,8 +64,10 @@ fatalImpl(const char *file, int line, const std::string &msg)
 {
     // piso-lint: allow(hygiene-io) -- fatal diagnostics go to stderr by design; never part of deterministic report output
     std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
-    // Throwing (rather than exit()) keeps fatal conditions testable.
-    throw std::runtime_error("fatal: " + msg);
+    // Throwing (rather than exit()) keeps fatal conditions testable and
+    // lets the sweep runner quarantine the task; ConfigError derives
+    // from std::runtime_error so legacy catch sites keep working.
+    throw ConfigError("fatal: " + msg);
 }
 
 void

@@ -6,9 +6,12 @@
  * Minimal logging and error-termination helpers.
  *
  * Follows the gem5 convention: fatal() is for user errors (bad
- * configuration, impossible workload parameters) and exits cleanly;
- * panic() is for internal invariant violations (simulator bugs) and
- * aborts so a core dump / debugger can capture the state.
+ * configuration, impossible workload parameters) and throws a
+ * structured ConfigError (src/util/error.hh) the sweep runner can
+ * quarantine; panic() is for internal invariant violations (simulator
+ * bugs) and aborts so a core dump / debugger can capture the state.
+ * For invariants that should be *catchable* in hardened builds, use
+ * PISO_INVARIANT / PISO_CHECK from src/util/error.hh instead.
  *
  * The verbosity level lives in a per-thread LogContext (mirroring
  * TraceContext) so parallel sweep workers never share mutable log

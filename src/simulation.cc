@@ -18,6 +18,7 @@
 #include "src/sim/event_queue.hh"
 #include "src/sim/log.hh"
 #include "src/sim/trace.hh"
+#include "src/util/error.hh"
 #include "src/workload/job.hh"
 
 namespace piso {
@@ -486,6 +487,55 @@ Simulation::run()
     const auto wallStart = std::chrono::steady_clock::now();
     const std::uint64_t eventsBefore = im.events.executedEvents();
 
+    // Injected transient pressure: fail the whole attempt up front
+    // until the orchestration layer has retried often enough.
+    if (im.cfg.chaos.resourceUntilAttempt > 0 &&
+        im.cfg.chaos.attempt <= im.cfg.chaos.resourceUntilAttempt) {
+        throw ResourceError(detail::concat(
+            "injected resource pressure (attempt ", im.cfg.chaos.attempt,
+            " <= ", im.cfg.chaos.resourceUntilAttempt, ")"));
+    }
+
+    // Watchdog / chaos probes, checked once per executed event. Kept
+    // behind one flag so unguarded runs pay nothing in the hot loop.
+    const bool guarded = im.cfg.watchdogSimTime > 0 ||
+                         im.cfg.watchdogEvents > 0 ||
+                         im.cfg.chaos.invariantAtEvent > 0 ||
+                         im.cfg.chaos.allocCapPages > 0;
+    const auto checkBudgets = [&im, eventsBefore] {
+        const SystemConfig &cfg = im.cfg;
+        const std::uint64_t executed =
+            im.events.executedEvents() - eventsBefore;
+        if (cfg.watchdogSimTime > 0 && im.events.now() > cfg.watchdogSimTime)
+            throw RunawayError(
+                detail::concat("watchdog: simulated time ",
+                               formatTime(im.events.now()),
+                               " exceeded the budget of ",
+                               formatTime(cfg.watchdogSimTime)),
+                im.events.now());
+        if (cfg.watchdogEvents > 0 && executed > cfg.watchdogEvents)
+            throw RunawayError(
+                detail::concat("watchdog: ", executed,
+                               " events exceeded the budget of ",
+                               cfg.watchdogEvents),
+                im.events.now());
+        if (cfg.chaos.invariantAtEvent > 0 &&
+            executed >= cfg.chaos.invariantAtEvent)
+            throw InvariantError(
+                detail::concat("injected invariant trip at event ",
+                               executed),
+                im.events.now());
+        const std::uint64_t usedPages =
+            im.vm.totalPages() - im.vm.freePages();
+        if (cfg.chaos.allocCapPages > 0 &&
+            usedPages > cfg.chaos.allocCapPages)
+            throw ResourceError(
+                detail::concat("allocation cap exceeded: ", usedPages,
+                               " pages in use > cap of ",
+                               cfg.chaos.allocCapPages),
+                im.events.now());
+    };
+
     im.kernel->start();
     if (im.memPolicy)
         im.memPolicy->start();
@@ -494,6 +544,8 @@ Simulation::run()
            im.events.now() <= im.cfg.maxTime) {
         if (!im.events.runOne())
             break;
+        if (guarded)
+            checkBudgets();
     }
 
     // Drain: push every delayed write to disk so the measured disk
@@ -503,6 +555,8 @@ Simulation::run()
     while (!im.kernel->ioIdle() && im.events.now() <= im.cfg.maxTime) {
         if (!im.events.runOne())
             break;
+        if (guarded)
+            checkBudgets();
     }
 
     // --- Collect ------------------------------------------------------

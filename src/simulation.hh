@@ -122,6 +122,43 @@ struct SystemConfig
     /** Hardware misbehaviour to inject, delivered through the event
      *  queue (deterministic per seed; see docs/faults.md). */
     FaultPlan faults;
+
+    /** Simulated-time watchdog: a run still alive past this budget
+     *  throws RunawayError so the sweep runner can quarantine it as
+     *  TimedOut (0 = off). Distinct from maxTime, which stops the run
+     *  gracefully and reports completed = false. */
+    Time watchdogSimTime = 0;
+
+    /** Event-count watchdog: throws RunawayError after this many
+     *  executed events (0 = off). */
+    std::uint64_t watchdogEvents = 0;
+
+    /**
+     * Deterministic failure injection for the chaos harness
+     * (tests/test_chaos.cc, tools/piso_chaos). Each knob forces one
+     * SimError category at a reproducible point of the run; all off by
+     * default. See docs/robustness.md.
+     */
+    struct ChaosSpec
+    {
+        /** Throw InvariantError once this many events of the run have
+         *  executed (0 = off). */
+        std::uint64_t invariantAtEvent = 0;
+
+        /** Throw ResourceError when the machine's in-use page count
+         *  exceeds this cap (0 = off). */
+        std::uint64_t allocCapPages = 0;
+
+        /** Throw ResourceError at run start while attempt <= this
+         *  (0 = off) — models transient pressure that clears after a
+         *  known number of orchestration-level retries. */
+        int resourceUntilAttempt = 0;
+
+        /** Current attempt number; the sweep runner bumps it on each
+         *  retry of the task. */
+        int attempt = 1;
+    };
+    ChaosSpec chaos;
     /// @}
 };
 

@@ -1,0 +1,57 @@
+#include "src/util/error.hh"
+
+#include <algorithm>
+
+namespace piso {
+
+const char *
+errorCategoryName(ErrorCategory category)
+{
+    switch (category) {
+      case ErrorCategory::Config:
+        return "config";
+      case ErrorCategory::Invariant:
+        return "invariant";
+      case ErrorCategory::Resource:
+        return "resource";
+      case ErrorCategory::Runaway:
+        return "runaway";
+    }
+    return "unknown";
+}
+
+SimError::SimError(ErrorCategory category, const std::string &detail,
+                   Time simTime)
+    : std::runtime_error(detail), category_(category), simTime_(simTime)
+{
+}
+
+Time
+retryBackoffClamped(Time base, int attempt, Time cap)
+{
+    if (base == 0 || cap == 0)
+        return 0;
+    if (base >= cap)
+        return cap;
+    if (attempt < 1)
+        attempt = 1;
+    // A shift past 63 is UB on uint64; anything >= log2(cap/base)
+    // saturates anyway, so probe with a division instead of shifting.
+    const int shift = std::min(attempt - 1, 63);
+    if (shift > 0 && base > (cap >> shift))
+        return cap;
+    return base << shift;
+}
+
+namespace detail {
+
+void
+invariantFailed(const char *file, int line, const char *cond,
+                const std::string &msg)
+{
+    throw InvariantError(concat("invariant failed at ", file, ":", line,
+                                ": ", msg, " [check: ", cond, "]"));
+}
+
+} // namespace detail
+} // namespace piso

@@ -1,0 +1,186 @@
+#ifndef PISO_UTIL_ERROR_HH
+#define PISO_UTIL_ERROR_HH
+
+/**
+ * @file
+ * Structured simulation errors and the runtime invariant-check layer.
+ *
+ * The paper's thesis — one misbehaving tenant must not take down the
+ * others — applies to the execution layer itself: a failing simulation
+ * task has to be *quarantinable*, which means every failure the sim
+ * core can raise carries enough structure for the orchestration layer
+ * (src/exp/runner) to classify it, decide on retry, and emit a
+ * deterministic failure record instead of dying. Four categories:
+ *
+ *  - Config:    bad user input (spec parse errors, impossible machine
+ *               parameters). Never retried; PISO_FATAL throws this.
+ *  - Invariant: internal state corruption detected by a PISO_CHECK /
+ *               PISO_INVARIANT probe. Never retried.
+ *  - Resource:  resource exhaustion (allocation caps, injected
+ *               transient pressure). The only retryable category.
+ *  - Runaway:   a task exceeded its simulated-time or event-count
+ *               watchdog budget. Converted to a TimedOut outcome.
+ *
+ * The invariant layer has two macros:
+ *
+ *  - PISO_INVARIANT(cond, ...) guards conditions the tree already
+ *    paid for: without PISO_HARDENED it panics (abort, debuggable
+ *    core) exactly like the PISO_PANIC it replaces; with PISO_HARDENED
+ *    it throws InvariantError so a corrupted task is contained while
+ *    the rest of a sweep completes.
+ *  - PISO_CHECK(cond, ...) is for *additional* hot-path probes: it
+ *    compiles to nothing without PISO_HARDENED (zero cost in release
+ *    builds) and throws InvariantError with it.
+ *
+ * PISO_HARDENED is a CMake option (-DPISO_HARDENED=ON), on in the CI
+ * chaos job. See docs/robustness.md.
+ */
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "src/sim/log.hh"
+#include "src/sim/time.hh"
+
+namespace piso {
+
+/** Failure classification used by the containment layer. */
+enum class ErrorCategory : std::uint8_t {
+    Config = 0,     //!< bad user input; deterministic, never retried
+    Invariant = 1,  //!< internal state corruption (a simulator bug)
+    Resource = 2,   //!< resource exhaustion; the retryable category
+    Runaway = 3,    //!< watchdog budget exceeded (sim time / events)
+};
+
+/** Stable lower-case name ("config", ...) used in JSONL manifests. */
+const char *errorCategoryName(ErrorCategory category);
+
+/**
+ * Base of every structured simulation error. Derives from
+ * std::runtime_error so legacy catch sites keep working; carries the
+ * category, the simulated time of the throw (0 when unknown), the
+ * owning task id once the containment layer annotates it (-1 before),
+ * and a deterministic diagnostic string (what()).
+ */
+class SimError : public std::runtime_error
+{
+  public:
+    SimError(ErrorCategory category, const std::string &detail,
+             Time simTime = 0);
+
+    ErrorCategory category() const { return category_; }
+    Time simTime() const { return simTime_; }
+
+    /** Task index the containment layer attributed the failure to;
+     *  -1 until annotateTask() is called. */
+    long taskId() const { return taskId_; }
+    void annotateTask(long task) { taskId_ = task; }
+
+    /** True when the orchestration layer may retry the task (with
+     *  bounded, clamped backoff — see retryBackoffClamped()). */
+    bool retryable() const
+    {
+        return category_ == ErrorCategory::Resource;
+    }
+
+  private:
+    ErrorCategory category_;
+    Time simTime_;
+    long taskId_ = -1;
+};
+
+/** Bad user input: spec parse errors, impossible machine parameters. */
+class ConfigError : public SimError
+{
+  public:
+    explicit ConfigError(const std::string &detail, Time simTime = 0)
+        : SimError(ErrorCategory::Config, detail, simTime)
+    {
+    }
+};
+
+/** Internal invariant violation detected by a hardened check. */
+class InvariantError : public SimError
+{
+  public:
+    explicit InvariantError(const std::string &detail, Time simTime = 0)
+        : SimError(ErrorCategory::Invariant, detail, simTime)
+    {
+    }
+};
+
+/** Resource exhaustion (allocation caps, injected pressure). */
+class ResourceError : public SimError
+{
+  public:
+    explicit ResourceError(const std::string &detail, Time simTime = 0)
+        : SimError(ErrorCategory::Resource, detail, simTime)
+    {
+    }
+};
+
+/** A task exceeded its watchdog budget (runaway / non-terminating). */
+class RunawayError : public SimError
+{
+  public:
+    explicit RunawayError(const std::string &detail, Time simTime = 0)
+        : SimError(ErrorCategory::Runaway, detail, simTime)
+    {
+    }
+};
+
+/**
+ * Exponential retry backoff, clamped: base << (attempt-1) with the
+ * shift bounded and the result capped at @p cap, so high attempt
+ * counts can neither overflow Time nor grow without bound. Shared by
+ * Kernel::retryBackoff (simulated I/O retries) and the sweep runner
+ * (orchestration-level task retries) so both layers follow the same
+ * discipline.
+ */
+Time retryBackoffClamped(Time base, int attempt, Time cap);
+
+namespace detail {
+/** Throw InvariantError for a failed PISO_CHECK/PISO_INVARIANT. */
+[[noreturn]] void invariantFailed(const char *file, int line,
+                                  const char *cond,
+                                  const std::string &msg);
+} // namespace detail
+
+} // namespace piso
+
+/**
+ * Invariant guard the tree always enforces: panic (abort) by default,
+ * throw a catchable InvariantError under PISO_HARDENED so corruption
+ * in one task is quarantined instead of killing the sweep.
+ */
+#ifdef PISO_HARDENED
+#define PISO_INVARIANT(cond, ...)                                           \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            ::piso::detail::invariantFailed(                                \
+                __FILE__, __LINE__, #cond,                                  \
+                ::piso::detail::concat(__VA_ARGS__));                       \
+    } while (0)
+#else
+#define PISO_INVARIANT(cond, ...)                                           \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            PISO_PANIC(::piso::detail::concat(__VA_ARGS__),                 \
+                       " [check: " #cond "]");                              \
+    } while (0)
+#endif
+
+/**
+ * Extra hot-path probe: free (not even evaluated) without
+ * PISO_HARDENED, throws InvariantError with it.
+ */
+#ifdef PISO_HARDENED
+#define PISO_CHECK(cond, ...) PISO_INVARIANT(cond, __VA_ARGS__)
+#else
+#define PISO_CHECK(cond, ...)                                               \
+    do {                                                                    \
+    } while (0)
+#endif
+
+#endif // PISO_UTIL_ERROR_HH

@@ -1,0 +1,38 @@
+// Known-bad fixture for the error-taxonomy rule: unstructured throws
+// in the layers the sweep runner quarantines. Both the qualified and
+// the unqualified spelling must be flagged; structured SimError
+// subclasses must not.
+
+#include <stdexcept>
+
+using std::runtime_error;
+
+namespace piso::exp {
+
+void
+failQualified()
+{
+    throw std::runtime_error("unclassifiable failure");
+}
+
+void
+failUnqualified()
+{
+    throw runtime_error("also unclassifiable");
+}
+
+void
+failStructured()
+{
+    // SimError subclasses carry a category; these are the fix.
+    throw ConfigError("bad knob");
+}
+
+void
+mentionOnly(runtime_error &e)
+{
+    // Naming the type without throwing it is fine.
+    (void)e;
+}
+
+} // namespace piso::exp

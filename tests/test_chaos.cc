@@ -1,0 +1,404 @@
+/**
+ * @file
+ * Chaos battery for the fault-contained execution layer: every
+ * SimError category is injected into a multi-task sweep and must be
+ * quarantined into its own TaskOutcome — the other tasks run to
+ * completion and their JSONL records stay byte-identical to a
+ * failure-free run (docs/robustness.md). Also pins the full-drain
+ * contract of the thread pool, the watchdog conversions, the retry
+ * discipline, and the failure-manifest format.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/config/workload_spec.hh"
+#include "src/exp/pool.hh"
+#include "src/exp/runner.hh"
+#include "src/piso.hh"
+
+using namespace piso;
+
+namespace {
+
+/** Small and cheap: two SPUs, three schemes x two seeds = 6 tasks. */
+const char *kSpec = R"(
+machine cpus=2 memory_mb=16 disks=1 scheme=piso seed=7
+spu a share=1 disk=0
+spu b share=1 disk=0
+job a compute name=spin cpu_ms=200 ws_pages=50
+job b copy    name=cp bytes_kb=256
+)";
+
+exp::ExperimentPlan
+plan()
+{
+    exp::ExperimentPlan p;
+    p.base = parseWorkloadSpec(kSpec);
+    p.axes.push_back(exp::parseGridAxis("scheme=smp,quota,piso"));
+    p.seeds = {1, 2};
+    return p;
+}
+
+std::vector<exp::ExperimentTask>
+tasks()
+{
+    return exp::expandPlan(plan());
+}
+
+/** JSONL split into lines (each without the trailing newline). */
+std::vector<std::string>
+lines(const std::string &jsonl)
+{
+    std::vector<std::string> out;
+    std::istringstream is(jsonl);
+    std::string line;
+    while (std::getline(is, line))
+        out.push_back(line);
+    return out;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Containment per failure category: the poisoned task is quarantined,
+// every sibling still completes.
+// ---------------------------------------------------------------------
+
+TEST(Chaos, ConfigFailureIsQuarantined)
+{
+    auto ts = tasks();
+    ts[2].spec.config.memoryBytes = 0; // machine that holds no pages
+    const exp::SweepOutcome out = exp::runTasks(ts, {.jobs = 1});
+
+    ASSERT_EQ(out.runs.size(), 6u);
+    EXPECT_EQ(out.failures(), 1u);
+    const exp::TaskOutcome &bad = out.runs[2].outcome;
+    EXPECT_EQ(bad.status, exp::TaskStatus::Failed);
+    EXPECT_EQ(bad.category, ErrorCategory::Config);
+    EXPECT_EQ(bad.retries, 0); // config errors are never retried
+    EXPECT_NE(bad.message.find("holds no pages"), std::string::npos);
+    for (std::size_t i = 0; i < out.runs.size(); ++i) {
+        if (i != 2) {
+            EXPECT_TRUE(out.runs[i].outcome.ok()) << "task " << i;
+        }
+    }
+}
+
+TEST(Chaos, InvariantTripIsQuarantined)
+{
+    auto ts = tasks();
+    ts[4].spec.config.chaos.invariantAtEvent = 50;
+    const exp::SweepOutcome out = exp::runTasks(ts, {.jobs = 2});
+
+    const exp::TaskOutcome &bad = out.runs[4].outcome;
+    EXPECT_EQ(bad.status, exp::TaskStatus::Failed);
+    EXPECT_EQ(bad.category, ErrorCategory::Invariant);
+    EXPECT_NE(bad.message.find("injected invariant trip"),
+              std::string::npos);
+    EXPECT_EQ(out.failures(), 1u);
+}
+
+TEST(Chaos, AllocationCapExhaustsRetriesThenFails)
+{
+    auto ts = tasks();
+    ts[1].spec.config.chaos.allocCapPages = 1; // trips every attempt
+    const exp::SweepOptions opts{.jobs = 1, .maxRetries = 2};
+    const exp::SweepOutcome out = exp::runTasks(ts, opts);
+
+    const exp::TaskOutcome &bad = out.runs[1].outcome;
+    EXPECT_EQ(bad.status, exp::TaskStatus::Failed);
+    EXPECT_EQ(bad.category, ErrorCategory::Resource);
+    EXPECT_EQ(bad.retries, 2); // the full budget was spent
+    EXPECT_EQ(out.totalRetries(), 2);
+    EXPECT_NE(bad.message.find("allocation cap exceeded"),
+              std::string::npos);
+}
+
+TEST(Chaos, TransientResourcePressureRecoversViaRetry)
+{
+    auto ts = tasks();
+    ts[3].spec.config.chaos.resourceUntilAttempt = 1; // attempt 2 wins
+    const exp::SweepOutcome out = exp::runTasks(ts, {.jobs = 1});
+
+    const exp::TaskOutcome &healed = out.runs[3].outcome;
+    EXPECT_EQ(healed.status, exp::TaskStatus::Ok);
+    EXPECT_EQ(healed.retries, 1);
+    EXPECT_EQ(out.failures(), 0u);
+
+    // A task that healed through retry emits the exact success record
+    // of an undisturbed run: retries never leak into the manifest of
+    // an Ok task.
+    const exp::SweepOutcome clean = exp::runTasks(tasks(), {.jobs = 1});
+    EXPECT_EQ(exp::formatTaskJsonl(out.runs[3]),
+              exp::formatTaskJsonl(clean.runs[3]));
+}
+
+TEST(Chaos, WatchdogSimTimeConvertsRunawayToTimedOut)
+{
+    auto ts = tasks();
+    ts[5].spec.config.watchdogSimTime = kMs; // far below the run length
+    const exp::SweepOutcome out = exp::runTasks(ts, {.jobs = 1});
+
+    const exp::TaskOutcome &bad = out.runs[5].outcome;
+    EXPECT_EQ(bad.status, exp::TaskStatus::TimedOut);
+    EXPECT_EQ(bad.category, ErrorCategory::Runaway);
+    EXPECT_GT(bad.simTime, kMs);
+    EXPECT_NE(bad.message.find("watchdog"), std::string::npos);
+    EXPECT_EQ(out.failures(), 1u);
+}
+
+TEST(Chaos, WatchdogEventBudgetConvertsRunawayToTimedOut)
+{
+    auto ts = tasks();
+    ts[0].spec.config.watchdogEvents = 10;
+    const exp::SweepOutcome out = exp::runTasks(ts, {.jobs = 1});
+
+    const exp::TaskOutcome &bad = out.runs[0].outcome;
+    EXPECT_EQ(bad.status, exp::TaskStatus::TimedOut);
+    EXPECT_EQ(bad.category, ErrorCategory::Runaway);
+    EXPECT_NE(bad.message.find("events exceeded"), std::string::npos);
+}
+
+TEST(Chaos, SweepOptionWatchdogOverridesEverySpec)
+{
+    // The CLI-level watchdog (piso_sweep --max-sim-time) applies to
+    // every task without touching the specs.
+    const exp::SweepOptions opts{.jobs = 2, .watchdogSimTime = kMs};
+    const exp::SweepOutcome out = exp::runTasks(tasks(), opts);
+    ASSERT_EQ(out.runs.size(), 6u);
+    for (const exp::TaskRun &run : out.runs)
+        EXPECT_EQ(run.outcome.status, exp::TaskStatus::TimedOut);
+}
+
+// ---------------------------------------------------------------------
+// The manifest: succeeding records are byte-identical to a failure-free
+// run, failures appear as structured records plus one summary line, and
+// none of it depends on the worker count.
+// ---------------------------------------------------------------------
+
+TEST(Chaos, SuccessRecordsAreByteIdenticalToFailureFreeRun)
+{
+    const std::vector<std::string> clean =
+        lines(exp::formatSweepJsonl(exp::runTasks(tasks(), {.jobs = 1})));
+    ASSERT_EQ(clean.size(), 6u); // no summary line on a clean run
+
+    auto poison = [](std::vector<exp::ExperimentTask> ts) {
+        ts[1].spec.config.memoryBytes = 0;
+        ts[4].spec.config.watchdogSimTime = kMs;
+        return ts;
+    };
+    const std::string j1 = exp::formatSweepJsonl(
+        exp::runTasks(poison(tasks()), {.jobs = 1}));
+    const std::string j8 = exp::formatSweepJsonl(
+        exp::runTasks(poison(tasks()), {.jobs = 8}));
+    EXPECT_EQ(j1, j8);
+
+    const std::vector<std::string> injected = lines(j1);
+    ASSERT_EQ(injected.size(), 7u); // 6 tasks + summary
+    for (std::size_t i = 0; i < 6; ++i) {
+        if (i == 1 || i == 4)
+            continue;
+        EXPECT_EQ(injected[i], clean[i]) << "task " << i;
+    }
+}
+
+TEST(Chaos, FailureRecordAndSummaryFormat)
+{
+    auto ts = tasks();
+    ts[2].spec.config.memoryBytes = 0;
+    const std::string jsonl =
+        exp::formatSweepJsonl(exp::runTasks(ts, {.jobs = 1}));
+    const std::vector<std::string> all = lines(jsonl);
+    ASSERT_EQ(all.size(), 7u);
+
+    const std::string &bad = all[2];
+    EXPECT_NE(bad.find("\"task\":2"), std::string::npos);
+    EXPECT_NE(bad.find("\"status\":\"failed\""), std::string::npos);
+    EXPECT_NE(bad.find("\"error\":{\"category\":\"config\""),
+              std::string::npos);
+    EXPECT_NE(bad.find("\"retries\":0"), std::string::npos);
+    EXPECT_NE(bad.find("\"message\":\""), std::string::npos);
+    EXPECT_EQ(bad.find("\"results\""), std::string::npos);
+
+    EXPECT_NE(all[6].find("\"summary\":{\"tasks\":6,\"ok\":5,"
+                          "\"failed\":1,\"timed_out\":0,\"skipped\":0,"
+                          "\"retries\":0}"),
+              std::string::npos);
+}
+
+TEST(Chaos, SummaryTableNamesEveryStatus)
+{
+    auto ts = tasks();
+    ts[0].spec.config.watchdogSimTime = kMs;
+    ts[3].spec.config.memoryBytes = 0;
+    const std::string table =
+        exp::formatSweepSummary(exp::runTasks(ts, {.jobs = 1}));
+    EXPECT_NE(table.find("status"), std::string::npos);
+    EXPECT_NE(table.find("timed_out"), std::string::npos);
+    EXPECT_NE(table.find("failed"), std::string::npos);
+    EXPECT_NE(table.find("ok"), std::string::npos);
+}
+
+TEST(Chaos, NoKeepGoingSkipsTasksAfterASerialFailure)
+{
+    auto ts = tasks();
+    ts[1].spec.config.memoryBytes = 0;
+    const exp::SweepOptions opts{.jobs = 1, .keepGoing = false};
+    const exp::SweepOutcome out = exp::runTasks(ts, opts);
+
+    EXPECT_EQ(out.runs[0].outcome.status, exp::TaskStatus::Ok);
+    EXPECT_EQ(out.runs[1].outcome.status, exp::TaskStatus::Failed);
+    for (std::size_t i = 2; i < out.runs.size(); ++i) {
+        EXPECT_EQ(out.runs[i].outcome.status, exp::TaskStatus::Skipped)
+            << "task " << i;
+        EXPECT_NE(out.runs[i].outcome.message.find("earlier task"),
+                  std::string::npos);
+    }
+    EXPECT_EQ(out.failures(), 5u);
+}
+
+// ---------------------------------------------------------------------
+// The pool's full-drain contract (the engine's containment rests on
+// it): a throwing task never costs siblings their run, and the error
+// that surfaces is the lowest-indexed one regardless of worker count.
+// ---------------------------------------------------------------------
+
+namespace {
+
+void
+poolDrainsAroundThrows(int jobs)
+{
+    constexpr std::size_t kTasks = 16;
+    std::vector<std::atomic<bool>> done(kTasks);
+    try {
+        exp::parallelFor(kTasks, jobs, [&](std::size_t i) {
+            if (i == 5 || i == 11)
+                throw std::runtime_error("boom " + std::to_string(i));
+            done[i].store(true);
+        });
+        FAIL() << "parallelFor swallowed the task exceptions";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "boom 5"); // lowest index wins
+    }
+    for (std::size_t i = 0; i < kTasks; ++i) {
+        if (i != 5 && i != 11) {
+            EXPECT_TRUE(done[i].load()) << "task " << i << " abandoned";
+        }
+    }
+}
+
+} // namespace
+
+TEST(Pool, AllTasksCompleteWhenOneThrowsSerial)
+{
+    poolDrainsAroundThrows(1);
+}
+
+TEST(Pool, AllTasksCompleteWhenOneThrowsParallel)
+{
+    poolDrainsAroundThrows(8);
+}
+
+// ---------------------------------------------------------------------
+// The SimError taxonomy itself.
+// ---------------------------------------------------------------------
+
+TEST(Chaos, OnlyResourceErrorsAreRetryable)
+{
+    EXPECT_FALSE(ConfigError("c").retryable());
+    EXPECT_FALSE(InvariantError("i").retryable());
+    EXPECT_TRUE(ResourceError("r").retryable());
+    EXPECT_FALSE(RunawayError("w").retryable());
+}
+
+TEST(Chaos, CategoryNamesAreStable)
+{
+    EXPECT_STREQ(errorCategoryName(ErrorCategory::Config), "config");
+    EXPECT_STREQ(errorCategoryName(ErrorCategory::Invariant),
+                 "invariant");
+    EXPECT_STREQ(errorCategoryName(ErrorCategory::Resource),
+                 "resource");
+    EXPECT_STREQ(errorCategoryName(ErrorCategory::Runaway), "runaway");
+}
+
+TEST(Chaos, SimErrorIsCatchableAsRuntimeError)
+{
+    // Legacy catch sites (and tests) that expect std::runtime_error
+    // keep working across the taxonomy migration.
+    try {
+        throw ConfigError("legacy path");
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("legacy path"),
+                  std::string::npos);
+    }
+}
+
+TEST(Chaos, FatalThrowsStructuredConfigError)
+{
+    try {
+        parseWorkloadSpec("machine cpus=2\n"); // no spus, no jobs
+        FAIL() << "bad spec parsed";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.category(), ErrorCategory::Config);
+    }
+}
+
+// ---------------------------------------------------------------------
+// The hardened invariant layer. PISO_CHECK is compiled out by default
+// and throws a catchable InvariantError under -DPISO_HARDENED=ON (the
+// CI chaos job); PISO_INVARIANT panics by default and throws when
+// hardened.
+// ---------------------------------------------------------------------
+
+#ifdef PISO_HARDENED
+
+TEST(Chaos, HardenedChecksThrowInvariantError)
+{
+    EXPECT_THROW(PISO_CHECK(1 == 2, "probe check"), InvariantError);
+    EXPECT_THROW(PISO_INVARIANT(false, "probe invariant"),
+                 InvariantError);
+    try {
+        PISO_INVARIANT(false, "carries ", 42);
+        FAIL() << "hardened invariant did not throw";
+    } catch (const InvariantError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("carries 42"), std::string::npos);
+        EXPECT_NE(what.find("[check: false]"), std::string::npos);
+        EXPECT_EQ(e.category(), ErrorCategory::Invariant);
+    }
+}
+
+TEST(Chaos, HardenedCorruptionProbesAreCatchable)
+{
+    // A hot-path PISO_CHECK firing mid-simulation surfaces as a
+    // quarantinable error, not a process abort: the injected trip in
+    // Simulation::run goes through the same InvariantError path.
+    auto ts = tasks();
+    ts[0].spec.config.chaos.invariantAtEvent = 1;
+    const exp::SweepOutcome out = exp::runTasks(ts, {.jobs = 1});
+    EXPECT_EQ(out.runs[0].outcome.status, exp::TaskStatus::Failed);
+    EXPECT_EQ(out.runs[0].outcome.category, ErrorCategory::Invariant);
+}
+
+#else
+
+TEST(Chaos, UnhardenedCheckCompilesToNothing)
+{
+    // Must not evaluate its condition, let alone throw.
+    bool evaluated = false;
+    PISO_CHECK(([&] {
+                   evaluated = true;
+                   return true;
+               }()),
+               "never reached");
+    EXPECT_FALSE(evaluated);
+}
+
+#endif // PISO_HARDENED

@@ -66,6 +66,29 @@ TEST(Faults, RetryBackoffBoundedAndMonotone)
     EXPECT_EQ(Kernel::retryBackoff(base, 21), Kernel::retryBackoff(base, 99));
 }
 
+TEST(Faults, RetryBackoffClampsInsteadOfOverflowing)
+{
+    // A large configured base used to overflow Time once the shifted
+    // value wrapped; every (base, attempt) combination must now
+    // saturate at the one-minute cap instead.
+    const Time cap = 60 * kSec;
+    const Time huge = kTimeNever / 2;
+    for (int attempt = 1; attempt < 100; ++attempt) {
+        EXPECT_EQ(Kernel::retryBackoff(huge, attempt), cap)
+            << "attempt " << attempt;
+    }
+    EXPECT_EQ(Kernel::retryBackoff(30 * kSec, 2), cap);
+    EXPECT_EQ(Kernel::retryBackoff(45 * kSec, 2), cap);
+    EXPECT_EQ(Kernel::retryBackoff(0, 5), 0u);
+
+    // The shared helper honors arbitrary caps and degenerate inputs.
+    EXPECT_EQ(retryBackoffClamped(kMs, 4, 5 * kMs), 5 * kMs);
+    EXPECT_EQ(retryBackoffClamped(kMs, 3, 5 * kMs), 4 * kMs);
+    EXPECT_EQ(retryBackoffClamped(kMs, -7, 5 * kMs), kMs);
+    EXPECT_EQ(retryBackoffClamped(kMs, 1000000, kSec), kSec);
+    EXPECT_EQ(retryBackoffClamped(kMs, 3, 0), 0u);
+}
+
 TEST(Faults, TransientErrorsAreRetriedToCompletion)
 {
     SystemConfig cfg = base(Scheme::PIso);

@@ -105,6 +105,15 @@ TEST(LintRules, DirectIoInTheLibrary)
     EXPECT_EQ(hits(r), (Hits{{"hygiene-io", 10}, {"hygiene-io", 11}}));
 }
 
+TEST(LintRules, BareRuntimeErrorThrowsInQuarantinedLayers)
+{
+    // Qualified and unqualified spellings are both flagged; throwing a
+    // SimError subclass and merely naming the type are not.
+    const LintResult r = lintFixture("src/exp/bare_throw.cc");
+    EXPECT_EQ(hits(r), (Hits{{"error-taxonomy", 15},
+                             {"error-taxonomy", 21}}));
+}
+
 // ---------------------------------------------------------------------
 // Scoping: the same constructs are legal where the rules don't apply.
 // ---------------------------------------------------------------------
@@ -225,10 +234,11 @@ TEST(LintEngine, FixtureTreeTotals)
     std::string error;
     ASSERT_TRUE(lintFiles({std::string(PISO_LINT_FIXTURE_DIR)}, r, error))
         << error;
-    EXPECT_EQ(r.filesScanned, 12);
+    EXPECT_EQ(r.filesScanned, 13);
     // 4 wallclock + 1 unordered + 2 globals + 3 tables + 1 guard +
-    // 2 io + 1 nojust + 2 unknown + 1 stale = 17, each exactly once.
-    EXPECT_EQ(r.findings.size(), 17u);
+    // 2 io + 2 taxonomy + 1 nojust + 2 unknown + 1 stale = 19, each
+    // exactly once.
+    EXPECT_EQ(r.findings.size(), 19u);
     EXPECT_EQ(r.exitCode(), 1);
 }
 
@@ -265,7 +275,7 @@ TEST(LintEngine, RegistryIsCompleteAndKnown)
         "determinism-wallclock", "determinism-unordered",
         "thread-global-state",   "table-map-key",
         "memory-raw-new",        "hygiene-include-guard",
-        "hygiene-io",
+        "hygiene-io",            "error-taxonomy",
     };
     const auto &rules = ruleRegistry();
     ASSERT_EQ(rules.size(), expected.size());

@@ -13,6 +13,11 @@
  * pool. Output is one JSON line per task on stdout (or --out FILE),
  * ordered by task index — byte-identical for any --jobs value.
  * Progress and wall-clock go to stderr. See docs/sweeps.md.
+ *
+ * Failing tasks are quarantined (--keep-going, the default): they
+ * appear in the JSONL stream as structured failure records, every
+ * other task completes, and succeeding records stay byte-identical to
+ * a failure-free run. See docs/robustness.md.
  */
 
 #include <cstdio>
@@ -49,7 +54,11 @@ usage(std::FILE *to)
         to,
         "usage: piso_sweep [--grid key=v1,v2,...]... [--seeds N] "
         "[--jobs N]\n"
-        "                  [--out FILE] [--summary] [--speedup] "
+        "                  [--out FILE] [--summary[=FILE]] "
+        "[--speedup]\n"
+        "                  [--keep-going | --no-keep-going] "
+        "[--retries N]\n"
+        "                  [--max-sim-time S] [--max-events N] "
         "<workload-file>\n"
         "  --grid key=v1,v2,...  sweep axis (repeatable; cross "
         "product).\n"
@@ -67,18 +76,36 @@ usage(std::FILE *to)
         "per core)\n"
         "  --out FILE            write the JSONL stream there instead "
         "of stdout\n"
-        "  --summary             also print an aligned summary table "
-        "(stderr)\n"
+        "  --summary[=FILE]      also print an aligned summary table "
+        "(stderr,\n"
+        "                        or FILE when given)\n"
         "  --speedup             run the plan twice (--jobs 1, then "
         "--jobs N),\n"
         "                        verify byte-identical output, report "
         "the speedup\n"
+        "  --keep-going          quarantine failing tasks, finish the "
+        "sweep,\n"
+        "                        exit 0 (default)\n"
+        "  --no-keep-going       stop claiming new tasks after a "
+        "failure and\n"
+        "                        exit 1 when any task failed\n"
+        "  --retries N           retry budget per task for retryable "
+        "failures\n"
+        "                        (default 2)\n"
+        "  --max-sim-time S      simulated-time watchdog: a task still "
+        "running\n"
+        "                        after S simulated seconds ends "
+        "timed_out\n"
+        "  --max-events N        event-count watchdog for every task\n"
         "  -h, --help            show this help and exit\n"
         "\n"
         "Output: one JSON object per task "
         "({\"task\",\"seed\",\"params\",\"results\"}),\n"
         "ordered by task index — byte-identical for any --jobs "
-        "value.\n");
+        "value. Failed\n"
+        "tasks carry {\"status\",\"error\"} instead of results, plus "
+        "one trailing\n"
+        "{\"summary\"} line when anything failed.\n");
 }
 
 int
@@ -97,6 +124,7 @@ main(int argc, char **argv)
     exp::SweepOptions opts;
     const char *path = nullptr;
     const char *outPath = nullptr;
+    const char *summaryPath = nullptr;
     bool summary = false;
     bool speedup = false;
     int seeds = 0;
@@ -118,8 +146,25 @@ main(int argc, char **argv)
                 outPath = argv[++i];
             } else if (std::strcmp(argv[i], "--summary") == 0) {
                 summary = true;
+            } else if (std::strncmp(argv[i], "--summary=", 10) == 0) {
+                summary = true;
+                summaryPath = argv[i] + 10;
             } else if (std::strcmp(argv[i], "--speedup") == 0) {
                 speedup = true;
+            } else if (std::strcmp(argv[i], "--keep-going") == 0) {
+                opts.keepGoing = true;
+            } else if (std::strcmp(argv[i], "--no-keep-going") == 0) {
+                opts.keepGoing = false;
+            } else if (std::strcmp(argv[i], "--retries") == 0 &&
+                       i + 1 < argc) {
+                opts.maxRetries = std::atoi(argv[++i]);
+            } else if (std::strcmp(argv[i], "--max-sim-time") == 0 &&
+                       i + 1 < argc) {
+                opts.watchdogSimTime = fromSeconds(std::atof(argv[++i]));
+            } else if (std::strcmp(argv[i], "--max-events") == 0 &&
+                       i + 1 < argc) {
+                opts.watchdogEvents =
+                    std::strtoull(argv[++i], nullptr, 10);
             } else if (std::strcmp(argv[i], "-h") == 0 ||
                        std::strcmp(argv[i], "--help") == 0) {
                 usage(stdout);
@@ -147,6 +192,28 @@ main(int argc, char **argv)
     }
 
     try {
+        // Open output files before any task runs: an unwritable path
+        // must cost one error line, not the whole grid's work.
+        std::ofstream outFile;
+        if (outPath) {
+            outFile.open(outPath);
+            if (!outFile) {
+                std::fprintf(stderr,
+                             "piso_sweep: cannot write '%s'\n", outPath);
+                return 1;
+            }
+        }
+        std::ofstream summaryFile;
+        if (summaryPath) {
+            summaryFile.open(summaryPath);
+            if (!summaryFile) {
+                std::fprintf(stderr,
+                             "piso_sweep: cannot write '%s'\n",
+                             summaryPath);
+                return 1;
+            }
+        }
+
         const auto tasks = exp::expandPlan(plan);
         std::fprintf(stderr, "piso_sweep: %zu task%s (jobs=%d)\n",
                      tasks.size(), tasks.size() == 1 ? "" : "s",
@@ -156,7 +223,7 @@ main(int argc, char **argv)
         const std::string jsonl = exp::formatSweepJsonl(outcome);
 
         if (speedup) {
-            exp::SweepOptions serial;
+            exp::SweepOptions serial = opts;
             serial.jobs = 1;
             const exp::SweepOutcome base = exp::runTasks(tasks, serial);
             const std::string serialJsonl = exp::formatSweepJsonl(base);
@@ -179,21 +246,34 @@ main(int argc, char **argv)
                          outcome.wallSec);
         }
 
-        if (outPath) {
-            std::ofstream out(outPath);
-            if (!out)
-                PISO_FATAL("cannot write '", outPath, "'");
-            out << jsonl;
-        } else {
-            std::fwrite(jsonl.data(), 1, jsonl.size(), stdout);
+        const std::size_t failures = outcome.failures();
+        if (failures > 0) {
+            std::fprintf(stderr,
+                         "piso_sweep: %zu of %zu task%s did not "
+                         "complete (%d retr%s spent); see the "
+                         "status/error records in the JSONL stream\n",
+                         failures, outcome.runs.size(),
+                         outcome.runs.size() == 1 ? "" : "s",
+                         outcome.totalRetries(),
+                         outcome.totalRetries() == 1 ? "y" : "ies");
         }
+
+        if (outPath)
+            outFile << jsonl;
+        else
+            std::fwrite(jsonl.data(), 1, jsonl.size(), stdout);
         // The summary (stderr, human-facing) carries the simulator's
         // perf columns; the JSONL stream (stdout, deterministic) never
         // does.
-        if (summary)
-            std::fputs(exp::formatSweepSummary(outcome, true).c_str(),
-                       stderr);
-        return 0;
+        if (summary) {
+            const std::string table =
+                exp::formatSweepSummary(outcome, true);
+            if (summaryPath)
+                summaryFile << table;
+            else
+                std::fputs(table.c_str(), stderr);
+        }
+        return failures > 0 && !opts.keepGoing ? 1 : 0;
     } catch (const std::exception &e) {
         std::fprintf(stderr, "piso_sweep: %s\n", e.what());
         return 1;
