@@ -214,6 +214,53 @@ parseFaultLine(const std::vector<std::string> &tokens, int lineNo,
     r.finish();
 }
 
+/**
+ * One node line inside a `[spus]` section: a dotted path plus options.
+ * Parents must be declared before their children so the tree is
+ * well-formed by construction.
+ */
+void
+parseSpuTreeLine(const std::vector<std::string> &tokens, int lineNo,
+                 WorkloadSpec &spec)
+{
+    SpuDecl s;
+    s.name = tokens[0];
+    if (s.name == "machine" || s.name == "spu" || s.name == "job")
+        PISO_FATAL("line ", lineNo, ": '", s.name, "' is a directive ",
+                   "and cannot name an SPU");
+    // Every dot-separated segment must be non-empty.
+    for (std::size_t pos = 0;;) {
+        const auto dot = s.name.find('.', pos);
+        if ((dot == std::string::npos ? s.name.size() : dot) == pos)
+            PISO_FATAL("line ", lineNo, ": bad SPU name '", s.name,
+                       "' (empty path segment)");
+        if (dot == std::string::npos)
+            break;
+        pos = dot + 1;
+    }
+    OptionReader r(parseOptions(tokens, 1, lineNo), lineNo);
+    s.share = r.num("share", 1.0);
+    s.disk = static_cast<DiskId>(r.integer("disk", 0));
+    r.finish();
+
+    const auto dot = s.name.rfind('.');
+    if (dot != std::string::npos) {
+        s.parent = s.name.substr(0, dot);
+        bool parentKnown = false;
+        for (const SpuDecl &other : spec.spus)
+            parentKnown |= other.name == s.parent;
+        if (!parentKnown)
+            PISO_FATAL("line ", lineNo, ": SPU '", s.name,
+                       "' declared before its group '", s.parent, "'");
+    }
+    for (const SpuDecl &other : spec.spus) {
+        if (other.name == s.name)
+            PISO_FATAL("line ", lineNo, ": duplicate spu '", s.name,
+                       "'");
+    }
+    spec.spus.push_back(std::move(s));
+}
+
 } // namespace
 
 WorkloadSpec
@@ -222,6 +269,7 @@ parseWorkloadSpec(const std::string &text)
     WorkloadSpec spec;
     bool sawMachine = false;
     bool inFaults = false;
+    bool inSpus = false;
     std::istringstream is(text);
     std::string line;
     int lineNo = 0;
@@ -239,6 +287,7 @@ parseWorkloadSpec(const std::string &text)
         const std::string &kind = tokens[0];
         if (kind == "[faults]") {
             inFaults = true;
+            inSpus = false;
             if (tokens.size() > 1)
                 PISO_FATAL("line ", lineNo,
                            ": [faults] takes no options");
@@ -248,6 +297,20 @@ parseWorkloadSpec(const std::string &text)
             parseFaultLine(tokens, lineNo, spec.config.faults);
             continue;
         }
+        if (kind == "[spus]") {
+            inSpus = true;
+            if (tokens.size() > 1)
+                PISO_FATAL("line ", lineNo, ": [spus] takes no options");
+            continue;
+        }
+        // A directive ends a [spus] section; anything else inside one
+        // is a tree-node declaration.
+        if (inSpus &&
+            kind != "machine" && kind != "spu" && kind != "job") {
+            parseSpuTreeLine(tokens, lineNo, spec);
+            continue;
+        }
+        inSpus = false;
         if (kind == "machine") {
             if (sawMachine)
                 PISO_FATAL("line ", lineNo, ": duplicate machine line");
@@ -301,6 +364,10 @@ parseWorkloadSpec(const std::string &text)
                 PISO_FATAL("line ", lineNo, ": spu needs a name");
             SpuDecl s;
             s.name = tokens[1];
+            if (s.name.find('.') != std::string::npos)
+                PISO_FATAL("line ", lineNo, ": dotted SPU names ",
+                           "declare a hierarchy and belong in a ",
+                           "[spus] section");
             OptionReader r(parseOptions(tokens, 2, lineNo), lineNo);
             s.share = r.num("share", 1.0);
             s.disk = static_cast<DiskId>(r.integer("disk", 0));
@@ -351,6 +418,17 @@ parseWorkloadSpec(const std::string &text)
         PISO_FATAL("workload spec declares no SPUs");
     if (spec.jobs.empty())
         PISO_FATAL("workload spec declares no jobs");
+    // Jobs run on leaves only; a group's share is divided among its
+    // children, so a process directly on a group has no level to be
+    // accounted at.
+    for (const JobDecl &j : spec.jobs) {
+        for (const SpuDecl &s : spec.spus) {
+            if (s.parent == j.spu)
+                PISO_FATAL("line ", j.line, ": job '", j.name,
+                           "' runs on '", j.spu,
+                           "', which is a group, not a leaf SPU");
+        }
+    }
     return spec;
 }
 
@@ -427,8 +505,11 @@ runWorkloadSpec(const WorkloadSpec &spec)
     Simulation sim(spec.config);
     std::map<std::string, SpuId> ids;
     for (const SpuDecl &s : spec.spus) {
-        ids[s.name] = sim.addSpu(
-            {.name = s.name, .share = s.share, .homeDisk = s.disk});
+        SpuSpec ss{.name = s.name, .share = s.share, .homeDisk = s.disk,
+                   .parent = kNoSpu};
+        if (!s.parent.empty())
+            ss.parent = ids.at(s.parent);
+        ids[s.name] = sim.addSpu(ss);
     }
     for (const JobDecl &j : spec.jobs)
         sim.addJob(ids.at(j.spu), buildJob(j));

@@ -20,6 +20,20 @@
  *   job bob   oltp    name=db servers=4 txns=100
  *   job bob   web     name=www workers=4 requests=200
  *
+ *   [spus]                      # hierarchical alternative to `spu`
+ *   eng            share=2      # a group: normalised against `ops`
+ *   eng.build      share=3 disk=0
+ *   eng.test       share=1 disk=1
+ *   ops            share=1
+ *   ops.web        share=1
+ *
+ * Inside a `[spus]` section each line declares one tree node by its
+ * dotted path; a parent must be declared before its children, shares
+ * are normalised among siblings only, and jobs may only name *leaf*
+ * SPUs (here `job eng.build pmake ...`). The section ends at the next
+ * directive or section header. Flat `spu` lines remain the depth-1
+ * degenerate tree and may not contain dots.
+ *
  *   [faults]                    # optional, last section of the file
  *   disk_slow  at_s=2 for_s=4 disk=0 factor=4
  *   disk_error at_s=1 for_s=1 disk=0 rate=0.5
@@ -44,10 +58,15 @@
 
 namespace piso {
 
-/** One `spu` line. */
+/** One `spu` line or `[spus]` node. */
 struct SpuDecl
 {
+    /** Full dotted path for `[spus]` nodes ("eng.build"). */
     std::string name;
+
+    /** Dotted path of the enclosing group; empty when top-level. */
+    std::string parent;
+
     double share = 1.0;
     DiskId disk = 0;
 };

@@ -1,5 +1,6 @@
 #include "src/core/disk_fair.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <set>
 
@@ -35,12 +36,28 @@ DiskBandwidthTracker::setShare(SpuId spu, double share)
 }
 
 void
+DiskBandwidthTracker::setParent(SpuId spu, SpuId parent)
+{
+    if (parent == kNoSpu) {
+        parents_.erase(spu);
+        return;
+    }
+    entries_.tryEmplace(spu);
+    entries_.tryEmplace(parent);
+    parents_[spu] = parent;
+}
+
+void
 DiskBandwidthTracker::addSectors(SpuId spu, std::uint64_t sectors,
                                  Time now)
 {
-    Entry &e = entries_[spu];
-    e.count = decayed(e, now) + static_cast<double>(sectors);
-    e.last = now;
+    for (SpuId n = spu; n != kNoSpu;) {
+        Entry &e = entries_[n];
+        e.count = decayed(e, now) + static_cast<double>(sectors);
+        e.last = now;
+        const SpuId *p = parents_.find(n);
+        n = p ? *p : kNoSpu;
+    }
 }
 
 double
@@ -58,6 +75,17 @@ DiskBandwidthTracker::ratio(SpuId spu, Time now) const
         return 0.0;
     // shares_.share() defaults to 1 for SPUs never given a share.
     return decayed(*e, now) / shares_.share(spu);
+}
+
+double
+DiskBandwidthTracker::hierarchicalRatio(SpuId spu, Time now) const
+{
+    double worst = ratio(spu, now);
+    for (const SpuId *p = parents_.find(spu); p && *p != kNoSpu;
+         p = parents_.find(*p)) {
+        worst = std::max(worst, ratio(*p, now));
+    }
+    return worst;
 }
 
 FairDiskScheduler::FairDiskScheduler(Time halfLife, Time sharedWait)
@@ -113,7 +141,7 @@ IsoDiskScheduler::pick(const std::deque<DiskRequest> &queue,
     for (const DiskRequest &r : queue) {
         if (r.spu == kSharedSpu || r.spu == kKernelSpu)
             continue;
-        const double ratio = tracker_.ratio(r.spu, now);
+        const double ratio = tracker_.hierarchicalRatio(r.spu, now);
         if (bestSpu == kNoSpu || ratio < bestRatio) {
             bestSpu = r.spu;
             bestRatio = ratio;
@@ -164,7 +192,7 @@ PisoDiskScheduler::pick(const std::deque<DiskRequest> &queue,
         if (r.spu == kSharedSpu || r.spu == kKernelSpu)
             continue;
         if (!ratios.contains(r.spu))
-            ratios[r.spu] = tracker_.ratio(r.spu, now);
+            ratios[r.spu] = tracker_.hierarchicalRatio(r.spu, now);
     }
 
     if (ratios.empty() || sharedEligible(queue, now)) {

@@ -36,7 +36,13 @@ class DiskBandwidthTracker
     /** Relative bandwidth share of @p spu (default 1). */
     void setShare(SpuId spu, double share);
 
-    /** Charge @p sectors transferred at @p now to @p spu. */
+    /** Record @p spu's enclosing group (kNoSpu detaches). Usage then
+     *  also accrues to the group, whose own ratio bounds its whole
+     *  subtree via hierarchicalRatio(). */
+    void setParent(SpuId spu, SpuId parent);
+
+    /** Charge @p sectors transferred at @p now to @p spu and every
+     *  group above it. */
     void addSectors(SpuId spu, std::uint64_t sectors, Time now);
 
     /** Decayed sector count of @p spu at @p now. */
@@ -44,6 +50,11 @@ class DiskBandwidthTracker
 
     /** usage / share — the fairness metric. */
     double ratio(SpuId spu, Time now) const;
+
+    /** Worst ratio along @p spu's path to the top level: a leaf is as
+     *  unfair as its most over-consuming group, so groups compete at
+     *  the group boundary. Without parent links this is ratio(). */
+    double hierarchicalRatio(SpuId spu, Time now) const;
 
     Time halfLife() const { return halfLife_; }
 
@@ -59,6 +70,7 @@ class DiskBandwidthTracker
 
     Time halfLife_;
     SpuTable<Entry> entries_;
+    SpuTable<SpuId> parents_;
     ResourceLedger shares_{"bandwidth"};
 };
 

@@ -55,9 +55,10 @@ ResourceLedger::entry(SpuId spu)
 void
 ResourceLedger::setShare(SpuId spu, double share)
 {
-    if (share < 0.0)
-        PISO_FATAL(resource_, " ledger: negative share ", share,
-                   " for SPU ", spu);
+    if (!(share >= 0.0) || !std::isfinite(share))
+        PISO_FATAL(resource_, " ledger: share of SPU ", spu,
+                   " must be a finite non-negative number, got ",
+                   share);
     registerSpu(spu);
     entry(spu).share = share;
 }
@@ -178,48 +179,99 @@ ResourceLedger::entitledFloor(double share, std::uint64_t divisible)
         std::floor(share * static_cast<double>(divisible)));
 }
 
-void
-ResourceLedger::entitleByShare(std::uint64_t divisible)
+std::vector<std::uint64_t>
+ResourceLedger::apportion(const std::vector<double> &shares,
+                          std::uint64_t divisible)
 {
-    const double total = totalShare();
-    if (spus_.empty() || total == 0.0) {
-        for (auto [spu, e] : spus_)
-            e.levels.entitled = 0;
-        return;
+    std::vector<std::uint64_t> out(shares.size(), 0);
+    double total = 0.0;
+    for (double s : shares) {
+        PISO_INVARIANT(s >= 0.0 && std::isfinite(s),
+                       "apportioning a non-finite or negative share");
+        total += s;
     }
+    // Guard the all-suspended / all-zero level: nothing to normalise
+    // against, so nobody is entitled to anything.
+    if (shares.empty() || total == 0.0)
+        return out;
 
-    // Floor allocation, remembering each SPU's fractional remainder.
+    // Floor allocation, remembering each slot's fractional remainder.
     std::uint64_t assigned = 0;
-    std::vector<std::pair<double, SpuId>> fractions;
-    for (auto [spu, e] : spus_) {
-        const double exact = e.share / total *
+    std::vector<std::pair<double, std::size_t>> fractions;
+    for (std::size_t i = 0; i < shares.size(); ++i) {
+        const double exact = shares[i] / total *
                              static_cast<double>(divisible);
         const std::uint64_t floor =
             static_cast<std::uint64_t>(std::floor(exact));
-        e.levels.entitled = floor;
+        out[i] = floor;
         assigned += floor;
-        if (e.share > 0.0)
+        if (shares[i] > 0.0)
             fractions.emplace_back(exact - static_cast<double>(floor),
-                                   spu);
+                                   i);
     }
 
-    // Largest remainder first; ties go to the lower SPU id (ascending
-    // iteration made `fractions` ascending by id, stable_sort keeps
-    // it).
+    // Largest remainder first; ties go to the lower index (`fractions`
+    // is ascending by index, stable_sort keeps it).
     std::stable_sort(fractions.begin(), fractions.end(),
                      [](const auto &a, const auto &b) {
                          return a.first > b.first;
                      });
     for (std::size_t i = 0; assigned < divisible && i < fractions.size();
          ++i, ++assigned) {
-        ++spus_[fractions[i].second].levels.entitled;
+        ++out[fractions[i].second];
     }
-    // Rounding noise can leave a residue even after every SPU got one
-    // extra unit; sweep it into the first positive-share SPU so the
-    // entitlements always sum exactly to the divisible amount.
-    if (assigned < divisible && !fractions.empty()) {
-        auto &e = spus_[fractions.front().second];
-        e.levels.entitled += divisible - assigned;
+    // Rounding noise can leave a residue even after every slot got one
+    // extra unit; sweep it into the first positive-share slot so the
+    // parts always sum exactly to the divisible amount.
+    if (assigned < divisible && !fractions.empty())
+        out[fractions.front().second] += divisible - assigned;
+    return out;
+}
+
+void
+ResourceLedger::entitleByShare(std::uint64_t divisible)
+{
+    std::vector<SpuId> ids;
+    std::vector<double> shares;
+    ids.reserve(spus_.size());
+    shares.reserve(spus_.size());
+    for (const auto &[spu, e] : spus_) {
+        ids.push_back(spu);
+        shares.push_back(e.share);
+    }
+    const std::vector<std::uint64_t> parts = apportion(shares, divisible);
+    for (std::size_t i = 0; i < ids.size(); ++i)
+        spus_[ids[i]].levels.entitled = parts[i];
+}
+
+void
+ResourceLedger::entitleByShare(const ShareTree &tree,
+                               std::uint64_t divisible)
+{
+    // Top-down: each node's amount is split exactly among its
+    // children; the root's amount is the whole divisible resource.
+    // Iterative over an explicit stack — config trees are shallow but
+    // adversarial test trees need not be.
+    std::vector<std::pair<std::size_t, std::uint64_t>> stack;
+    stack.emplace_back(ShareTree::kRoot, divisible);
+    while (!stack.empty()) {
+        const auto [idx, amount] = stack.back();
+        stack.pop_back();
+        const ShareTree::Node &node = tree.node(idx);
+        if (node.spu != kNoSpu) {
+            registerSpu(node.spu);
+            entry(node.spu).levels.entitled = amount;
+        }
+        if (node.children.empty())
+            continue;
+        std::vector<double> shares;
+        shares.reserve(node.children.size());
+        for (std::size_t child : node.children)
+            shares.push_back(tree.node(child).share);
+        const std::vector<std::uint64_t> parts =
+            apportion(shares, amount);
+        for (std::size_t i = 0; i < node.children.size(); ++i)
+            stack.emplace_back(node.children[i], parts[i]);
     }
 }
 

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/share_tree.hh"
 #include "src/core/spu_table.hh"
 #include "src/sim/ids.hh"
 
@@ -123,6 +124,22 @@ class ResourceLedger
                                        std::uint64_t divisible);
 
     /**
+     * Split @p divisible among @p shares so the parts sum *exactly*
+     * to it: floor allocation first, then the remainder distributed
+     * one unit at a time by largest fractional part (ties to the
+     * lower index). Zero shares receive nothing; an all-zero (or
+     * empty) share vector returns all zeros — never a division by
+     * zero, even when every SPU at a level is suspended.
+     *
+     * This is the one largest-remainder implementation in the system;
+     * entitleByShare (flat and tree) and the per-level hierarchy
+     * policies all stand on it.
+     */
+    static std::vector<std::uint64_t>
+    apportion(const std::vector<double> &shares,
+              std::uint64_t divisible);
+
+    /**
      * Recompute every entitlement from the registered shares so the
      * entitlements sum *exactly* to @p divisible: floor allocation
      * first, then the remainder distributed one unit at a time by
@@ -130,6 +147,19 @@ class ResourceLedger
      * zero share receive nothing.
      */
     void entitleByShare(std::uint64_t divisible);
+
+    /**
+     * Hierarchical entitlement: walk @p tree from the root, splitting
+     * each node's amount exactly among its children by their
+     * sibling-normalised shares (the same largest-remainder rule as
+     * the flat overload, ties to the earlier sibling). Every SPU node
+     * — internal and leaf — is registered and receives its subtree's
+     * entitlement, so the exact-sum guarantee holds at *every* level:
+     * a node's entitlement equals the sum of its children's whenever
+     * any child has positive share. A depth-1 tree reproduces the
+     * flat overload bit for bit.
+     */
+    void entitleByShare(const ShareTree &tree, std::uint64_t divisible);
     /// @}
 
   private:

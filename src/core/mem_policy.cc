@@ -50,16 +50,16 @@ MemorySharingPolicy::recompute()
         std::min(total, kernelUsed + sharedUsed + reserve);
     const std::uint64_t divisible = total - overhead;
 
-    const auto users = spus_.userSpus();
+    const auto users = spus_.leafSpus();
     if (users.empty())
         return;
 
-    // 1. Recompute entitlements from the sharing contract.
-    SpuTable<std::uint64_t> entitled;
+    // 1. Recompute entitlements from the sharing contract, splitting
+    //    the divisible pages down the SPU tree with per-level floors
+    //    (a flat configuration reduces to share_i x divisible).
+    SpuTable<std::uint64_t> entitled = spus_.entitleLeaves(divisible);
     for (SpuId spu : users) {
         vm_.registerSpu(spu);
-        entitled[spu] = ResourceLedger::entitledFloor(
-            spus_.shareOf(spu), divisible);
         vm_.setEntitled(spu, entitled[spu]);
     }
 

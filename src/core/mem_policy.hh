@@ -47,7 +47,9 @@ class MemorySharingPolicy
     /**
      * One recomputation pass (public so tests and setup can invoke it
      * directly):
-     *  1. entitled_i = share_i x (total - kernel - shared - reserve);
+     *  1. entitled_i = share_i x (total - kernel - shared - reserve),
+     *     with share_i resolved down the SPU tree level by level
+     *     (SpuManager::entitleLeaves);
      *  2. lendable = free + sum(borrowed-out) - reserve;
      *  3. allowed_i = entitled_i, plus an equal split of lendable for
      *     SPUs under pressure.

@@ -20,7 +20,7 @@ FairNetScheduler::pick(const std::deque<NetMessage> &queue, Time now)
     SpuId best = kNoSpu;
     double bestRatio = 0.0;
     for (const NetMessage &m : queue) {
-        const double ratio = tracker_.ratio(m.spu, now);
+        const double ratio = tracker_.hierarchicalRatio(m.spu, now);
         if (best == kNoSpu || ratio < bestRatio) {
             best = m.spu;
             bestRatio = ratio;

@@ -1,8 +1,69 @@
 #include "src/core/sched_piso.hh"
 
+#include <algorithm>
+
 #include "src/sim/trace.hh"
 
 namespace piso {
+
+void
+PisoScheduler::setSpuParents(const SpuTable<SpuId> &parents)
+{
+    parents_ = parents;
+}
+
+std::vector<SpuId>
+PisoScheduler::pathTo(SpuId spu) const
+{
+    std::vector<SpuId> path;
+    for (SpuId n = spu; n != kNoSpu;) {
+        path.push_back(n);
+        const SpuId *p = parents_.find(n);
+        n = p ? *p : kNoSpu;
+    }
+    std::reverse(path.begin(), path.end());
+    return path;
+}
+
+std::size_t
+PisoScheduler::kinship(SpuId a, SpuId b) const
+{
+    const std::vector<SpuId> pa = pathTo(a);
+    const std::vector<SpuId> pb = pathTo(b);
+    std::size_t n = 0;
+    while (n < pa.size() && n < pb.size() && pa[n] == pb[n])
+        ++n;
+    return n;
+}
+
+Process *
+PisoScheduler::popBestKin(SpuId owner)
+{
+    // Flat SPU sets take the exact popBestForeign path, pick order
+    // included.
+    if (parents_.empty())
+        return popBestForeign(owner);
+
+    Process *best = nullptr;
+    std::size_t bestKin = 0;
+    for (auto [spu, queue] : ready_) {
+        if (spu == owner)
+            continue;
+        const std::size_t kin = kinship(owner, spu);
+        if (best && kin < bestKin)
+            continue;
+        for (Process *q : queue) {
+            if (!best || kin > bestKin ||
+                (kin == bestKin && higherPriority(q, best))) {
+                best = q;
+                bestKin = kin;
+            }
+        }
+    }
+    if (best)
+        ready_[best->spu()].remove(best);
+    return best;
+}
 
 Process *
 PisoScheduler::selectNext(Cpu &cpu)
@@ -18,11 +79,12 @@ PisoScheduler::selectNext(Cpu &cpu)
         if (Process *p = popBest(spu))
             return p;
     }
-    // No home work: lend the CPU to the best process anywhere —
-    // unless a recent revocation put it on loan hold-off.
+    // No home work: lend the CPU to the best process anywhere — the
+    // owner's own group first — unless a recent revocation put it on
+    // loan hold-off.
     if (events_.now() < cpu.noLoanBefore)
         return nullptr;
-    return popBestForeign(owner);
+    return popBestKin(owner);
 }
 
 bool

@@ -45,6 +45,13 @@ class PisoScheduler : public QuotaScheduler
     /** Cumulative count of loan revocations. */
     std::uint64_t revocations() const { return revocations_; }
 
+    /** SPU tree parent links: loans prefer the most closely related
+     *  SPU (deepest common ancestor with the CPU's owner), so idle
+     *  capacity circulates inside a group before leaving it. With no
+     *  links (a flat tree) the pick order is exactly the priority
+     *  order of popBestForeign. */
+    void setSpuParents(const SpuTable<SpuId> &parents) override;
+
   protected:
     Process *selectNext(Cpu &cpu) override;
     bool eligibleIdle(const Cpu &cpu, const Process *p) const override;
@@ -54,6 +61,16 @@ class PisoScheduler : public QuotaScheduler
   private:
     void revoke(Cpu &cpu);
 
+    /** Best foreign ready process, preferring higher kinship with
+     *  @p owner; equals popBestForeign when no parent links exist. */
+    Process *popBestKin(SpuId owner);
+
+    /** Length of the common root-down path prefix of two SPUs. */
+    std::size_t kinship(SpuId a, SpuId b) const;
+
+    std::vector<SpuId> pathTo(SpuId spu) const;
+
+    SpuTable<SpuId> parents_;
     bool ipiRevoke_ = false;
     Time loanHoldoff_ = 0;
     std::uint64_t revocations_ = 0;

@@ -9,6 +9,12 @@
  * time-multiplexed, Section 3.1); a CPU only ever runs processes of
  * the SPU that owns it *right now*. Perfect isolation, no sharing: an
  * idle CPU stays idle even when other SPUs starve.
+ *
+ * Under a hierarchical SPU tree the quotas are the *effective* leaf
+ * shares (the product of sibling-normalised shares down the tree, via
+ * SpuManager::cpuShares); with no lending there is nothing further
+ * for the hierarchy to do here — group-affine sharing is the PIso
+ * scheduler's business.
  */
 
 #include <list>

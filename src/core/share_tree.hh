@@ -1,0 +1,89 @@
+#ifndef PISO_CORE_SHARE_TREE_HH
+#define PISO_CORE_SHARE_TREE_HH
+
+/**
+ * @file
+ * A value-type description of a share hierarchy.
+ *
+ * Fair-share managers are hierarchical — users inside groups inside
+ * departments (Solaris SRM; the UNIX Resource Managers survey) — and
+ * so are cloud tenants. A ShareTree captures exactly the structure a
+ * resource policy needs to entitle recursively: every node carries the
+ * SPU it stands for and the raw share that is normalised against its
+ * *siblings* only. Node 0 is a synthetic root that represents the
+ * whole divisible resource and carries no SPU.
+ *
+ * The tree is deliberately dumb — plain indices, no behaviour — so the
+ * accounting layer (ResourceLedger) can consume it without depending
+ * on the SPU registry, and tests can build adversarial trees directly.
+ * SpuManager::shareTree() is the production source.
+ */
+
+#include <cstddef>
+#include <vector>
+
+#include "src/sim/ids.hh"
+
+namespace piso {
+
+/** A share hierarchy rooted at a synthetic, SPU-less node 0. */
+class ShareTree
+{
+  public:
+    /** Index of the synthetic root node. */
+    static constexpr std::size_t kRoot = 0;
+
+    struct Node
+    {
+        /** SPU this node stands for (kNoSpu for the root only). */
+        SpuId spu = kNoSpu;
+
+        /** Raw share, normalised over the node's siblings (a
+         *  suspended SPU contributes share 0, like the flat
+         *  registry). */
+        double share = 0.0;
+
+        std::size_t parent = kRoot;
+
+        /** Child indices, in the order they were added (SpuManager
+         *  adds them ascending by id, which fixes tie-breaking). */
+        std::vector<std::size_t> children;
+    };
+
+    ShareTree() : nodes_(1) {}
+
+    /** Add a node under @p parent. @return the new node's index. */
+    std::size_t
+    add(std::size_t parent, SpuId spu, double share)
+    {
+        const std::size_t idx = nodes_.size();
+        nodes_.push_back(Node{spu, share, parent, {}});
+        nodes_[parent].children.push_back(idx);
+        return idx;
+    }
+
+    const Node &node(std::size_t idx) const { return nodes_.at(idx); }
+    const Node &root() const { return nodes_.front(); }
+
+    /** Node count, including the synthetic root. */
+    std::size_t size() const { return nodes_.size(); }
+
+    /** True when no node sits below a top-level node — the degenerate
+     *  tree a flat SPU set maps to. */
+    bool
+    flat() const
+    {
+        for (std::size_t i = 1; i < nodes_.size(); ++i) {
+            if (nodes_[i].parent != kRoot)
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    std::vector<Node> nodes_;
+};
+
+} // namespace piso
+
+#endif // PISO_CORE_SHARE_TREE_HH

@@ -1,5 +1,9 @@
 #include "src/core/spu.hh"
 
+#include <algorithm>
+#include <cmath>
+
+#include "src/core/ledger.hh"
 #include "src/sim/log.hh"
 
 namespace piso {
@@ -20,16 +24,26 @@ SpuManager::SpuManager()
 SpuId
 SpuManager::create(const SpuSpec &spec)
 {
-    if (spec.share <= 0.0)
-        PISO_FATAL("SPU '", spec.name, "' has non-positive share ",
-                   spec.share);
+    if (!(spec.share > 0.0) || !std::isfinite(spec.share))
+        PISO_FATAL("SPU '", spec.name, "' must have a positive finite ",
+                   "share, got ", spec.share);
+    if (spec.parent != kNoSpu) {
+        const Spu *p = spus_.find(spec.parent);
+        if (!p || spec.parent < kFirstUserSpu)
+            PISO_FATAL("SPU '", spec.name, "' declared under unknown ",
+                       "parent SPU ", spec.parent);
+    }
     Spu s;
     s.id = next_++;
     s.name = spec.name.empty() ? "spu" + std::to_string(s.id) : spec.name;
     s.share = spec.share;
     s.homeDisk = spec.homeDisk;
+    s.parent = spec.parent;
     spus_[s.id] = s;
-    shares_.setShare(s.id, s.share);
+    if (spec.parent == kNoSpu)
+        topLevel_.push_back(s.id);
+    else
+        spus_[spec.parent].children.push_back(s.id);
     return s.id;
 }
 
@@ -38,10 +52,17 @@ SpuManager::destroy(SpuId spu)
 {
     if (spu == kKernelSpu || spu == kSharedSpu)
         PISO_FATAL("the default SPUs cannot be destroyed");
-    if (!spus_.contains(spu))
+    const Spu *s = spus_.find(spu);
+    if (!s)
         PISO_FATAL("destroying unknown SPU ", spu);
+    if (!s->children.empty())
+        PISO_FATAL("destroying SPU '", s->name, "' which still has ",
+                   s->children.size(), " child SPUs");
+    std::vector<SpuId> &siblings =
+        s->parent == kNoSpu ? topLevel_ : spus_[s->parent].children;
+    siblings.erase(std::remove(siblings.begin(), siblings.end(), spu),
+                   siblings.end());
     spus_.erase(spu);
-    shares_.forget(spu);
 }
 
 void
@@ -51,7 +72,6 @@ SpuManager::suspend(SpuId spu)
     if (!s || spu < kFirstUserSpu)
         PISO_FATAL("cannot suspend SPU ", spu);
     s->state = SpuState::Suspended;
-    shares_.setShare(spu, 0.0);
 }
 
 void
@@ -61,7 +81,6 @@ SpuManager::resume(SpuId spu)
     if (!s || spu < kFirstUserSpu)
         PISO_FATAL("cannot resume SPU ", spu);
     s->state = SpuState::Active;
-    shares_.setShare(spu, s->share);
 }
 
 const Spu &
@@ -79,39 +98,177 @@ SpuManager::exists(SpuId id) const
     return spus_.contains(id);
 }
 
+SpuId
+SpuManager::parentOf(SpuId id) const
+{
+    return spu(id).parent;
+}
+
+const std::vector<SpuId> &
+SpuManager::childrenOf(SpuId parent) const
+{
+    return parent == kNoSpu ? topLevel_ : spu(parent).children;
+}
+
+bool
+SpuManager::isGroup(SpuId id) const
+{
+    return !spu(id).children.empty();
+}
+
+std::vector<SpuId>
+SpuManager::pathOf(SpuId id) const
+{
+    std::vector<SpuId> path;
+    for (SpuId n = id; n != kNoSpu; n = spu(n).parent)
+        path.push_back(n);
+    std::reverse(path.begin(), path.end());
+    return path;
+}
+
+bool
+SpuManager::hierarchical() const
+{
+    for (const auto &[id, s] : spus_) {
+        if (id >= kFirstUserSpu && s.parent != kNoSpu)
+            return true;
+    }
+    return false;
+}
+
+bool
+SpuManager::pathActive(SpuId id) const
+{
+    for (SpuId n = id; n != kNoSpu; n = spu(n).parent) {
+        if (spu(n).state != SpuState::Active)
+            return false;
+    }
+    return true;
+}
+
 std::vector<SpuId>
 SpuManager::userSpus() const
 {
     std::vector<SpuId> out;
     for (const auto &[id, s] : spus_) {
-        if (id >= kFirstUserSpu && s.state == SpuState::Active)
+        if (id >= kFirstUserSpu && s.state == SpuState::Active &&
+            pathActive(id)) {
+            out.push_back(id);
+        }
+    }
+    return out;
+}
+
+std::vector<SpuId>
+SpuManager::leafSpus() const
+{
+    std::vector<SpuId> out;
+    for (const auto &[id, s] : spus_) {
+        if (id >= kFirstUserSpu && s.children.empty() && pathActive(id))
             out.push_back(id);
     }
     return out;
 }
 
 double
-SpuManager::shareOf(SpuId spu) const
+SpuManager::siblingTotal(SpuId parent) const
 {
-    const Spu &s = this->spu(spu);
+    // Suspended siblings contribute +0.0 rather than being skipped:
+    // the flat registry kept suspended SPUs in its share ledger with
+    // share 0, and the float sum must stay identical.
+    double total = 0.0;
+    for (SpuId c : childrenOf(parent)) {
+        const Spu &s = spu(c);
+        total += s.state == SpuState::Active ? s.share : 0.0;
+    }
+    return total;
+}
+
+double
+SpuManager::shareOf(SpuId id) const
+{
+    const Spu &s = this->spu(id);
     if (s.state != SpuState::Active)
         return 0.0;
-    if (spu < kFirstUserSpu) {
+    if (id < kFirstUserSpu) {
         // The default SPUs do not participate in the user contract;
-        // report their weight against it (callers never rely on this).
-        const double total = shares_.totalShare();
+        // report their weight against the top level (callers never
+        // rely on this).
+        const double total = siblingTotal(kNoSpu);
         return total == 0.0 ? 0.0 : s.share / total;
     }
-    return shares_.normalizedShare(spu);
+    // Product of sibling-normalised shares from the top level down.
+    // 1.0 * x == x exactly, so a depth-1 tree yields precisely the
+    // flat share / Σ shares value.
+    double f = 1.0;
+    for (SpuId n : pathOf(id)) {
+        const Spu &node = spu(n);
+        if (node.state != SpuState::Active)
+            return 0.0;
+        const double total = siblingTotal(node.parent);
+        if (total == 0.0)
+            return 0.0;
+        f = f * (node.share / total);
+    }
+    return f;
 }
 
 SpuTable<double>
 SpuManager::cpuShares() const
 {
     SpuTable<double> shares;
-    for (SpuId id : userSpus())
+    for (SpuId id : leafSpus())
         shares[id] = shareOf(id);
     return shares;
+}
+
+void
+SpuManager::entitleUnder(SpuId parent, std::uint64_t amount,
+                         SpuTable<std::uint64_t> &out) const
+{
+    const double total = siblingTotal(parent);
+    if (total == 0.0)
+        return;
+    for (SpuId c : childrenOf(parent)) {
+        const Spu &s = spu(c);
+        if (s.state != SpuState::Active)
+            continue;
+        const std::uint64_t part =
+            ResourceLedger::entitledFloor(s.share / total, amount);
+        if (s.children.empty())
+            out[c] = part;
+        else
+            entitleUnder(c, part, out);
+    }
+}
+
+SpuTable<std::uint64_t>
+SpuManager::entitleLeaves(std::uint64_t divisible) const
+{
+    SpuTable<std::uint64_t> out;
+    entitleUnder(kNoSpu, divisible, out);
+    return out;
+}
+
+void
+SpuManager::buildSubtree(SpuId parent, std::size_t node,
+                         ShareTree &tree) const
+{
+    for (SpuId c : childrenOf(parent)) {
+        const Spu &s = spu(c);
+        const double share =
+            s.state == SpuState::Active ? s.share : 0.0;
+        const std::size_t child = tree.add(node, c, share);
+        buildSubtree(c, child, tree);
+    }
+}
+
+ShareTree
+SpuManager::shareTree() const
+{
+    ShareTree tree;
+    buildSubtree(kNoSpu, ShareTree::kRoot, tree);
+    return tree;
 }
 
 } // namespace piso

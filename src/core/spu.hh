@@ -11,20 +11,29 @@
  * default SPUs of Section 2.2: `kernel` (kernel processes and memory;
  * unrestricted) and `shared` (resources referenced by multiple SPUs;
  * lowest disk priority).
+ *
+ * SPUs form a *tree*: a user SPU may be created under another user SPU
+ * (a "group"), and its share is then normalised against its siblings
+ * only — the effective machine share is the product of the
+ * sibling-normalised shares along the path to the top level, the model
+ * of hierarchical fair-share managers (Solaris SRM and kin). A flat
+ * configuration is the degenerate depth-1 tree and behaves exactly as
+ * the original flat registry did, bit for bit.
  */
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
-#include "src/core/ledger.hh"
+#include "src/core/share_tree.hh"
 #include "src/core/spu_table.hh"
 #include "src/sim/ids.hh"
 
 namespace piso {
 
 /** Life-cycle state of an SPU (Section 2.1: SPUs can be created,
- *  destroyed, suspended and awakened dynamically). */
+ *  destroyed, suspended and awakened dynamically). A suspended group
+ *  suspends its whole subtree for share purposes. */
 enum class SpuState
 {
     Active,
@@ -37,11 +46,15 @@ struct SpuSpec
     std::string name;
 
     /** Relative share of every resource (CPU, memory, disk BW);
-     *  normalised over active user SPUs. */
+     *  normalised over the SPU's *siblings* (for a top-level SPU,
+     *  the other top-level SPUs). */
     double share = 1.0;
 
     /** Disk that holds this SPU's files and swap space. */
     DiskId homeDisk = 0;
+
+    /** Enclosing group, or kNoSpu for a top-level SPU. */
+    SpuId parent = kNoSpu;
 };
 
 /** One SPU's registry entry. */
@@ -52,49 +65,114 @@ struct Spu
     double share = 1.0;
     DiskId homeDisk = 0;
     SpuState state = SpuState::Active;
+
+    /** Enclosing group (kNoSpu when top-level). */
+    SpuId parent = kNoSpu;
+
+    /** Child SPUs, ascending by id (ids are handed out
+     *  monotonically, so creation order is id order). */
+    std::vector<SpuId> children;
 };
 
-/** Registry of SPUs and their configured shares. */
+/** Registry of SPUs, their configured shares and their hierarchy. */
 class SpuManager
 {
   public:
     /** Creates the default `kernel` and `shared` SPUs. */
     SpuManager();
 
-    /** Create a user SPU. */
+    /** Create a user SPU, optionally under spec.parent. */
     SpuId create(const SpuSpec &spec);
 
-    /** Remove a user SPU (it must have no processes left; the caller
-     *  is responsible for that invariant). */
+    /** Remove a user SPU (it must have no processes and no child
+     *  SPUs left; processes are the caller's invariant, children are
+     *  checked here). */
     void destroy(SpuId spu);
 
-    /** Suspend / resume participation in share normalisation. */
+    /** Suspend / resume participation in share normalisation.
+     *  Suspending a group zeroes the effective share of its whole
+     *  subtree. */
     void suspend(SpuId spu);
     void resume(SpuId spu);
 
     const Spu &spu(SpuId id) const;
     bool exists(SpuId id) const;
 
-    /** Active user SPUs, ascending by id. */
+    /** @name Hierarchy */
+    /// @{
+    /** Enclosing group of @p spu (kNoSpu when top-level). */
+    SpuId parentOf(SpuId spu) const;
+
+    /** Children of @p parent ascending by id; pass kNoSpu for the
+     *  top-level user SPUs. */
+    const std::vector<SpuId> &childrenOf(SpuId parent) const;
+
+    /** True when @p spu has child SPUs (jobs cannot run on groups). */
+    bool isGroup(SpuId spu) const;
+
+    /** Path from the top level down to @p spu, inclusive. */
+    std::vector<SpuId> pathOf(SpuId spu) const;
+
+    /** True when any user SPU sits inside a group — i.e. the tree is
+     *  deeper than the flat, depth-1 degenerate case. */
+    bool hierarchical() const;
+
+    /** The user-SPU share hierarchy as a value (suspended nodes carry
+     *  share 0), for ResourceLedger::entitleByShare(tree, ...). */
+    ShareTree shareTree() const;
+    /// @}
+
+    /** User SPUs whose whole path to the top level is active,
+     *  ascending by id; includes groups. */
     std::vector<SpuId> userSpus() const;
 
-    /** Count of active user SPUs. */
+    /** Leaf user SPUs (no children) whose whole path is active,
+     *  ascending by id — the SPUs that hold processes and receive
+     *  resources. Equals userSpus() for a flat configuration. */
+    std::vector<SpuId> leafSpus() const;
+
+    /** Count of active user SPUs (groups included). */
     std::size_t userCount() const { return userSpus().size(); }
 
-    /** @p spu's share normalised over active user SPUs (0 when
-     *  suspended). */
+    /** @p spu's effective share of the whole machine: the product of
+     *  sibling-normalised shares along the path to the top level
+     *  (0 when any node on the path is suspended). Depth-1 trees
+     *  reproduce the flat share / Σ shares rule bit for bit. */
     double shareOf(SpuId spu) const;
 
-    /** Normalised CPU shares of active user SPUs, for
+    /** Normalised CPU shares of the active leaf SPUs, for
      *  CpuScheduler::partitionCpus(). */
     SpuTable<double> cpuShares() const;
 
+    /**
+     * Per-leaf entitlement by per-level floors: each node takes
+     * floor(sibling-normalised share x parent amount) of its parent's
+     * amount, top level from @p divisible. The remainder at every
+     * level stays unassigned — the same rounding-down contract as
+     * ResourceLedger::entitledFloor, which this reproduces exactly for
+     * depth-1 trees. Suspended subtrees receive no entry.
+     */
+    SpuTable<std::uint64_t> entitleLeaves(std::uint64_t divisible) const;
+
   private:
+    /** Σ shares over @p parent's children, ascending by id, counting
+     *  suspended children as +0.0 — the float-sum order the flat
+     *  share ledger used, preserved for bit-compatibility. */
+    double siblingTotal(SpuId parent) const;
+
+    bool pathActive(SpuId spu) const;
+
+    void entitleUnder(SpuId parent, std::uint64_t amount,
+                      SpuTable<std::uint64_t> &out) const;
+    void buildSubtree(SpuId parent, std::size_t node,
+                      ShareTree &tree) const;
+
     SpuTable<Spu> spus_;
 
-    /** Raw shares of user SPUs (suspended = 0), normalised by the
-     *  ledger; the single source of the `share / Σ shares` rule. */
-    ResourceLedger shares_{"share"};
+    /** Top-level user SPUs, ascending by id (the synthetic root's
+     *  children). */
+    std::vector<SpuId> topLevel_;
+
     SpuId next_ = kFirstUserSpu;
 };
 

@@ -104,37 +104,47 @@ formatResults(const SimResults &r, bool withPerf)
     }
     os << jobs.str() << '\n';
 
-    // Fault columns appear only when something actually went wrong, so
+    // Fault columns appear only when something actually went wrong,
+    // and the group column only when the SPUs form a tree, so flat
     // fault-free reports look exactly as before.
     bool anyFaults = false;
+    bool anyTree = false;
     for (const auto &[id, s] : r.spus) {
         if (s.diskErrors || s.ioRetries || s.ioTimeouts || s.failedOps)
             anyFaults = true;
+        if (s.parent != kNoSpu)
+            anyTree = true;
     }
+    std::vector<std::string> header{"spu", "name"};
+    if (anyTree)
+        header.emplace_back("group");
+    header.insert(header.end(), {"cpu (s)", "mem used", "entitled"});
     if (anyFaults) {
-        TextTable spus({"spu", "name", "cpu (s)", "mem used", "entitled",
-                        "io errs", "retries", "timeouts", "failed"});
-        for (const auto &[id, s] : r.spus) {
-            spus.addRow({std::to_string(id), s.name,
-                         TextTable::num(toSeconds(s.cpuTime), 2),
-                         std::to_string(s.memUsedPages),
-                         std::to_string(s.memEntitledPages),
-                         std::to_string(s.diskErrors),
-                         std::to_string(s.ioRetries),
-                         std::to_string(s.ioTimeouts),
-                         std::to_string(s.failedOps)});
-        }
-        os << spus.str() << '\n';
-    } else {
-        TextTable spus({"spu", "name", "cpu (s)", "mem used", "entitled"});
-        for (const auto &[id, s] : r.spus) {
-            spus.addRow({std::to_string(id), s.name,
-                         TextTable::num(toSeconds(s.cpuTime), 2),
-                         std::to_string(s.memUsedPages),
-                         std::to_string(s.memEntitledPages)});
-        }
-        os << spus.str() << '\n';
+        header.insert(header.end(),
+                      {"io errs", "retries", "timeouts", "failed"});
     }
+    TextTable spus(std::move(header));
+    for (const auto &[id, s] : r.spus) {
+        std::vector<std::string> row{std::to_string(id), s.name};
+        if (anyTree) {
+            const SpuResult *parent = r.spus.find(s.parent);
+            row.push_back(s.parent == kNoSpu ? "-"
+                          : parent ? parent->name
+                                   : std::to_string(s.parent));
+        }
+        row.insert(row.end(),
+                   {TextTable::num(toSeconds(s.cpuTime), 2),
+                    std::to_string(s.memUsedPages),
+                    std::to_string(s.memEntitledPages)});
+        if (anyFaults) {
+            row.insert(row.end(), {std::to_string(s.diskErrors),
+                                   std::to_string(s.ioRetries),
+                                   std::to_string(s.ioTimeouts),
+                                   std::to_string(s.failedOps)});
+        }
+        spus.addRow(std::move(row));
+    }
+    os << spus.str() << '\n';
 
     TextTable disks({"disk", "requests", "sectors", "wait (ms)",
                      "position (ms)", "busy"});
@@ -240,12 +250,24 @@ formatResultsJson(const SimResults &r, bool withPerf)
     }
     os << "]";
 
+    // The parent field appears only for hierarchical runs, keeping
+    // flat JSON output byte-identical to the pre-tree format.
+    bool anyTree = false;
+    for (const auto &[id, s] : r.spus) {
+        if (s.parent != kNoSpu)
+            anyTree = true;
+    }
+
     os << ",\"spus\":[";
     bool first = true;
     for (const auto &[id, s] : r.spus) {
         os << (first ? "" : ",") << "{\"id\":" << id << ",\"name\":\""
-           << jsonEscape(s.name)
-           << "\",\"cpu_s\":" << toSeconds(s.cpuTime)
+           << jsonEscape(s.name);
+        if (anyTree)
+            os << "\",\"parent\":" << s.parent << ",\"cpu_s\":";
+        else
+            os << "\",\"cpu_s\":";
+        os << toSeconds(s.cpuTime)
            << ",\"mem_used_pages\":" << s.memUsedPages
            << ",\"mem_entitled_pages\":" << s.memEntitledPages
            << ",\"disk_errors\":" << s.diskErrors

@@ -43,6 +43,10 @@ struct SpuResult
 {
     SpuId id = kNoSpu;
     std::string name;
+
+    /** Enclosing group in the SPU tree (kNoSpu when top-level — the
+     *  only case in a flat configuration). */
+    SpuId parent = kNoSpu;
     Time cpuTime = 0;
     std::uint64_t memUsedPages = 0;  //!< at end of run
     std::uint64_t memEntitledPages = 0;

@@ -157,6 +157,14 @@ class CpuScheduler
     Time timeSlice() const { return timeSlice_; }
     /// @}
 
+    /**
+     * Record the SPU tree's parent links (kNoSpu / absent = top
+     * level). The base scheduler ignores them; the PIso policy uses
+     * kinship to prefer lending an idle CPU within the owner's own
+     * group before strangers take it.
+     */
+    virtual void setSpuParents(const SpuTable<SpuId> & /* parents */) {}
+
     /** Assign home SPUs to CPUs from per-SPU CPU shares (the hybrid
      *  space/time partition of Section 3.1): each SPU gets
      *  floor(share) dedicated CPUs; fractional remainders are packed

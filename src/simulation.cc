@@ -88,6 +88,8 @@ struct Simulation::Impl
     std::uint64_t kernelPinnedPages = 0;
 
     void rebalance();
+    void applyBandwidthShares(DiskBandwidthTracker &tracker);
+    SpuTable<SpuId> spuParents() const;
     void applyMemoryLevels();
     void applyFault(const FaultEvent &ev);
 
@@ -215,19 +217,43 @@ Simulation::addJob(SpuId spu, JobSpec spec)
 }
 
 void
+Simulation::Impl::applyBandwidthShares(DiskBandwidthTracker &tracker)
+{
+    // Leaves carry the effective machine shares; groups additionally
+    // get their own share and parent links so the tracker can bound
+    // usage at every group boundary (no-ops for a flat tree).
+    for (SpuId spu : spuMgr.leafSpus())
+        tracker.setShare(spu, spuMgr.shareOf(spu));
+    for (SpuId spu : spuMgr.userSpus()) {
+        if (spuMgr.isGroup(spu))
+            tracker.setShare(spu, spuMgr.shareOf(spu));
+        if (spuMgr.parentOf(spu) != kNoSpu)
+            tracker.setParent(spu, spuMgr.parentOf(spu));
+    }
+}
+
+SpuTable<SpuId>
+Simulation::Impl::spuParents() const
+{
+    SpuTable<SpuId> parents;
+    for (SpuId spu : spuMgr.userSpus()) {
+        if (spuMgr.parentOf(spu) != kNoSpu)
+            parents[spu] = spuMgr.parentOf(spu);
+    }
+    return parents;
+}
+
+void
 Simulation::Impl::rebalance()
 {
-    if (profile.cpu != CpuPolicy::Smp)
+    if (profile.cpu != CpuPolicy::Smp) {
+        sched->setSpuParents(spuParents());
         sched->repartitionCpus(spuMgr.cpuShares());
-    const auto users = spuMgr.userSpus();
-    for (FairDiskScheduler *fds : fairSchedulers) {
-        for (SpuId spu : users)
-            fds->tracker().setShare(spu, spuMgr.shareOf(spu));
     }
-    if (fairNet) {
-        for (SpuId spu : users)
-            fairNet->tracker().setShare(spu, spuMgr.shareOf(spu));
-    }
+    for (FairDiskScheduler *fds : fairSchedulers)
+        applyBandwidthShares(fds->tracker());
+    if (fairNet)
+        applyBandwidthShares(fairNet->tracker());
 }
 
 void
@@ -243,7 +269,7 @@ Simulation::Impl::applyMemoryLevels()
     // called at setup and again whenever a fault shrinks or grows it,
     // so remaining capacity is still split by share.
     const std::uint64_t total = vm.totalPages();
-    const auto users = spuMgr.userSpus();
+    const auto users = spuMgr.leafSpus();
     vm.setAllowed(kKernelSpu, total);
     vm.setAllowed(kSharedSpu, total);
 
@@ -261,15 +287,17 @@ Simulation::Impl::applyMemoryLevels()
         }
         break;
       case MemoryPolicy::Quota: {
-        // Fixed quotas: equal/weighted shares of non-kernel memory.
+        // Fixed quotas: equal/weighted shares of non-kernel memory,
+        // split down the SPU tree with per-level floors.
         vm.setReservePages(0);
         const std::uint64_t divisible =
             total > kernelPinnedPages ? total - kernelPinnedPages : 0;
+        const SpuTable<std::uint64_t> entitled =
+            spuMgr.entitleLeaves(divisible);
         for (SpuId spu : users) {
-            const std::uint64_t share = ResourceLedger::entitledFloor(
-                spuMgr.shareOf(spu), divisible);
-            vm.setEntitled(spu, share);
-            vm.setAllowed(spu, share);
+            const std::uint64_t *share = entitled.find(spu);
+            vm.setEntitled(spu, share ? *share : 0);
+            vm.setAllowed(spu, share ? *share : 0);
         }
         break;
       }
@@ -395,8 +423,7 @@ Simulation::run()
     TraceContextScope traceScope(im.trace);
     LogContextScope logScope(im.log);
 
-    const auto users = im.spuMgr.userSpus();
-    if (users.empty())
+    if (im.spuMgr.leafSpus().empty())
         PISO_FATAL("no SPUs configured");
 
     // --- Memory levels ---------------------------------------------
@@ -420,24 +447,26 @@ Simulation::run()
         im.applyMemoryLevels();
 
     // --- CPU partition ---------------------------------------------
-    if (im.profile.cpu != CpuPolicy::Smp)
+    if (im.profile.cpu != CpuPolicy::Smp) {
+        im.sched->setSpuParents(im.spuParents());
         im.sched->partitionCpus(im.spuMgr.cpuShares());
+    }
 
     // --- Disk and network bandwidth shares ---------------------------
-    for (FairDiskScheduler *fds : im.fairSchedulers) {
-        for (SpuId spu : users)
-            fds->tracker().setShare(spu, im.spuMgr.shareOf(spu));
-    }
-    if (im.fairNet) {
-        for (SpuId spu : users)
-            im.fairNet->tracker().setShare(spu, im.spuMgr.shareOf(spu));
-    }
+    for (FairDiskScheduler *fds : im.fairSchedulers)
+        im.applyBandwidthShares(fds->tracker());
+    if (im.fairNet)
+        im.applyBandwidthShares(im.fairNet->tracker());
 
     // --- Jobs --------------------------------------------------------
     im.jobs.reserve(im.pendingJobs.size());
     for (std::size_t i = 0; i < im.pendingJobs.size(); ++i) {
         auto &pj = im.pendingJobs[i];
         const Spu &spu = im.spuMgr.spu(pj.spu);
+        if (im.spuMgr.isGroup(pj.spu))
+            PISO_FATAL("job '", pj.spec.name, "' placed on SPU '",
+                       spu.name, "', which is a group; jobs run on ",
+                       "leaf SPUs only");
         im.jobs.emplace_back(static_cast<JobId>(i), pj.spec.name, pj.spu,
                              pj.spec.startAt);
         if (!pj.spec.build)
@@ -589,6 +618,8 @@ Simulation::run()
         sr.id = spu;
         sr.name = im.spuMgr.exists(spu) ? im.spuMgr.spu(spu).name
                                         : "spu" + std::to_string(spu);
+        sr.parent = im.spuMgr.exists(spu) ? im.spuMgr.spu(spu).parent
+                                          : kNoSpu;
         sr.cpuTime = im.sched->spuCpuTime(spu);
         sr.memUsedPages = im.vm.levels(spu).used;
         sr.memEntitledPages = im.vm.levels(spu).entitled;

@@ -11,12 +11,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
 #include <map>
 #include <vector>
 
 #include "src/core/ledger.hh"
+#include "src/core/spu.hh"
 #include "src/sim/random.hh"
+#include "src/util/error.hh"
 
 using namespace piso;
 
@@ -228,6 +231,65 @@ TEST(LedgerProperties, TryUseNeverExceedsAllowed)
         EXPECT_TRUE(l.atLimit(0));
         EXPECT_EQ(l.overAllowed(0), 0u);
     }
+}
+
+// ---------------------------------------------------------------------
+// Zero-active-SPU edge (regression): when every user SPU is suspended,
+// all shares are 0 and the entitlement path must not divide by zero.
+// ---------------------------------------------------------------------
+
+TEST(LedgerProperties, AllZeroSharesNeverDivideByZero)
+{
+    for (std::size_t n = 0; n <= 8; ++n) {
+        const std::vector<double> shares(n, 0.0);
+        for (std::uint64_t d : {0u, 1u, 4096u}) {
+            const auto parts = ResourceLedger::apportion(shares, d);
+            ASSERT_EQ(parts.size(), n);
+            for (std::uint64_t p : parts)
+                EXPECT_EQ(p, 0u);
+        }
+        expectExactSum(shares, 4096);
+    }
+}
+
+TEST(LedgerProperties, AllSuspendedRegistryEntitlesToZero)
+{
+    // The full scenario: every user SPU suspended. shareOf and the
+    // entitlement paths must all return zero, not NaN or a crash.
+    SpuManager mgr;
+    const SpuId a = mgr.create({.name = "a", .share = 2.0});
+    const SpuId b = mgr.create({.name = "b", .share = 1.0});
+    mgr.suspend(a);
+    mgr.suspend(b);
+
+    EXPECT_EQ(mgr.userSpus().size(), 0u);
+    EXPECT_EQ(mgr.leafSpus().size(), 0u);
+    EXPECT_EQ(mgr.shareOf(a), 0.0);
+    EXPECT_EQ(mgr.shareOf(b), 0.0);
+    EXPECT_TRUE(mgr.cpuShares().empty());
+    EXPECT_TRUE(mgr.entitleLeaves(1u << 20).empty());
+
+    ResourceLedger l("test");
+    l.entitleByShare(mgr.shareTree(), 1u << 20);
+    for (SpuId s : {a, b})
+        EXPECT_EQ(l.levels(s).entitled, 0u);
+
+    // Resuming one SPU restores the whole pie to it.
+    mgr.resume(a);
+    EXPECT_EQ(mgr.shareOf(a), 1.0);
+    const auto entitled = mgr.entitleLeaves(1u << 20);
+    ASSERT_TRUE(entitled.contains(a));
+    EXPECT_EQ(*entitled.find(a), 1u << 20);
+}
+
+TEST(LedgerProperties, NonFiniteSharesRejected)
+{
+    ResourceLedger l("test");
+    EXPECT_THROW(l.setShare(0, -1.0), ConfigError);
+    EXPECT_THROW(l.setShare(0, std::nan("")), ConfigError);
+    EXPECT_THROW(l.setShare(0, HUGE_VAL), ConfigError);
+    l.setShare(0, 1.5); // finite non-negative still fine
+    EXPECT_EQ(l.share(0), 1.5);
 }
 
 TEST(LedgerProperties, ForgetRemovesFromTotals)

@@ -150,6 +150,82 @@ job bob   compute name=heavy cpu_ms=400 ws_pages=32
     EXPECT_NEAR(r.job("heavy").responseSec(), 0.4, 0.05);
 }
 
+TEST(WorkloadSpec, ParsesSpusTreeSection)
+{
+    const WorkloadSpec s = parseWorkloadSpec(R"(
+machine cpus=4 memory_mb=32 scheme=piso seed=1
+[spus]
+eng       share=2
+eng.build share=3 disk=0
+eng.test  share=1
+ops       share=1
+ops.web   share=1
+job eng.build compute name=b cpu_ms=10
+job ops.web   compute name=w cpu_ms=10
+)");
+    ASSERT_EQ(s.spus.size(), 5u);
+    EXPECT_EQ(s.spus[0].name, "eng");
+    EXPECT_EQ(s.spus[0].parent, "");
+    EXPECT_EQ(s.spus[1].name, "eng.build");
+    EXPECT_EQ(s.spus[1].parent, "eng");
+    EXPECT_DOUBLE_EQ(s.spus[1].share, 3.0);
+    EXPECT_EQ(s.spus[4].parent, "ops");
+    ASSERT_EQ(s.jobs.size(), 2u);
+    EXPECT_EQ(s.jobs[0].spu, "eng.build");
+}
+
+TEST(WorkloadSpec, SpusTreeRunsEndToEnd)
+{
+    const WorkloadSpec s = parseWorkloadSpec(R"(
+machine cpus=2 memory_mb=32 scheme=piso seed=3
+[spus]
+eng       share=2
+eng.build share=1
+ops       share=1
+ops.web   share=1
+job eng.build compute name=b cpu_ms=100 ws_pages=16
+job ops.web   compute name=w cpu_ms=100 ws_pages=16
+)");
+    const SimResults r = runWorkloadSpec(s);
+    ASSERT_TRUE(r.completed);
+    EXPECT_GT(r.job("b").responseSec(), 0.0);
+    // The per-SPU results carry the hierarchy: leaves name their
+    // enclosing group, groups sit at the top level.
+    bool sawLeaf = false;
+    for (const auto &[id, sr] : r.spus) {
+        if (sr.name == "eng.build") {
+            sawLeaf = true;
+            ASSERT_TRUE(r.spus.contains(sr.parent));
+            EXPECT_EQ(r.spus.find(sr.parent)->name, "eng");
+        }
+    }
+    EXPECT_TRUE(sawLeaf);
+}
+
+TEST(WorkloadSpec, SpusTreeRejectsMalformedHierarchies)
+{
+    // A child before its parent group.
+    EXPECT_THROW(parseWorkloadSpec("[spus]\neng.build share=1\n"
+                                   "job eng.build compute\n"),
+                 std::runtime_error);
+    // Duplicate node.
+    EXPECT_THROW(parseWorkloadSpec("[spus]\neng\neng\n"
+                                   "job eng compute\n"),
+                 std::runtime_error);
+    // Dotted names belong in a [spus] section, not `spu` lines.
+    EXPECT_THROW(parseWorkloadSpec("spu eng.build\n"
+                                   "job eng.build compute\n"),
+                 std::runtime_error);
+    // Jobs may only run on leaf SPUs, never on a group.
+    EXPECT_THROW(parseWorkloadSpec("[spus]\neng\neng.build\n"
+                                   "job eng compute\n"),
+                 std::runtime_error);
+    // Empty dotted segments are nonsense.
+    EXPECT_THROW(parseWorkloadSpec("[spus]\neng\neng..build\n"
+                                   "job eng compute\n"),
+                 std::runtime_error);
+}
+
 TEST(WorkloadSpec, StartDelayOption)
 {
     const WorkloadSpec s = parseWorkloadSpec(R"(

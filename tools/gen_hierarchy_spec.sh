@@ -1,0 +1,33 @@
+#!/bin/sh
+# Generate a big hierarchical workload spec on stdout:
+#   gen_hierarchy_spec.sh [groups] [leaves-per-group] [cpus]
+# Defaults make the CI big-machine smoke: 8 groups x 8 leaves = 64
+# user SPUs on a 64-CPU machine, one compute job per leaf, mixed
+# shares so the per-level normalisation is not trivially uniform.
+set -eu
+
+GROUPS=${1:-8}
+LEAVES=${2:-8}
+CPUS=${3:-64}
+
+echo "machine cpus=$CPUS memory_mb=256 disks=4 scheme=piso seed=1"
+echo "[spus]"
+g=0
+while [ "$g" -lt "$GROUPS" ]; do
+    echo "g$g share=$((g % 3 + 1))"
+    l=0
+    while [ "$l" -lt "$LEAVES" ]; do
+        echo "g$g.t$l share=$((l % 2 + 1)) disk=$((g % 4))"
+        l=$((l + 1))
+    done
+    g=$((g + 1))
+done
+g=0
+while [ "$g" -lt "$GROUPS" ]; do
+    l=0
+    while [ "$l" -lt "$LEAVES" ]; do
+        echo "job g$g.t$l compute name=c${g}x${l} cpu_ms=500 ws_pages=64"
+        l=$((l + 1))
+    done
+    g=$((g + 1))
+done

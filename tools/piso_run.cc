@@ -81,11 +81,16 @@ usage(std::FILE *to)
                  "  --json        print machine-readable results\n"
                  "  -h, --help    show this help and exit\n"
                  "\n"
-                 "The workload file may end with a [faults] section "
-                 "injecting hardware\n"
-                 "misbehaviour (disk_slow, disk_error, disk_dead, "
-                 "cpu_offline, cpu_online,\n"
-                 "mem_shrink, mem_grow); see docs/faults.md.\n");
+                 "The workload file declares SPUs either flat (`spu "
+                 "alice share=2`) or as a\n"
+                 "tree in a [spus] section with dotted group names "
+                 "(`eng.build share=3`);\n"
+                 "see docs/workload-format.md. It may end with a "
+                 "[faults] section injecting\n"
+                 "hardware misbehaviour (disk_slow, disk_error, "
+                 "disk_dead, cpu_offline,\n"
+                 "cpu_online, mem_shrink, mem_grow); see "
+                 "docs/faults.md.\n");
 }
 
 int
