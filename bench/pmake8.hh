@@ -28,8 +28,12 @@ struct Pmake8Run
  *  otherwise-identical runs is a few percent). */
 inline constexpr std::uint64_t kBenchSeeds[] = {1, 2, 3};
 
-inline Pmake8Run
-runPmake8(Scheme scheme, bool unbalanced, std::uint64_t seed = 1)
+/** The Pmake8 machine. Split from populatePmake8() so callers that
+ *  need identical setup on two Simulations (checkpoint/restore replays
+ *  the setup on a fresh instance; see docs/checkpoint.md) can reuse
+ *  both halves. */
+inline SystemConfig
+pmake8Config(Scheme scheme, std::uint64_t seed = 1)
 {
     SystemConfig cfg;
     cfg.cpus = 8;
@@ -37,10 +41,14 @@ runPmake8(Scheme scheme, bool unbalanced, std::uint64_t seed = 1)
     cfg.diskCount = 8;
     cfg.scheme = scheme;
     cfg.seed = seed;
+    return cfg;
+}
 
-    Simulation sim(cfg);
-    Pmake8Run run;
-
+/** Add the eight SPUs and their pmake jobs to @p sim. @p run (when
+ *  given) receives the light/heavy SPU ids. */
+inline void
+populatePmake8(Simulation &sim, bool unbalanced, Pmake8Run *run = nullptr)
+{
     // A pmake job: two parallel compiles, ~2.6 MB of compiler heap.
     // 12 jobs (unbalanced) keep the 44 MB machine near but not past
     // its memory capacity, so CPU dominates and paging contributes a
@@ -60,7 +68,8 @@ runPmake8(Scheme scheme, bool unbalanced, std::uint64_t seed = 1)
         const SpuId spu = sim.addSpu(
             {.name = "user" + std::to_string(u + 1),
              .homeDisk = static_cast<DiskId>(u)});
-        (u < 4 ? run.lightSpus : run.heavySpus).push_back(spu);
+        if (run != nullptr)
+            (u < 4 ? run->lightSpus : run->heavySpus).push_back(spu);
 
         const int jobs = (unbalanced && u >= 4) ? 2 : 1;
         for (int j = 0; j < jobs; ++j) {
@@ -69,7 +78,14 @@ runPmake8(Scheme scheme, bool unbalanced, std::uint64_t seed = 1)
                                       pmake));
         }
     }
+}
 
+inline Pmake8Run
+runPmake8(Scheme scheme, bool unbalanced, std::uint64_t seed = 1)
+{
+    Simulation sim(pmake8Config(scheme, seed));
+    Pmake8Run run;
+    populatePmake8(sim, unbalanced, &run);
     run.results = sim.run();
     return run;
 }

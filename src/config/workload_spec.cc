@@ -499,10 +499,9 @@ buildJob(const JobDecl &decl)
     return job;
 }
 
-SimResults
-runWorkloadSpec(const WorkloadSpec &spec)
+void
+populateWorkloadSpec(Simulation &sim, const WorkloadSpec &spec)
 {
-    Simulation sim(spec.config);
     std::map<std::string, SpuId> ids;
     for (const SpuDecl &s : spec.spus) {
         SpuSpec ss{.name = s.name, .share = s.share, .homeDisk = s.disk,
@@ -513,6 +512,23 @@ runWorkloadSpec(const WorkloadSpec &spec)
     }
     for (const JobDecl &j : spec.jobs)
         sim.addJob(ids.at(j.spu), buildJob(j));
+}
+
+SimResults
+runWorkloadSpec(const WorkloadSpec &spec)
+{
+    Simulation sim(spec.config);
+    populateWorkloadSpec(sim, spec);
+    return sim.run();
+}
+
+SimResults
+runWorkloadSpecFrom(const WorkloadSpec &spec, const std::string &image)
+{
+    Simulation sim(spec.config);
+    populateWorkloadSpec(sim, spec);
+    std::istringstream in(image);
+    sim.restore(in);
     return sim.run();
 }
 

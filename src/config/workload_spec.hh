@@ -99,6 +99,23 @@ WorkloadSpec parseWorkloadSpec(const std::string &text);
 /** Construct the described Simulation's jobs and run it. */
 SimResults runWorkloadSpec(const WorkloadSpec &spec);
 
+/**
+ * Declare the spec's SPUs and jobs on @p sim. Exposed so callers that
+ * need the same Simulation more than once (the warm-start sweep
+ * engine, the checkpoint tests) can replay an identical setup; @p sim
+ * must have been constructed from spec.config.
+ */
+void populateWorkloadSpec(Simulation &sim, const WorkloadSpec &spec);
+
+/**
+ * Like runWorkloadSpec, but resume from a checkpoint @p image (as
+ * produced by SystemConfig::checkpointSink or Simulation::checkpoint)
+ * instead of starting at time zero. The image must come from an
+ * equivalently-configured run; see docs/checkpoint.md.
+ */
+SimResults runWorkloadSpecFrom(const WorkloadSpec &spec,
+                               const std::string &image);
+
 /** Build the JobSpec described by @p decl (exposed for testing). */
 JobSpec buildJob(const JobDecl &decl);
 

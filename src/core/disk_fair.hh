@@ -58,6 +58,28 @@ class DiskBandwidthTracker
 
     Time halfLife() const { return halfLife_; }
 
+    /** @name Checkpoint — only the decayed counts; shares and parent
+     *  links are replayed by the deterministic setup phase. */
+    /// @{
+    void
+    save(CkptWriter &w) const
+    {
+        entries_.saveTable(w, [](CkptWriter &wr, const Entry &e) {
+            wr.f64(e.count);
+            wr.time(e.last);
+        });
+    }
+
+    void
+    load(CkptReader &r)
+    {
+        entries_.loadTable(r, [](CkptReader &rd, Entry &e) {
+            e.count = rd.f64();
+            e.last = rd.time();
+        });
+    }
+    /// @}
+
   private:
     /** Decay state of one SPU's count; shares live in the ledger. */
     struct Entry
@@ -94,6 +116,7 @@ class FairDiskScheduler : public DiskScheduler
     void onComplete(const DiskRequest &req, Time now) override;
 
     DiskBandwidthTracker &tracker() { return tracker_; }
+    const DiskBandwidthTracker &tracker() const { return tracker_; }
 
   protected:
     /** True when only shared-SPU requests are queued, or a shared

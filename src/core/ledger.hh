@@ -22,6 +22,7 @@
 
 #include "src/core/share_tree.hh"
 #include "src/core/spu_table.hh"
+#include "src/sim/checkpoint.hh"
 #include "src/sim/ids.hh"
 
 namespace piso {
@@ -160,6 +161,33 @@ class ResourceLedger
      * flat overload bit for bit.
      */
     void entitleByShare(const ShareTree &tree, std::uint64_t divisible);
+    /// @}
+
+    /** @name Checkpoint */
+    /// @{
+    void
+    save(CkptWriter &w) const
+    {
+        w.u64(capacity_);
+        spus_.saveTable(w, [](CkptWriter &wr, const Entry &e) {
+            wr.u64(e.levels.entitled);
+            wr.u64(e.levels.allowed);
+            wr.u64(e.levels.used);
+            wr.f64(e.share);
+        });
+    }
+
+    void
+    load(CkptReader &r)
+    {
+        capacity_ = r.u64();
+        spus_.loadTable(r, [](CkptReader &rd, Entry &e) {
+            e.levels.entitled = rd.u64();
+            e.levels.allowed = rd.u64();
+            e.levels.used = rd.u64();
+            e.share = rd.f64();
+        });
+    }
     /// @}
 
   private:

@@ -58,6 +58,15 @@ class MemorySharingPolicy
 
     const MemPolicyConfig &config() const { return config_; }
 
+    /** Checkpoint restore: re-schedule the periodic recomputation with
+     *  its original (when, seq) ordering key. The policy itself holds
+     *  no other mutable state — levels live in the VM's ledger. */
+    void restoreTick(Time when, std::uint64_t seq)
+    {
+        events_.scheduleRestored(when, seq, [this] { tick(); },
+                                 "memPolicy");
+    }
+
   private:
     void tick();
 

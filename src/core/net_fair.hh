@@ -35,6 +35,7 @@ class FairNetScheduler : public NetScheduler
 
     /** Per-SPU relative bandwidth shares. */
     DiskBandwidthTracker &tracker() { return tracker_; }
+    const DiskBandwidthTracker &tracker() const { return tracker_; }
 
   private:
     DiskBandwidthTracker tracker_;

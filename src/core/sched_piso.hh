@@ -58,6 +58,19 @@ class PisoScheduler : public QuotaScheduler
     void onReadyNoIdle(Process *p) override;
     void policyTick() override;
 
+    void saveReady(CkptWriter &w) const override
+    {
+        QuotaScheduler::saveReady(w);
+        w.u64(revocations_);
+    }
+
+    void loadReady(CkptReader &r,
+                   const std::function<Process *(Pid)> &byPid) override
+    {
+        QuotaScheduler::loadReady(r, byPid);
+        revocations_ = r.u64();
+    }
+
   private:
     void revoke(Cpu &cpu);
 

@@ -45,6 +45,27 @@ class QuotaScheduler : public CpuScheduler
     /** Best ready process across all SPUs except @p exclude. */
     Process *popBestForeign(SpuId exclude);
 
+    void saveReady(CkptWriter &w) const override
+    {
+        ready_.saveTable(
+            w, [](CkptWriter &wr, const std::list<Process *> &q) {
+                wr.u64(q.size());
+                for (const Process *p : q)
+                    wr.i64(p->pid());
+            });
+    }
+
+    void loadReady(CkptReader &r,
+                   const std::function<Process *(Pid)> &byPid) override
+    {
+        ready_.loadTable(
+            r, [&byPid](CkptReader &rd, std::list<Process *> &q) {
+                const std::uint64_t n = rd.u64();
+                for (std::uint64_t i = 0; i < n; ++i)
+                    q.push_back(byPid(static_cast<Pid>(rd.i64())));
+            });
+    }
+
     SpuTable<std::list<Process *>> ready_;
 };
 

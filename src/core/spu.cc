@@ -5,6 +5,7 @@
 
 #include "src/core/ledger.hh"
 #include "src/sim/log.hh"
+#include "src/util/error.hh"
 
 namespace piso {
 
@@ -269,6 +270,40 @@ SpuManager::shareTree() const
     ShareTree tree;
     buildSubtree(kNoSpu, ShareTree::kRoot, tree);
     return tree;
+}
+
+void
+SpuManager::save(CkptWriter &w) const
+{
+    const std::vector<SpuId> all = spus_.ids();
+    w.u64(all.size());
+    for (SpuId id : all) {
+        w.u64(static_cast<std::uint64_t>(id));
+        w.u8(spu(id).state == SpuState::Suspended ? 1 : 0);
+    }
+    w.u64(static_cast<std::uint64_t>(next_));
+}
+
+void
+SpuManager::load(CkptReader &r)
+{
+    const std::uint64_t n = r.u64();
+    if (n != spus_.ids().size()) {
+        throw ConfigError("checkpoint SPU count " + std::to_string(n) +
+                          " does not match the replayed configuration");
+    }
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const SpuId id = static_cast<SpuId>(r.u64());
+        const std::uint8_t suspended = r.u8();
+        if (!exists(id)) {
+            throw ConfigError(
+                "checkpoint references unknown SPU id " +
+                std::to_string(static_cast<std::uint64_t>(id)));
+        }
+        spus_[id].state = suspended != 0 ? SpuState::Suspended
+                                         : SpuState::Active;
+    }
+    next_ = static_cast<SpuId>(r.u64());
 }
 
 } // namespace piso

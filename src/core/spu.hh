@@ -27,6 +27,7 @@
 
 #include "src/core/share_tree.hh"
 #include "src/core/spu_table.hh"
+#include "src/sim/checkpoint.hh"
 #include "src/sim/ids.hh"
 
 namespace piso {
@@ -153,6 +154,17 @@ class SpuManager
      * depth-1 trees. Suspended subtrees receive no entry.
      */
     SpuTable<std::uint64_t> entitleLeaves(std::uint64_t divisible) const;
+
+    /** @name Checkpoint
+     *  The tree structure itself (names, shares, parent/child edges)
+     *  is replayed by the deterministic setup phase; only the mutable
+     *  run-state — per-SPU life-cycle state and the id allocator — is
+     *  serialised. load() validates the replayed tree covers exactly
+     *  the SPUs present at save time. */
+    /// @{
+    void save(CkptWriter &w) const;
+    void load(CkptReader &r);
+    /// @}
 
   private:
     /** Σ shares over @p parent's children, ascending by id, counting

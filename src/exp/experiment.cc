@@ -12,7 +12,8 @@ namespace {
 const char *const kGridKeys =
     "scheme|cpu|memory|network|disk_policy|cpus|disks|memory_mb|seed|"
     "max_time_s|network_mbps|bw_threshold|bw_halflife_ms|seek_scale|"
-    "ipi_revocation|loan_holdoff_ms|tick_ms|slice_ms|reserve_frac";
+    "ipi_revocation|loan_holdoff_ms|tick_ms|slice_ms|reserve_frac|"
+    "fault_disk_slow|fault_disk_error|fault_disk_dead";
 
 double
 toNumber(const std::string &key, const std::string &value)
@@ -65,6 +66,25 @@ toPolicy(PolicyResource resource, const std::string &key,
                    "' (", valid, ")");
     }
     return *v;
+}
+
+/**
+ * Split a colon-separated fault value ("AT:FOR:DISK:FACTOR") into
+ * exactly @p want numeric fields.
+ */
+std::vector<double>
+toFaultFields(const std::string &key, const std::string &value,
+              std::size_t want, const char *shape)
+{
+    std::vector<double> fields;
+    std::istringstream is(value);
+    std::string item;
+    while (std::getline(is, item, ':'))
+        fields.push_back(toNumber(key, item));
+    if (fields.size() != want)
+        PISO_FATAL("grid key '", key, "' wants ", shape, ", got '",
+                   value, "'");
+    return fields;
 }
 
 } // namespace
@@ -128,6 +148,34 @@ applyGridKey(SystemConfig &cfg, const std::string &key,
         cfg.timeSlice = fromMillis(toNumber(key, value));
     } else if (key == "reserve_frac") {
         cfg.memPolicy.reserveFraction = toNumber(key, value);
+    } else if (key == "fault_disk_slow") {
+        // Fault axes append to the plan's fault schedule, so a grid
+        // can sweep what-if failure scenarios over one base workload.
+        // Grid points differing only in their late faults share the
+        // pre-fault prefix, which is exactly what the warm-start
+        // engine checkpoints once per group. "none" = no fault, so an
+        // axis can include the undisturbed baseline.
+        if (value != "none") {
+            const auto f = toFaultFields(key, value, 4,
+                                         "AT_S:FOR_S:DISK:FACTOR");
+            cfg.faults.diskSlow(fromSeconds(f[0]),
+                                static_cast<int>(f[2]),
+                                fromSeconds(f[1]), f[3]);
+        }
+    } else if (key == "fault_disk_error") {
+        if (value != "none") {
+            const auto f = toFaultFields(key, value, 4,
+                                         "AT_S:FOR_S:DISK:RATE");
+            cfg.faults.diskError(fromSeconds(f[0]),
+                                 static_cast<int>(f[2]),
+                                 fromSeconds(f[1]), f[3]);
+        }
+    } else if (key == "fault_disk_dead") {
+        if (value != "none") {
+            const auto f = toFaultFields(key, value, 2, "AT_S:DISK");
+            cfg.faults.diskDead(fromSeconds(f[0]),
+                                static_cast<int>(f[1]));
+        }
     } else {
         PISO_FATAL("unknown grid key '", key, "' (", kGridKeys, ")");
     }

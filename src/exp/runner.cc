@@ -7,7 +7,10 @@
 #include <sstream>
 #include <thread>
 
+#include <map>
+
 #include "src/exp/pool.hh"
+#include "src/sim/checkpoint.hh"
 #include "src/metrics/report.hh"
 
 namespace piso::exp {
@@ -108,6 +111,218 @@ runContained(const ExperimentTask &task, const SweepOptions &opts,
     }
 }
 
+// ---------------------------------------------------------------------
+// Warm start: share checkpointed run prefixes within a sweep
+// ---------------------------------------------------------------------
+
+bool
+sameFault(const FaultEvent &a, const FaultEvent &b)
+{
+    return a.kind == b.kind && a.at == b.at && a.disk == b.disk &&
+           a.duration == b.duration && a.factor == b.factor &&
+           a.rate == b.rate && a.cpus == b.cpus && a.pages == b.pages;
+}
+
+/** One set of tasks that can fork from a single template image. */
+struct WarmGroup
+{
+    std::vector<std::size_t> members;   //!< task indices, ascending
+    std::vector<FaultEvent> prefix;     //!< shared fault-plan prefix
+    Time divergeAt = kTimeNever;        //!< first member-only fault
+    std::string image;                  //!< template checkpoint; empty
+                                        //!< = group runs cold
+};
+
+/**
+ * Grouping key: two tasks may share a template only when a checkpoint
+ * image of one is acceptable to the other (equal config digest) AND
+ * everything the digest deliberately excludes — run caps, watchdogs,
+ * chaos knobs — is equal too, because those shape the run before the
+ * boundary just as much as the digested config does. Fault plans stay
+ * out: diverging fault suffixes are exactly what the group shares a
+ * prefix across. A task whose config cannot even construct gets a
+ * unique key; it will fail in its own cold run with the right error.
+ */
+std::string
+warmGroupKey(const ExperimentTask &task)
+{
+    std::ostringstream os;
+    try {
+        Simulation sim(task.spec.config);
+        populateWorkloadSpec(sim, task.spec);
+        const SystemConfig &c = task.spec.config;
+        os << sim.configDigest() << ':' << c.maxTime << ':'
+           << c.watchdogSimTime << ':' << c.watchdogEvents << ':'
+           << c.chaos.invariantAtEvent << ':' << c.chaos.allocCapPages
+           << ':' << c.chaos.resourceUntilAttempt;
+    } catch (const std::exception &) {
+        os << "unconstructible:" << task.index;
+    }
+    return os.str();
+}
+
+/**
+ * Longest common prefix of the members' time-sorted fault schedules,
+ * and the earliest time any member's schedule diverges from it
+ * (kTimeNever when all schedules are identical).
+ */
+void
+faultPrefix(const std::vector<ExperimentTask> &tasks, WarmGroup &group)
+{
+    std::vector<std::vector<FaultEvent>> schedules;
+    schedules.reserve(group.members.size());
+    for (std::size_t i : group.members)
+        schedules.push_back(tasks[i].spec.config.faults.schedule());
+
+    std::size_t p = 0;
+    for (;; ++p) {
+        if (schedules[0].size() <= p)
+            break;
+        bool common = true;
+        for (const auto &s : schedules) {
+            if (s.size() <= p || !sameFault(s[p], schedules[0][p])) {
+                common = false;
+                break;
+            }
+        }
+        if (!common)
+            break;
+    }
+    group.prefix.assign(schedules[0].begin(),
+                        schedules[0].begin() +
+                            static_cast<std::ptrdiff_t>(p));
+    group.divergeAt = kTimeNever;
+    for (const auto &s : schedules) {
+        if (s.size() > p)
+            group.divergeAt = std::min(group.divergeAt, s[p].at);
+    }
+}
+
+/**
+ * Run the group's shared prefix to a checkpoint. The boundary must
+ * land strictly before the divergence time, and as late as possible
+ * for the best sharing, so the target time steps down from 3/4 of the
+ * divergence time until a run finds a quiescent boundary inside
+ * [target, divergeAt). Returns an empty image when none exists — the
+ * group then runs cold, which is always correct.
+ */
+std::string
+buildTemplateImage(const ExperimentTask &first, const WarmGroup &group,
+                   const SweepOptions &opts)
+{
+    WorkloadSpec spec = first.spec;
+    FaultPlan prefixPlan;
+    for (const FaultEvent &ev : group.prefix)
+        prefixPlan.add(ev);
+    spec.config.faults = prefixPlan;
+    spec.config.chaos.attempt = 1;
+    if (opts.watchdogSimTime > 0)
+        spec.config.watchdogSimTime = opts.watchdogSimTime;
+    if (opts.watchdogEvents > 0)
+        spec.config.watchdogEvents = opts.watchdogEvents;
+
+    for (const double fraction : {0.75, 0.5, 0.25, 0.0}) {
+        const Time target = std::max<Time>(
+            1, static_cast<Time>(
+                   static_cast<double>(group.divergeAt) * fraction));
+        std::string image;
+        spec.config.checkpointAt = target;
+        spec.config.checkpointDeadline = group.divergeAt;
+        spec.config.checkpointStop = true;
+        spec.config.checkpointSink = [&image](std::string img) {
+            image = std::move(img);
+        };
+        try {
+            runWorkloadSpec(spec);
+        } catch (const std::exception &) {
+            // No boundary in [target, divergeAt) — or the prefix run
+            // itself failed, in which case every member will report
+            // its own failure from its own cold run.
+            continue;
+        }
+        if (image.empty())
+            continue;
+        // The image's first payload field is the boundary time; an
+        // image taken at or past the divergence point would hand
+        // members a prefix they do not share.
+        if (CkptReader(image).time() < group.divergeAt)
+            return image;
+    }
+    return std::string();
+}
+
+/**
+ * Run one task forked from @p image. Any failure — or any structural
+ * surprise — falls back to a plain cold contained run, so a sweep's
+ * output bytes never depend on whether warm start was attempted.
+ */
+TaskOutcome
+runContainedFrom(const ExperimentTask &task, const SweepOptions &opts,
+                 const std::string &image, SimResults &results)
+{
+    WorkloadSpec spec = task.spec;
+    spec.config.chaos.attempt = 1;
+    if (opts.watchdogSimTime > 0)
+        spec.config.watchdogSimTime = opts.watchdogSimTime;
+    if (opts.watchdogEvents > 0)
+        spec.config.watchdogEvents = opts.watchdogEvents;
+    try {
+        results = runWorkloadSpecFrom(spec, image);
+        return TaskOutcome{};
+    } catch (const std::exception &) {
+        results = SimResults{};
+        return runContained(task, opts, results);
+    }
+}
+
+/**
+ * Plan the sweep's warm-start groups: key every task, group keys with
+ * two or more tasks and a finite divergence time, and build each
+ * group's template image. Returns, per task, the image to fork from
+ * (nullptr = run cold).
+ */
+std::vector<const std::string *>
+planWarmStart(const std::vector<ExperimentTask> &tasks,
+              const SweepOptions &opts,
+              std::vector<WarmGroup> &groups)
+{
+    std::vector<std::string> keys(tasks.size());
+    parallelFor(tasks.size(), opts.jobs, [&](std::size_t i) {
+        keys[i] = warmGroupKey(tasks[i]);
+    });
+
+    std::map<std::string, std::vector<std::size_t>> byKey;
+    for (std::size_t i = 0; i < tasks.size(); ++i)
+        byKey[keys[i]].push_back(i);
+
+    for (auto &[key, members] : byKey) {
+        if (members.size() < 2)
+            continue;
+        WarmGroup group;
+        group.members = std::move(members);
+        faultPrefix(tasks, group);
+        // No divergence means duplicate tasks (cold is fine); a
+        // divergence at t<=1ns leaves no room for a boundary.
+        if (group.divergeAt == kTimeNever || group.divergeAt <= 1)
+            continue;
+        groups.push_back(std::move(group));
+    }
+
+    parallelFor(groups.size(), opts.jobs, [&](std::size_t g) {
+        groups[g].image = buildTemplateImage(
+            tasks[groups[g].members.front()], groups[g], opts);
+    });
+
+    std::vector<const std::string *> imageOf(tasks.size(), nullptr);
+    for (const WarmGroup &group : groups) {
+        if (group.image.empty())
+            continue;
+        for (std::size_t i : group.members)
+            imageOf[i] = &group.image;
+    }
+    return imageOf;
+}
+
 } // namespace
 
 const char *
@@ -156,13 +371,25 @@ runTasks(std::vector<ExperimentTask> tasks, const SweepOptions &opts)
     std::vector<TaskOutcome> outcomes(tasks.size());
     std::atomic<bool> stop{false};
     const auto start = std::chrono::steady_clock::now();
+
+    // Warm-start planning runs inside the timed region: the template
+    // runs are real work the sweep would otherwise repeat per member.
+    std::vector<WarmGroup> groups;
+    std::vector<const std::string *> imageOf(tasks.size(), nullptr);
+    if (opts.warmStart && tasks.size() > 1)
+        imageOf = planWarmStart(tasks, opts, groups);
+
     parallelFor(tasks.size(), opts.jobs, [&](std::size_t i) {
         if (!opts.keepGoing && stop.load()) {
             outcomes[i].status = TaskStatus::Skipped;
             outcomes[i].message = "skipped: an earlier task failed";
             return;
         }
-        outcomes[i] = runContained(tasks[i], opts, results[i]);
+        outcomes[i] =
+            imageOf[i]
+                ? runContainedFrom(tasks[i], opts, *imageOf[i],
+                                   results[i])
+                : runContained(tasks[i], opts, results[i]);
         if (!outcomes[i].ok() && !opts.keepGoing)
             stop.store(true);
     });

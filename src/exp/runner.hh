@@ -58,6 +58,17 @@ struct SweepOptions
 
     /** Event-count watchdog applied to every task (0 = off). */
     std::uint64_t watchdogEvents = 0;
+
+    /** Warm-start: grid points that differ only in their fault-plan
+     *  suffix are grouped, each group's shared prefix is run once to a
+     *  checkpoint, and every member forks from that in-memory image
+     *  instead of re-simulating from time zero (docs/checkpoint.md).
+     *  Purely a wall-clock optimisation: the JSONL stream is
+     *  byte-identical with it on or off, at any `jobs` value — any
+     *  group whose template cannot find a quiescent boundary, and any
+     *  member whose warm run fails, silently falls back to a cold
+     *  run. `piso_sweep --no-warm-start` clears it. */
+    bool warmStart = true;
 };
 
 /** How one task ended. */

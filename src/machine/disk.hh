@@ -90,6 +90,9 @@ struct SpuDiskStats
     Counter errors;         //!< requests completed with failed = true
     Accumulator waitMs;     //!< queue wait per request, ms
     Accumulator serviceMs;  //!< full service time per request, ms
+
+    void save(CkptWriter &w) const;
+    void load(CkptReader &r);
 };
 
 /** Device-wide statistics. */
@@ -102,6 +105,9 @@ struct DiskStats
     Accumulator positionMs;    //!< seek + rotational per request, ms
     Accumulator seekMs;        //!< seek only, ms
     Time busyTime = 0;         //!< total time servicing requests
+
+    void save(CkptWriter &w) const;
+    void load(CkptReader &r);
 };
 
 /**
@@ -172,7 +178,19 @@ class DiskDevice
     /** The service-time model in use. */
     const DiskModel &model() const { return model_; }
 
+    /** The scheduling policy in use (checkpoint code reaches the
+     *  fair policies' bandwidth trackers through this). */
+    DiskScheduler &scheduler() { return *scheduler_; }
+    const DiskScheduler &scheduler() const { return *scheduler_; }
+
     const std::string &name() const { return name_; }
+
+    /** Serialise head/fault/RNG/stats state. Only legal while idle
+     *  with an empty queue (in-flight callbacks cannot serialise). */
+    void save(CkptWriter &w) const;
+
+    /** Restore state saved with save(). */
+    void load(CkptReader &r);
 
   private:
     void startNext();

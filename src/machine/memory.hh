@@ -14,6 +14,8 @@
 
 #include <cstdint>
 
+#include "src/sim/checkpoint.hh"
+
 namespace piso {
 
 /** A counted pool of equal-sized page frames. */
@@ -69,6 +71,22 @@ class PhysicalMemory
 
     /** Frames still owed to a shrink (retired as they are freed). */
     std::uint64_t pendingRetire() const { return pendingRetire_; }
+
+    void
+    save(CkptWriter &w) const
+    {
+        w.u64(totalPages_);
+        w.u64(freePages_);
+        w.u64(pendingRetire_);
+    }
+
+    void
+    load(CkptReader &r)
+    {
+        totalPages_ = r.u64();
+        freePages_ = r.u64();
+        pendingRetire_ = r.u64();
+    }
 
   private:
     std::uint32_t pageBytes_;

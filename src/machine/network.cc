@@ -2,6 +2,7 @@
 
 #include "src/sim/log.hh"
 #include "src/sim/trace.hh"
+#include "src/util/error.hh"
 
 namespace piso {
 
@@ -92,6 +93,29 @@ NetworkInterface::startNext()
                 startNext();
         },
         "netTx");
+}
+
+void
+NetworkInterface::save(CkptWriter &w) const
+{
+    if (busy_ || !queue_.empty()) {
+        throw InvariantError("network '" + name_ +
+                             "' has in-flight or queued messages at "
+                             "checkpoint time (not quiescent)");
+    }
+    w.u64(nextId_);
+    total_.save(w);
+    spuStats_.saveTable(
+        w, [](CkptWriter &wr, const SpuNetStats &s) { s.save(wr); });
+}
+
+void
+NetworkInterface::load(CkptReader &r)
+{
+    nextId_ = r.u64();
+    total_.load(r);
+    spuStats_.loadTable(
+        r, [](CkptReader &rd, SpuNetStats &s) { s.load(rd); });
 }
 
 } // namespace piso

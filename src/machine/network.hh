@@ -70,6 +70,22 @@ struct SpuNetStats
     Counter messages;
     Counter bytes;
     Accumulator waitMs;  //!< queue wait per message
+
+    void
+    save(CkptWriter &w) const
+    {
+        messages.save(w);
+        bytes.save(w);
+        waitMs.save(w);
+    }
+
+    void
+    load(CkptReader &r)
+    {
+        messages.load(r);
+        bytes.load(r);
+        waitMs.load(r);
+    }
 };
 
 /**
@@ -105,6 +121,15 @@ class NetworkInterface
     const SpuNetStats &spuStats(SpuId spu) const;
     std::uint64_t totalMessages() const { return total_.value(); }
     const std::string &name() const { return name_; }
+
+    /** The transmit policy in use (checkpoint code reaches the fair
+     *  policy's bandwidth tracker through this). */
+    NetScheduler &scheduler() { return *scheduler_; }
+    const NetScheduler &scheduler() const { return *scheduler_; }
+
+    /** Serialise counters; only legal while idle with empty queue. */
+    void save(CkptWriter &w) const;
+    void load(CkptReader &r);
 
   private:
     void startNext();

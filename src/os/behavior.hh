@@ -7,6 +7,7 @@
  */
 
 #include "src/os/action.hh"
+#include "src/sim/checkpoint.hh"
 #include "src/sim/random.hh"
 #include "src/sim/time.hh"
 
@@ -35,6 +36,14 @@ class Behavior
 
     /** Produce the process's next action. */
     virtual Action next(Process &self, const BehaviorContext &ctx) = 0;
+
+    /** @name Checkpoint — serialise only mutable cursor state; the
+     *  behaviour object itself (scripts, parameters) is rebuilt by
+     *  the deterministic setup replay. Default: stateless. */
+    /// @{
+    virtual void save(CkptWriter &) const {}
+    virtual void load(CkptReader &) {}
+    /// @}
 };
 
 } // namespace piso

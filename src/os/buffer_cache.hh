@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "src/core/spu_table.hh"
+#include "src/sim/checkpoint.hh"
 #include "src/sim/ids.hh"
 
 namespace piso {
@@ -116,6 +117,18 @@ class BufferCache
      *  ascending key order (the order the old std::map walk produced,
      *  which downstream flush clustering depends on). */
     void forEachDirty(const std::function<void(CacheBlock &)> &fn);
+
+    /** @name Checkpoint
+     *  Raw structural serialisation: slab slots, free list, hash
+     *  index and LRU links are written verbatim so that probe order
+     *  and LRU iteration order — both observable through steal and
+     *  flush decisions — restore bit-identically. Only legal when no
+     *  block is invalid or flushing and no waiters are registered
+     *  (I/O quiescence); save() throws InvariantError otherwise. */
+    /// @{
+    void save(CkptWriter &w) const;
+    void load(CkptReader &r);
+    /// @}
 
   private:
     /** Slab index meaning "none" (end of an LRU chain, free entry). */

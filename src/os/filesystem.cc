@@ -143,4 +143,61 @@ FileSystem::freeSectors(DiskId disk) const
     return it->second.totalSectors - it->second.nextFree;
 }
 
+void
+FileSystem::save(CkptWriter &w) const
+{
+    rng_.save(w);
+    w.u64(disks_.size());
+    for (const auto &[id, space] : disks_) {
+        w.i64(id);
+        w.u64(space.totalSectors);
+        w.u64(space.nextFree);
+        w.u64(space.nextMetadata);
+        w.u64(space.metadataEnd);
+        w.u64(space.allocated);
+    }
+    w.u64(files_.size());
+    for (const FileInfo &f : files_) {
+        w.i64(f.id);
+        w.str(f.name);
+        w.i64(f.disk);
+        w.u64(f.startSector);
+        w.u64(f.sectors);
+        w.u64(f.metadataSector);
+        w.u64(f.bytes);
+    }
+}
+
+void
+FileSystem::load(CkptReader &r)
+{
+    rng_.load(r);
+    const std::uint64_t diskCount = r.u64();
+    disks_.clear();
+    for (std::uint64_t i = 0; i < diskCount; ++i) {
+        const DiskId id = static_cast<DiskId>(r.i64());
+        DiskSpace space;
+        space.totalSectors = r.u64();
+        space.nextFree = r.u64();
+        space.nextMetadata = r.u64();
+        space.metadataEnd = r.u64();
+        space.allocated = r.u64();
+        disks_.emplace(id, space);
+    }
+    const std::uint64_t fileCount = r.u64();
+    files_.clear();
+    files_.reserve(fileCount);
+    for (std::uint64_t i = 0; i < fileCount; ++i) {
+        FileInfo f;
+        f.id = static_cast<FileId>(r.i64());
+        f.name = r.str();
+        f.disk = static_cast<DiskId>(r.i64());
+        f.startSector = r.u64();
+        f.sectors = r.u64();
+        f.metadataSector = r.u64();
+        f.bytes = r.u64();
+        files_.push_back(std::move(f));
+    }
+}
+
 } // namespace piso

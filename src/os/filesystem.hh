@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "src/sim/checkpoint.hh"
 #include "src/sim/ids.hh"
 #include "src/sim/random.hh"
 
@@ -96,6 +97,14 @@ class FileSystem
 
     /** Free sectors remaining on @p disk. */
     std::uint64_t freeSectors(DiskId disk) const;
+
+    /** @name Checkpoint — full file table, allocator pointers and the
+     *  scattered-placement RNG (files are created at run time, so the
+     *  table cannot be replayed from configuration alone). */
+    /// @{
+    void save(CkptWriter &w) const;
+    void load(CkptReader &r);
+    /// @}
 
   private:
     struct DiskSpace

@@ -63,8 +63,13 @@ Kernel::createProcess(SpuId spu, JobId job, std::string name,
     p->startTime = startAt;
     sched_.processCreated(p);
     const Time when = std::max(startAt, events_.now());
-    events_.schedule(when, [this, p] { sched_.processReady(p); },
-                     "procStart");
+    p->startEvent = events_.schedule(
+        when,
+        [this, p] {
+            p->startEvent = kNoEvent;
+            sched_.processReady(p);
+        },
+        "procStart");
     return p;
 }
 
@@ -303,8 +308,12 @@ Kernel::execute(Process &p, const Action &a)
                 p.everTouched = std::min(p.everTouched, p.workingSet);
                 return Exec::Continue;
             } else if constexpr (std::is_same_v<T, SleepAction>) {
-                events_.scheduleAfter(
-                    act.duration, [this, &p] { wakeProcess(p); },
+                p.wakeEvent = events_.scheduleAfter(
+                    act.duration,
+                    [this, &p] {
+                        p.wakeEvent = kNoEvent;
+                        wakeProcess(p);
+                    },
                     "sleepWake");
                 blockProcess(p);
                 return Exec::Blocked;
@@ -1393,6 +1402,235 @@ Kernel::bdflush()
             i = j;
         }
     }
+}
+
+// --------------------------------------------------------------------
+// Checkpoint
+// --------------------------------------------------------------------
+
+void
+Kernel::requireIoQuiescent() const
+{
+    for (const DiskDevice *d : disks_) {
+        if (d->busy() || d->queueDepth() > 0) {
+            throw InvariantError("disk '" + d->name() +
+                                 "' active at checkpoint time");
+        }
+    }
+    if (net_ && (net_->busy() || net_->queueDepth() > 0))
+        throw InvariantError("network active at checkpoint time");
+    for (DiskId d : flushBacklog_.ids()) {
+        if (const std::uint64_t *v = flushBacklog_.find(d); v && *v != 0) {
+            throw InvariantError(
+                "flush backlog outstanding at checkpoint time");
+        }
+    }
+    for (DiskId d : throttleWaiters_.ids()) {
+        if (const std::vector<Process *> *v = throttleWaiters_.find(d);
+            v && !v->empty()) {
+            throw InvariantError(
+                "write-throttled processes at checkpoint time");
+        }
+    }
+    for (const auto &p : processes_) {
+        if (p->pendingIo > 0) {
+            throw InvariantError("process '" + p->name() +
+                                 "' waiting on I/O at checkpoint time");
+        }
+    }
+}
+
+void
+Kernel::save(CkptWriter &w) const
+{
+    rng_.save(w);
+    stats_.save(w);
+    spuFaults_.saveTable(
+        w, [](CkptWriter &wr, const SpuFaultStats &s) { s.save(wr); });
+
+    w.i64(nextPid_);
+    w.u64(live_);
+    w.u64(processes_.size());
+    for (const auto &p : processes_) {
+        w.i64(p->pid());
+        p->save(w);
+    }
+
+    w.u64(barriers_.size());
+    for (const Barrier &b : barriers_) {
+        w.i64(b.width);
+        w.u64(b.waiting.size());
+        for (const Process *q : b.waiting)
+            w.i64(q->pid());
+    }
+    locks_.save(w);
+    boostedNice_.saveTable(
+        w, [](CkptWriter &wr, const double &v) { wr.f64(v); });
+
+    w.boolean(bdflushPending_);
+    w.u64(readCursor_.size());
+    for (const auto &[key, block] : readCursor_) {
+        w.i64(key.first);
+        w.i64(key.second);
+        w.u64(block);
+    }
+    swapExtent_.saveTable(
+        w, [](CkptWriter &wr, const FileId &f) { wr.i64(f); });
+}
+
+void
+Kernel::load(CkptReader &r)
+{
+    rng_.load(r);
+    stats_.load(r);
+    spuFaults_.loadTable(
+        r, [](CkptReader &rd, SpuFaultStats &s) { s.load(rd); });
+
+    nextPid_ = static_cast<Pid>(r.i64());
+    const std::uint64_t live = r.u64();
+    const std::uint64_t count = r.u64();
+    if (count != processes_.size()) {
+        throw ConfigError("checkpoint process count " +
+                          std::to_string(count) +
+                          " does not match the replayed configuration");
+    }
+    auto byPid = [this](Pid pid) -> Process * {
+        Process *p = process(pid);
+        if (!p) {
+            throw ConfigError("checkpoint references unknown pid " +
+                              std::to_string(pid));
+        }
+        return p;
+    };
+    for (const auto &p : processes_) {
+        const Pid pid = static_cast<Pid>(r.i64());
+        if (pid != p->pid()) {
+            throw ConfigError(
+                "checkpoint process order does not match the "
+                "replayed configuration");
+        }
+        p->load(r);
+    }
+
+    // Membership lists derive from per-process state: rebuild them in
+    // pid order, which is exactly the order createProcess built and
+    // doExit's std::remove preserved in the original run.
+    live_ = 0;
+    for (SpuId s : spuProcs_.ids())
+        spuProcs_[s].clear();
+    for (const auto &p : processes_) {
+        if (p->state() == ProcState::Exited)
+            continue;
+        spuProcs_[p->spu()].push_back(p.get());
+        ++live_;
+    }
+    if (live_ != live) {
+        throw ConfigError("checkpoint live-process count disagrees "
+                          "with per-process states");
+    }
+
+    const std::uint64_t nbarriers = r.u64();
+    if (nbarriers != barriers_.size()) {
+        throw ConfigError("checkpoint barrier count " +
+                          std::to_string(nbarriers) +
+                          " does not match the replayed configuration");
+    }
+    for (Barrier &b : barriers_) {
+        b.width = static_cast<int>(r.i64());
+        const std::uint64_t waiting = r.u64();
+        b.waiting.clear();
+        for (std::uint64_t i = 0; i < waiting; ++i)
+            b.waiting.push_back(byPid(static_cast<Pid>(r.i64())));
+    }
+    locks_.load(r, byPid);
+    boostedNice_.loadTable(
+        r, [](CkptReader &rd, double &v) { v = rd.f64(); });
+
+    bdflushPending_ = r.boolean();
+    const std::uint64_t cursors = r.u64();
+    readCursor_.clear();
+    for (std::uint64_t i = 0; i < cursors; ++i) {
+        const Pid pid = static_cast<Pid>(r.i64());
+        const FileId file = static_cast<FileId>(r.i64());
+        readCursor_[{pid, file}] = r.u64();
+    }
+    swapExtent_.loadTable(
+        r, [](CkptReader &rd, FileId &f) { f = static_cast<FileId>(rd.i64()); });
+}
+
+Pid
+Kernel::eventOwner(EventId id) const
+{
+    for (const auto &p : processes_) {
+        if (p->segmentEvent == id || p->startEvent == id ||
+            p->wakeEvent == id)
+            return p->pid();
+    }
+    return kNoPid;
+}
+
+void
+Kernel::restoreProcStart(Pid pid, Time when, std::uint64_t seq)
+{
+    Process *p = process(pid);
+    if (!p)
+        throw ConfigError("checkpoint start event for unknown pid " +
+                          std::to_string(pid));
+    p->startEvent = events_.scheduleRestored(
+        when, seq,
+        [this, p] {
+            p->startEvent = kNoEvent;
+            sched_.processReady(p);
+        },
+        "procStart");
+}
+
+void
+Kernel::restoreSegEnd(Pid pid, Time when, std::uint64_t seq)
+{
+    Process *p = process(pid);
+    if (!p)
+        throw ConfigError("checkpoint segment event for unknown pid " +
+                          std::to_string(pid));
+    p->segmentEvent = events_.scheduleRestored(
+        when, seq, [this, p] { segmentEnd(*p); }, "segEnd");
+}
+
+void
+Kernel::restoreSleepWake(Pid pid, Time when, std::uint64_t seq)
+{
+    Process *p = process(pid);
+    if (!p)
+        throw ConfigError("checkpoint wake event for unknown pid " +
+                          std::to_string(pid));
+    p->wakeEvent = events_.scheduleRestored(
+        when, seq,
+        [this, p] {
+            p->wakeEvent = kNoEvent;
+            wakeProcess(*p);
+        },
+        "sleepWake");
+}
+
+void
+Kernel::restoreBdflush(Time when, std::uint64_t seq)
+{
+    events_.scheduleRestored(
+        when, seq, [this] { bdflushPeriodicHelper(); }, "bdflush");
+}
+
+void
+Kernel::restorePageout(Time when, std::uint64_t seq)
+{
+    events_.scheduleRestored(
+        when, seq, [this] { pageoutDaemonHelper(); }, "pageout");
+}
+
+void
+Kernel::restoreBdflushKick(Time when, std::uint64_t seq)
+{
+    events_.scheduleRestored(
+        when, seq, [this] { bdflush(); }, "bdflushKick");
 }
 
 } // namespace piso

@@ -135,6 +135,50 @@ struct KernelStats
     Counter ioTimeouts;       //!< requests declared lost by the watchdog
     Counter failedIos;        //!< I/Os abandoned after the retry limit
     Counter lostWrites;       //!< dirty pages dropped (writeback failed)
+
+    void
+    save(CkptWriter &w) const
+    {
+        zeroFills.save(w);
+        refaults.save(w);
+        pageoutWrites.save(w);
+        bdflushRequests.save(w);
+        syncWriteRequests.save(w);
+        bypassWrites.save(w);
+        readRequests.save(w);
+        readAheadRequests.save(w);
+        throttleStalls.save(w);
+        cacheHits.save(w);
+        cacheMisses.save(w);
+        affinityPenalties.save(w);
+        diskErrors.save(w);
+        ioRetries.save(w);
+        ioTimeouts.save(w);
+        failedIos.save(w);
+        lostWrites.save(w);
+    }
+
+    void
+    load(CkptReader &r)
+    {
+        zeroFills.load(r);
+        refaults.load(r);
+        pageoutWrites.load(r);
+        bdflushRequests.load(r);
+        syncWriteRequests.load(r);
+        bypassWrites.load(r);
+        readRequests.load(r);
+        readAheadRequests.load(r);
+        throttleStalls.load(r);
+        cacheHits.load(r);
+        cacheMisses.load(r);
+        affinityPenalties.load(r);
+        diskErrors.load(r);
+        ioRetries.load(r);
+        ioTimeouts.load(r);
+        failedIos.load(r);
+        lostWrites.load(r);
+    }
 };
 
 /** Per-SPU fault and recovery counters (I/O path). */
@@ -144,6 +188,24 @@ struct SpuFaultStats
     Counter ioRetries;
     Counter ioTimeouts;
     Counter failedOps;   //!< I/Os abandoned after the retry limit
+
+    void
+    save(CkptWriter &w) const
+    {
+        diskErrors.save(w);
+        ioRetries.save(w);
+        ioTimeouts.save(w);
+        failedOps.save(w);
+    }
+
+    void
+    load(CkptReader &r)
+    {
+        diskErrors.load(r);
+        ioRetries.load(r);
+        ioTimeouts.load(r);
+        failedOps.load(r);
+    }
 };
 
 /**
@@ -243,6 +305,36 @@ class Kernel : public SchedClient
     /** True when no disk is busy or queued and no dirty block
      *  remains — the I/O system is fully drained. */
     bool ioIdle() const;
+
+    /** @name Checkpoint
+     *  save()/load() cover every mutable kernel structure except the
+     *  pending events, which the Simulation re-schedules through the
+     *  restore*() hooks using the descriptors it recorded (each hook
+     *  re-creates one pending event with its original (when, seq)
+     *  ordering key, so the restored heap pops identically). */
+    /// @{
+    /**
+     * Throw InvariantError unless the I/O system is quiescent enough
+     * to checkpoint: no disk or network activity, no flush backlog,
+     * no throttled writers, no process waiting on I/O. Dirty cache
+     * blocks are fine; in-flight ones are not.
+     */
+    void requireIoQuiescent() const;
+
+    void save(CkptWriter &w) const;
+    void load(CkptReader &r);
+
+    /** Pid owning pending event @p id via its startEvent /
+     *  segmentEvent / wakeEvent field; kNoPid when no process does. */
+    Pid eventOwner(EventId id) const;
+
+    void restoreProcStart(Pid pid, Time when, std::uint64_t seq);
+    void restoreSegEnd(Pid pid, Time when, std::uint64_t seq);
+    void restoreSleepWake(Pid pid, Time when, std::uint64_t seq);
+    void restoreBdflush(Time when, std::uint64_t seq);
+    void restorePageout(Time when, std::uint64_t seq);
+    void restoreBdflushKick(Time when, std::uint64_t seq);
+    /// @}
 
     /** Invoked whenever a process exits (job tracking). */
     std::function<void(Process &)> onProcessExit;

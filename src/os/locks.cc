@@ -4,6 +4,7 @@
 
 #include "src/os/process.hh"
 #include "src/sim/log.hh"
+#include "src/util/error.hh"
 
 namespace piso {
 
@@ -113,6 +114,53 @@ const LockStats &
 LockTable::stats(int id) const
 {
     return lock(id).stats;
+}
+
+void
+LockTable::save(CkptWriter &w) const
+{
+    w.u64(locks_.size());
+    for (const Lock &l : locks_) {
+        w.boolean(l.readersWriter);
+        w.boolean(l.heldExclusive);
+        w.u64(l.holders.size());
+        for (const Process *p : l.holders)
+            w.i64(p->pid());
+        w.u64(l.queue.size());
+        for (const Waiter &wt : l.queue) {
+            w.i64(wt.proc->pid());
+            w.boolean(wt.exclusive);
+        }
+        l.stats.save(w);
+    }
+}
+
+void
+LockTable::load(CkptReader &r,
+                const std::function<Process *(Pid)> &byPid)
+{
+    const std::uint64_t n = r.u64();
+    if (n != locks_.size()) {
+        throw ConfigError("checkpoint lock count " + std::to_string(n) +
+                          " does not match the replayed configuration");
+    }
+    for (Lock &l : locks_) {
+        l.readersWriter = r.boolean();
+        l.heldExclusive = r.boolean();
+        const std::uint64_t holders = r.u64();
+        l.holders.clear();
+        for (std::uint64_t i = 0; i < holders; ++i)
+            l.holders.push_back(byPid(static_cast<Pid>(r.i64())));
+        const std::uint64_t waiters = r.u64();
+        l.queue.clear();
+        for (std::uint64_t i = 0; i < waiters; ++i) {
+            Waiter wt;
+            wt.proc = byPid(static_cast<Pid>(r.i64()));
+            wt.exclusive = r.boolean();
+            l.queue.push_back(wt);
+        }
+        l.stats.load(r);
+    }
 }
 
 } // namespace piso

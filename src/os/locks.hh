@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <vector>
 
 #include "src/sim/ids.hh"
@@ -29,6 +30,20 @@ struct LockStats
 {
     Counter acquisitions;
     Counter contended;  //!< acquisitions that had to wait
+
+    void
+    save(CkptWriter &w) const
+    {
+        acquisitions.save(w);
+        contended.save(w);
+    }
+
+    void
+    load(CkptReader &r)
+    {
+        acquisitions.load(r);
+        contended.load(r);
+    }
 };
 
 /** Table of kernel locks usable from LockActions. */
@@ -70,6 +85,14 @@ class LockTable
     const LockStats &stats(int id) const;
 
     std::size_t count() const { return locks_.size(); }
+
+    /** @name Checkpoint — holders and waiters are serialised as pids;
+     *  load() resolves them back to processes through @p byPid. */
+    /// @{
+    void save(CkptWriter &w) const;
+    void load(CkptReader &r,
+              const std::function<Process *(Pid)> &byPid);
+    /// @}
 
   private:
     struct Waiter

@@ -87,6 +87,10 @@ class Process
     Time segmentStart = 0;
     /** Pending segment-end event while Running. */
     EventId segmentEvent = kNoEvent;
+    /** Pending process-start event while Embryo. */
+    EventId startEvent = kNoEvent;
+    /** Pending wake event while Blocked in a SleepAction. */
+    EventId wakeEvent = kNoEvent;
     /** True when the current segment will end in a page fault. */
     bool segmentFaults = false;
     /** Outstanding I/O operations this process is blocked on. */
@@ -133,6 +137,15 @@ class Process
 
     /** Effective scheduling priority; smaller is better. */
     double priority() const { return nice + recentCpu; }
+
+    /** @name Checkpoint
+     *  Serialises every mutable field except the pending EventIds
+     *  (segmentEvent/startEvent/wakeEvent), which are re-established
+     *  when the restore path re-schedules the pending events. */
+    /// @{
+    void save(CkptWriter &w) const;
+    void load(CkptReader &r);
+    /// @}
 
   private:
     Pid pid_;

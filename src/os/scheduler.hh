@@ -21,11 +21,13 @@
  */
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <vector>
 
 #include "src/core/spu_table.hh"
+#include "src/sim/checkpoint.hh"
 #include "src/os/process.hh"
 #include "src/sim/event_queue.hh"
 #include "src/sim/ids.hh"
@@ -200,6 +202,18 @@ class CpuScheduler
     int bringCpusOnline(int count);
     /// @}
 
+    /** @name Checkpoint
+     *  Covers the base accounting, the per-CPU state (running
+     *  processes as pids) and the subclass ready queues. The clock
+     *  tick is re-established separately through restoreTick() with
+     *  its original (when, seq) ordering key. */
+    /// @{
+    void save(CkptWriter &w) const;
+    void load(CkptReader &r,
+              const std::function<Process *(Pid)> &byPid);
+    void restoreTick(Time when, std::uint64_t seq);
+    /// @}
+
   protected:
     /** Pick (and remove from the ready structures) the next process for
      *  @p cpu, or nullptr to leave it idle. */
@@ -213,6 +227,16 @@ class CpuScheduler
 
     /** Hook: @p p became ready but no idle CPU accepted it. */
     virtual void onReadyNoIdle(Process *p);
+
+    /** @name Checkpoint hooks: subclass ready-queue state
+     *  Must round-trip the ready structures exactly (FIFO order
+     *  included) so restored dispatch decisions are bit-identical. */
+    /// @{
+    virtual void saveReady(CkptWriter &w) const = 0;
+    virtual void
+    loadReady(CkptReader &r,
+              const std::function<Process *(Pid)> &byPid) = 0;
+    /// @}
 
     /** Hook: per-tick policy work (revocation, owner rotation). Runs
      *  after the base slice handling. */

@@ -108,6 +108,30 @@ class VirtualMemory
     /** All registered SPU ids, ascending. */
     std::vector<SpuId> spus() const;
 
+    /** @name Checkpoint */
+    /// @{
+    void
+    save(CkptWriter &w) const
+    {
+        ledger_.save(w);
+        pressure_.saveTable(w,
+                            [](CkptWriter &wr, const std::uint64_t &n) {
+                                wr.u64(n);
+                            });
+        w.u64(reservePages_);
+    }
+
+    void
+    load(CkptReader &r)
+    {
+        ledger_.load(r);
+        pressure_.loadTable(r, [](CkptReader &rd, std::uint64_t &n) {
+            n = rd.u64();
+        });
+        reservePages_ = r.u64();
+    }
+    /// @}
+
   private:
     /** Fatal-checked pressure-counter access. */
     std::uint64_t &pressureEntry(SpuId spu);

@@ -34,6 +34,68 @@ EventQueue::schedule(Time when, Callback cb, const char *name)
     return makeId(idx, gen);
 }
 
+EventId
+EventQueue::scheduleRestored(Time when, std::uint64_t seq, Callback cb,
+                             const char *name)
+{
+    PISO_INVARIANT(cb, "restored event '", name,
+                   "' re-bound with empty callback");
+
+    std::uint32_t idx;
+    if (!freeSlots_.empty()) {
+        idx = freeSlots_.back();
+        freeSlots_.pop_back();
+    } else {
+        idx = static_cast<std::uint32_t>(slots_.size());
+        slots_.emplace_back();
+        state_.push_back(packState(0, false));
+    }
+    Slot &slot = slots_[idx];
+    slot.cb = std::move(cb);
+    slot.name = name;
+    const std::uint32_t gen = state_[idx] >> 1;
+    state_[idx] = packState(gen, true);
+
+    heap_.push(HeapEntry{when, seq, idx, gen});
+    ++live_;
+    return makeId(idx, gen);
+}
+
+void
+EventQueue::clearPending()
+{
+    for (std::uint32_t idx = 0; idx < state_.size(); ++idx) {
+        if (state_[idx] & 1u) {
+            slots_[idx].cb.reset();
+            state_[idx] = packState((state_[idx] >> 1) + 1, false);
+            freeSlots_.push_back(idx);
+        }
+    }
+    live_ = 0;
+}
+
+void
+EventQueue::restoreClock(Time now, std::uint64_t nextSeq,
+                         std::uint64_t executed)
+{
+    PISO_INVARIANT(nextSeq >= nextSeq_,
+                   "restored sequence counter moves backwards (",
+                   nextSeq, " < ", nextSeq_, ")");
+    now_ = now;
+    nextSeq_ = nextSeq;
+    executed_ = executed;
+}
+
+void
+EventQueue::advanceTo(Time t)
+{
+    PISO_INVARIANT(t >= now_, "clock advance into the past (",
+                   formatTime(t), " < now=", formatTime(now_), ")");
+    PISO_INVARIANT(t <= nextEventTime(),
+                   "clock advance past the next pending event");
+    now_ = t;
+}
+
 bool
 EventQueue::cancel(EventId id)
 {

@@ -293,6 +293,68 @@ class EventQueue
     /** Firing time of the next live event, or kTimeNever if none. */
     Time nextEventTime() const;
 
+    /**
+     * @name Checkpoint/restore support
+     *
+     * Callbacks are closures and cannot be serialised; instead the
+     * Simulation snapshots every live event's (id, when, seq, name)
+     * with forEachPending(), re-creates the callbacks from named
+     * descriptors on restore, and re-binds them at the *exact* heap
+     * coordinates with scheduleRestored() so ties keep firing in the
+     * original order. See src/sim/checkpoint.hh and docs/checkpoint.md.
+     */
+    /// @{
+
+    /**
+     * Visit every live (pending) event in unspecified order.
+     * @param fn Invoked as fn(EventId, Time when, std::uint64_t seq,
+     *           const char *name); callers sort by seq for
+     *           deterministic output.
+     */
+    template <typename Fn>
+    void
+    forEachPending(Fn &&fn) const
+    {
+        for (const HeapEntry &e : heap_.entries()) {
+            if (state_[e.slot] == packState(e.gen, true))
+                fn(makeId(e.slot, e.gen), e.when, e.seq,
+                   slots_[e.slot].name);
+        }
+    }
+
+    /** Next sequence number to be handed out (image clock header). */
+    std::uint64_t nextSeq() const { return nextSeq_; }
+
+    /**
+     * Re-schedule a restored event at an explicit sequence number
+     * (instead of drawing the next one), preserving its tie-break
+     * position among equal-time events. Does not advance nextSeq_;
+     * restoreClock() sets the sequence counter afterwards.
+     */
+    EventId scheduleRestored(Time when, std::uint64_t seq, Callback cb,
+                             const char *name = "");
+
+    /** Cancel every live event (restore wipes before re-binding). */
+    void clearPending();
+
+    /**
+     * Overwrite the clock state from a checkpoint: current time, the
+     * next sequence number to hand out, and the executed-event count.
+     * Called after every scheduleRestored(); the sequence counter must
+     * not move backwards.
+     */
+    void restoreClock(Time now, std::uint64_t nextSeq,
+                      std::uint64_t executed);
+
+    /**
+     * Advance now() to @p t without running anything. Used to deliver
+     * out-of-band work (the fault-plan cursor) at its exact timestamp;
+     * must not skip past the next pending event.
+     */
+    void advanceTo(Time t);
+
+    /// @}
+
   private:
     struct Slot
     {
@@ -329,6 +391,7 @@ class EventQueue
       public:
         bool empty() const { return v_.empty(); }
         const HeapEntry &top() const { return v_.front(); }
+        const std::vector<HeapEntry> &entries() const { return v_; }
 
         void
         push(const HeapEntry &e)

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 
+#include "src/sim/checkpoint.hh"
 #include "src/sim/time.hh"
 
 namespace piso {
@@ -57,6 +58,22 @@ class Rng
      * perturb another.
      */
     Rng fork();
+
+    /** Serialise the full 256-bit stream position. */
+    void
+    save(CkptWriter &w) const
+    {
+        for (std::uint64_t s : s_)
+            w.u64(s);
+    }
+
+    /** Restore a stream position saved with save(). */
+    void
+    load(CkptReader &r)
+    {
+        for (std::uint64_t &s : s_)
+            s = r.u64();
+    }
 
   private:
     std::uint64_t s_[4];

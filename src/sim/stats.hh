@@ -16,6 +16,8 @@
 #include <string>
 #include <vector>
 
+#include "src/sim/checkpoint.hh"
+
 namespace piso {
 
 /** A monotonically increasing count. */
@@ -30,6 +32,9 @@ class Counter
 
     /** Reset to zero. */
     void reset() { value_ = 0; }
+
+    void save(CkptWriter &w) const { w.u64(value_); }
+    void load(CkptReader &r) { value_ = r.u64(); }
 
   private:
     std::uint64_t value_ = 0;
@@ -65,6 +70,28 @@ class Accumulator
 
     /** Discard all samples. */
     void reset();
+
+    void
+    save(CkptWriter &w) const
+    {
+        w.u64(count_);
+        w.f64(mean_);
+        w.f64(m2_);
+        w.f64(sum_);
+        w.f64(min_);
+        w.f64(max_);
+    }
+
+    void
+    load(CkptReader &r)
+    {
+        count_ = r.u64();
+        mean_ = r.f64();
+        m2_ = r.f64();
+        sum_ = r.f64();
+        min_ = r.f64();
+        max_ = r.f64();
+    }
 
   private:
     std::uint64_t count_ = 0;

@@ -2,6 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <istream>
+#include <map>
+#include <optional>
+#include <ostream>
+#include <sstream>
+#include <string_view>
 
 #include "src/core/disk_fair.hh"
 #include "src/core/ledger.hh"
@@ -15,6 +21,7 @@
 #include "src/os/filesystem.hh"
 #include "src/os/sched_smp.hh"
 #include "src/os/vm.hh"
+#include "src/sim/checkpoint.hh"
 #include "src/sim/event_queue.hh"
 #include "src/sim/log.hh"
 #include "src/sim/trace.hh"
@@ -46,6 +53,43 @@ SystemConfig::resolvedProfile() const
         p.net = *netPolicy;
     return p;
 }
+
+namespace {
+
+/** Serialisable pending-event kinds — the checkpoint's closed set.
+ *  Event callbacks are closures and cannot be serialised; instead a
+ *  checkpoint stores one of these descriptors per pending event and
+ *  the restore path reconstructs the exact callback from (kind, arg).
+ *  A pending event outside this set makes the boundary
+ *  non-checkpointable (in-flight I/O events never appear here because
+ *  quiescence already excludes them). */
+enum class EvKind : std::uint8_t
+{
+    SchedTick,          //!< CpuScheduler clock tick
+    MemPolicy,          //!< MemorySharingPolicy recomputation
+    Bdflush,            //!< periodic delayed-write flush daemon
+    Pageout,            //!< periodic pageout daemon
+    BdflushKick,        //!< one-shot high-water bdflush kick
+    ProcStart,          //!< process start (arg = pid)
+    SegEnd,             //!< compute-segment end (arg = pid)
+    SleepWake,          //!< sleep expiry (arg = pid)
+    FaultRestoreSlow,   //!< disk-slow window end (arg = disk)
+    FaultRestoreError,  //!< disk-error window end (arg = disk)
+};
+
+inline constexpr std::uint8_t kMaxEvKind =
+    static_cast<std::uint8_t>(EvKind::FaultRestoreError);
+
+/** One pending event as stored in the image. */
+struct EvDesc
+{
+    EvKind kind = EvKind::SchedTick;
+    Time when = 0;
+    std::uint64_t seq = 0;
+    std::int64_t arg = -1;  //!< pid or disk index, kind-dependent
+};
+
+} // namespace
 
 struct Simulation::Impl
 {
@@ -85,13 +129,53 @@ struct Simulation::Impl
     std::vector<PendingJob> pendingJobs;
     std::vector<Job> jobs;
     bool ran = false;
+    bool setupDone = false;
     std::uint64_t kernelPinnedPages = 0;
+
+    /** Sorted fault schedule, delivered by a cursor interleaved with
+     *  the event loop (not as queued events, so checkpoints and event
+     *  sequence numbers stay independent of the plan). */
+    std::vector<FaultEvent> faultSchedule;
+    std::size_t faultCursor = 0;
+
+    /** Pending fault-window-end events: id -> (kind, disk). Entries
+     *  of fired events go stale but are never looked up again —
+     *  generation-tagged EventIds are not reused. */
+    std::map<EventId, std::pair<FaultKind, DiskId>> faultRestores;
 
     void rebalance();
     void applyBandwidthShares(DiskBandwidthTracker &tracker);
     SpuTable<SpuId> spuParents() const;
     void applyMemoryLevels();
     void applyFault(const FaultEvent &ev);
+
+    /** @name Checkpoint internals */
+    /// @{
+    /** Replay the deterministic setup (levels, partition, jobs,
+     *  daemons). Shared by cold run() and restore(). */
+    void setupRun();
+
+    /** FNV-1a over the canonical serialisation of everything that
+     *  shapes the replayed setup. Run control (faults, maxTime,
+     *  watchdogs, chaos, checkpoint knobs) is deliberately excluded
+     *  so a restore may continue under a different fault plan or
+     *  horizon — that is what the warm-start sweep engine does. */
+    std::uint64_t configDigest() const;
+
+    /** Classify every pending event; nullopt (and @p reject) when one
+     *  is not serialisable. Sorted by sequence number. */
+    std::optional<std::vector<EvDesc>>
+    pendingDescriptors(std::string *reject = nullptr) const;
+
+    /** Attempt a checkpoint at the current boundary; false when the
+     *  simulation is not quiescent here. */
+    bool tryCheckpoint(std::string *why = nullptr);
+
+    void writeImage(std::ostream &out);
+    void loadImage(CkptReader &r);
+    void restoreFaultRestore(FaultKind kind, DiskId disk, Time when,
+                             std::uint64_t seq);
+    /// @}
 
     explicit Impl(const SystemConfig &c)
         : cfg(c), profile(c.resolvedProfile()), trace(traceContext()),
@@ -194,7 +278,7 @@ Simulation::~Simulation() = default;
 SpuId
 Simulation::addSpu(const SpuSpec &spec)
 {
-    if (impl_->ran)
+    if (impl_->ran || impl_->setupDone)
         PISO_FATAL("addSpu after run()");
     if (spec.homeDisk < 0 || spec.homeDisk >= impl_->cfg.diskCount)
         PISO_FATAL("SPU '", spec.name, "' placed on unknown disk ",
@@ -208,7 +292,7 @@ Simulation::addSpu(const SpuSpec &spec)
 JobId
 Simulation::addJob(SpuId spu, JobSpec spec)
 {
-    if (impl_->ran)
+    if (impl_->ran || impl_->setupDone)
         PISO_FATAL("addJob after run()");
     if (!impl_->spuMgr.exists(spu) || spu < kFirstUserSpu)
         PISO_FATAL("job '", spec.name, "' added to invalid SPU ", spu);
@@ -320,22 +404,24 @@ Simulation::Impl::applyFault(const FaultEvent &ev)
                faultKindName(ev.kind));
     switch (ev.kind) {
       case FaultKind::DiskSlow: {
-        DiskDevice &d = *disks.at(static_cast<std::size_t>(ev.disk));
-        d.setSlowFactor(ev.factor);
+        DiskDevice *d = disks.at(static_cast<std::size_t>(ev.disk)).get();
+        d->setSlowFactor(ev.factor);
         if (ev.duration > 0) {
-            events.scheduleAfter(
-                ev.duration, [&d] { d.setSlowFactor(1.0); },
+            const EventId id = events.scheduleAfter(
+                ev.duration, [d] { d->setSlowFactor(1.0); },
                 "faultRestore");
+            faultRestores[id] = {FaultKind::DiskSlow, ev.disk};
         }
         break;
       }
       case FaultKind::DiskError: {
-        DiskDevice &d = *disks.at(static_cast<std::size_t>(ev.disk));
-        d.setErrorRate(ev.rate);
+        DiskDevice *d = disks.at(static_cast<std::size_t>(ev.disk)).get();
+        d->setErrorRate(ev.rate);
         if (ev.duration > 0) {
-            events.scheduleAfter(
-                ev.duration, [&d] { d.setErrorRate(0.0); },
+            const EventId id = events.scheduleAfter(
+                ev.duration, [d] { d->setErrorRate(0.0); },
                 "faultRestore");
+            faultRestores[id] = {FaultKind::DiskError, ev.disk};
         }
         break;
       }
@@ -409,6 +495,99 @@ Simulation::config() const
     return impl_->cfg;
 }
 
+void
+Simulation::Impl::setupRun()
+{
+    if (setupDone)
+        PISO_FATAL("Simulation setup replayed twice");
+    setupDone = true;
+
+    if (spuMgr.leafSpus().empty())
+        PISO_FATAL("no SPUs configured");
+
+    // --- Memory levels ---------------------------------------------
+    const std::uint64_t total = vm.totalPages();
+    vm.setEntitled(kKernelSpu, 0);
+    vm.setAllowed(kKernelSpu, total);
+    vm.setEntitled(kSharedSpu, 0);
+    vm.setAllowed(kSharedSpu, total);
+
+    // Pin boot-time kernel memory.
+    kernelPinnedPages = cfg.kernelResidentBytes / phys.pageBytes();
+    for (std::uint64_t i = 0; i < kernelPinnedPages; ++i) {
+        if (!vm.tryCharge(kKernelSpu))
+            PISO_FATAL("machine too small for the pinned kernel memory");
+    }
+
+    // The PIso sharing policy is not started yet: applyMemoryLevels
+    // leaves its levels to MemorySharingPolicy::start() below.
+    if (profile.memory != MemoryPolicy::PIso)
+        applyMemoryLevels();
+
+    // --- CPU partition ---------------------------------------------
+    if (profile.cpu != CpuPolicy::Smp) {
+        sched->setSpuParents(spuParents());
+        sched->partitionCpus(spuMgr.cpuShares());
+    }
+
+    // --- Disk and network bandwidth shares ---------------------------
+    for (FairDiskScheduler *fds : fairSchedulers)
+        applyBandwidthShares(fds->tracker());
+    if (fairNet)
+        applyBandwidthShares(fairNet->tracker());
+
+    // --- Jobs --------------------------------------------------------
+    jobs.reserve(pendingJobs.size());
+    for (std::size_t i = 0; i < pendingJobs.size(); ++i) {
+        auto &pj = pendingJobs[i];
+        const Spu &spu = spuMgr.spu(pj.spu);
+        if (spuMgr.isGroup(pj.spu))
+            PISO_FATAL("job '", pj.spec.name, "' placed on SPU '",
+                       spu.name, "', which is a group; jobs run on ",
+                       "leaf SPUs only");
+        jobs.emplace_back(static_cast<JobId>(i), pj.spec.name, pj.spu,
+                          pj.spec.startAt);
+        if (!pj.spec.build)
+            PISO_FATAL("job '", pj.spec.name, "' has no build function");
+
+        WorkloadEnv env{fs, rng.fork(), spu.homeDisk, phys.pageBytes()};
+        auto procs = pj.spec.build(*kernel, env);
+        if (procs.empty())
+            PISO_FATAL("job '", pj.spec.name, "' built no processes");
+        for (auto &ps : procs) {
+            jobs.back().addProcess();
+            Process *p = kernel->createProcess(
+                pj.spu, static_cast<JobId>(i), std::move(ps.name),
+                std::move(ps.behavior), pj.spec.startAt);
+            if (ps.touchInterval > 0)
+                p->touchInterval = ps.touchInterval;
+            if (ps.dirtyFraction >= 0.0)
+                p->dirtyFraction = ps.dirtyFraction;
+        }
+    }
+
+    kernel->onProcessExit = [this](Process &p) {
+        if (p.job() != kNoJob) {
+            Job &job = jobs[static_cast<std::size_t>(p.job())];
+            if (p.ioFailed)
+                job.markFailed();
+            job.processExited(events.now());
+        }
+    };
+
+    // --- Fault plan --------------------------------------------------
+    if (cfg.faults.maxDiskIndex() >= cfg.diskCount)
+        PISO_FATAL("fault plan references disk ",
+                   cfg.faults.maxDiskIndex(), " but the machine has ",
+                   cfg.diskCount);
+    faultSchedule = cfg.faults.schedule();
+    faultCursor = 0;
+
+    kernel->start();
+    if (memPolicy)
+        memPolicy->start();
+}
+
 SimResults
 Simulation::run()
 {
@@ -423,90 +602,10 @@ Simulation::run()
     TraceContextScope traceScope(im.trace);
     LogContextScope logScope(im.log);
 
-    if (im.spuMgr.leafSpus().empty())
-        PISO_FATAL("no SPUs configured");
-
-    // --- Memory levels ---------------------------------------------
-    const std::uint64_t total = im.vm.totalPages();
-    im.vm.setEntitled(kKernelSpu, 0);
-    im.vm.setAllowed(kKernelSpu, total);
-    im.vm.setEntitled(kSharedSpu, 0);
-    im.vm.setAllowed(kSharedSpu, total);
-
-    // Pin boot-time kernel memory.
-    im.kernelPinnedPages =
-        im.cfg.kernelResidentBytes / im.phys.pageBytes();
-    for (std::uint64_t i = 0; i < im.kernelPinnedPages; ++i) {
-        if (!im.vm.tryCharge(kKernelSpu))
-            PISO_FATAL("machine too small for the pinned kernel memory");
-    }
-
-    // The PIso sharing policy is not started yet: applyMemoryLevels
-    // leaves its levels to MemorySharingPolicy::start() below.
-    if (im.profile.memory != MemoryPolicy::PIso)
-        im.applyMemoryLevels();
-
-    // --- CPU partition ---------------------------------------------
-    if (im.profile.cpu != CpuPolicy::Smp) {
-        im.sched->setSpuParents(im.spuParents());
-        im.sched->partitionCpus(im.spuMgr.cpuShares());
-    }
-
-    // --- Disk and network bandwidth shares ---------------------------
-    for (FairDiskScheduler *fds : im.fairSchedulers)
-        im.applyBandwidthShares(fds->tracker());
-    if (im.fairNet)
-        im.applyBandwidthShares(im.fairNet->tracker());
-
-    // --- Jobs --------------------------------------------------------
-    im.jobs.reserve(im.pendingJobs.size());
-    for (std::size_t i = 0; i < im.pendingJobs.size(); ++i) {
-        auto &pj = im.pendingJobs[i];
-        const Spu &spu = im.spuMgr.spu(pj.spu);
-        if (im.spuMgr.isGroup(pj.spu))
-            PISO_FATAL("job '", pj.spec.name, "' placed on SPU '",
-                       spu.name, "', which is a group; jobs run on ",
-                       "leaf SPUs only");
-        im.jobs.emplace_back(static_cast<JobId>(i), pj.spec.name, pj.spu,
-                             pj.spec.startAt);
-        if (!pj.spec.build)
-            PISO_FATAL("job '", pj.spec.name, "' has no build function");
-
-        WorkloadEnv env{im.fs, im.rng.fork(), spu.homeDisk,
-                        im.phys.pageBytes()};
-        auto procs = pj.spec.build(*im.kernel, env);
-        if (procs.empty())
-            PISO_FATAL("job '", pj.spec.name, "' built no processes");
-        for (auto &ps : procs) {
-            im.jobs.back().addProcess();
-            Process *p = im.kernel->createProcess(
-                pj.spu, static_cast<JobId>(i), std::move(ps.name),
-                std::move(ps.behavior), pj.spec.startAt);
-            if (ps.touchInterval > 0)
-                p->touchInterval = ps.touchInterval;
-            if (ps.dirtyFraction >= 0.0)
-                p->dirtyFraction = ps.dirtyFraction;
-        }
-    }
-
-    im.kernel->onProcessExit = [&im](Process &p) {
-        if (p.job() != kNoJob) {
-            Job &job = im.jobs[static_cast<std::size_t>(p.job())];
-            if (p.ioFailed)
-                job.markFailed();
-            job.processExited(im.events.now());
-        }
-    };
-
-    // --- Fault plan --------------------------------------------------
-    if (im.cfg.faults.maxDiskIndex() >= im.cfg.diskCount)
-        PISO_FATAL("fault plan references disk ",
-                   im.cfg.faults.maxDiskIndex(), " but the machine has ",
-                   im.cfg.diskCount);
-    for (const FaultEvent &ev : im.cfg.faults.schedule()) {
-        im.events.schedule(
-            ev.at, [&im, ev] { im.applyFault(ev); }, "fault");
-    }
+    // restore() already replayed the setup when continuing from an
+    // image; a cold run does it here.
+    if (!im.setupDone)
+        im.setupRun();
 
     // --- Go ----------------------------------------------------------
     // Host-side timing of the whole run loop (start through drain); the
@@ -565,27 +664,90 @@ Simulation::run()
                 im.events.now());
     };
 
-    im.kernel->start();
-    if (im.memPolicy)
-        im.memPolicy->start();
+    if (im.cfg.checkpointAt > 0 && !im.cfg.checkpointSink)
+        throw ConfigError("checkpointAt set without a checkpointSink");
+    bool ckptPending = im.cfg.checkpointAt > 0;
+    bool stoppedAtCheckpoint = false;
+
+    const auto nextFaultAt = [&im] {
+        return im.faultCursor < im.faultSchedule.size()
+                   ? im.faultSchedule[im.faultCursor].at
+                   : kTimeNever;
+    };
 
     while (im.kernel->liveProcesses() > 0 &&
            im.events.now() <= im.cfg.maxTime) {
+        // Checkpoint trigger: once the requested time is the earliest
+        // thing left to happen, advance the clock onto it and try at
+        // this (and every later) boundary until the state is quiescent.
+        if (ckptPending) {
+            const Time at = im.cfg.checkpointAt;
+            if (im.events.now() >= at ||
+                (im.events.nextEventTime() > at && nextFaultAt() > at)) {
+                if (im.events.now() < at)
+                    im.events.advanceTo(at);
+                std::string why;
+                if (im.tryCheckpoint(&why)) {
+                    ckptPending = false;
+                    if (im.cfg.checkpointStop) {
+                        stoppedAtCheckpoint = true;
+                        break;
+                    }
+                } else if (im.cfg.checkpointDeadline > 0 &&
+                           im.events.now() >= im.cfg.checkpointDeadline) {
+                    throw InvariantError(
+                        "no quiescent checkpoint boundary found by "
+                        "the deadline (last boundary rejected: " +
+                            why + ")",
+                        im.events.now());
+                }
+            }
+        }
+        // Fault-plan cursor: deliver every fault due before (or at)
+        // the next event, at its exact timestamp.
+        if (nextFaultAt() <= im.events.nextEventTime()) {
+            const FaultEvent &ev = im.faultSchedule[im.faultCursor++];
+            im.events.advanceTo(ev.at);
+            im.applyFault(ev);
+            continue;
+        }
         if (!im.events.runOne())
             break;
         if (guarded)
             checkBudgets();
     }
 
+    // A requested checkpoint that never fired must not silently produce
+    // nothing: the caller is left waiting for a sink call (or an output
+    // file) that will never come.
+    if (ckptPending)
+        throw InvariantError(
+            "simulation ended before the requested checkpoint could be "
+            "taken (no quiescent boundary at or after the requested "
+            "time)",
+            im.events.now());
+
     // Drain: push every delayed write to disk so the measured disk
     // traffic reflects all the data the workload produced (the jobs
-    // have already exited; their response times are unaffected).
-    im.kernel->syncAll();
-    while (!im.kernel->ioIdle() && im.events.now() <= im.cfg.maxTime) {
-        if (!im.events.runOne())
-            break;
-        if (guarded)
-            checkBudgets();
+    // have already exited; their response times are unaffected). A
+    // template run that stopped at its checkpoint skips the drain —
+    // its results are discarded anyway.
+    if (!stoppedAtCheckpoint) {
+        im.kernel->syncAll();
+        while (!im.kernel->ioIdle() &&
+               im.events.now() <= im.cfg.maxTime) {
+            if (nextFaultAt() <= im.events.nextEventTime()) {
+                const FaultEvent &ev =
+                    im.faultSchedule[im.faultCursor++];
+                im.events.advanceTo(ev.at);
+                im.applyFault(ev);
+                continue;
+            }
+            if (!im.events.runOne())
+                break;
+            if (guarded)
+                checkBudgets();
+        }
     }
 
     // --- Collect ------------------------------------------------------
@@ -661,6 +823,442 @@ Simulation::run()
     }
 
     return res;
+}
+
+// --------------------------------------------------------------------
+// Checkpoint/restore
+// --------------------------------------------------------------------
+
+std::uint64_t
+Simulation::Impl::configDigest() const
+{
+    CkptWriter w;
+    w.u64(static_cast<std::uint64_t>(cfg.cpus));
+    w.u64(cfg.memoryBytes);
+    w.u64(static_cast<std::uint64_t>(cfg.diskCount));
+    const DiskParams &dp = cfg.diskParams;
+    w.u32(dp.cylinders);
+    w.u32(dp.surfaces);
+    w.u32(dp.sectorsPerTrack);
+    w.u32(dp.sectorBytes);
+    w.f64(dp.rpm);
+    w.f64(dp.seekShortAMs);
+    w.f64(dp.seekShortBMs);
+    w.u32(dp.seekShortLimit);
+    w.f64(dp.seekLongAMs);
+    w.f64(dp.seekLongBMs);
+    w.f64(dp.headSwitchMs);
+    w.f64(dp.controllerOverheadMs);
+    w.f64(dp.seekScale);
+
+    w.u8(static_cast<std::uint8_t>(profile.cpu));
+    w.u8(static_cast<std::uint8_t>(profile.memory));
+    w.u8(static_cast<std::uint8_t>(profile.disk));
+    w.u8(static_cast<std::uint8_t>(profile.net));
+    w.f64(cfg.bwThresholdSectors);
+    w.time(cfg.bwHalfLife);
+    w.f64(cfg.networkBitsPerSec);
+    w.boolean(cfg.ipiRevocation);
+    w.time(cfg.loanHoldoff);
+    w.time(cfg.memPolicy.period);
+    w.f64(cfg.memPolicy.reserveFraction);
+
+    const KernelConfig &kc = cfg.kernel;
+    w.time(kc.zeroFillCost);
+    w.time(kc.copyCostPerBlock);
+    w.time(kc.cacheAffinityCost);
+    w.time(kc.bdflushPeriod);
+    w.time(kc.pageoutPeriod);
+    w.u64(kc.pageoutBatch);
+    w.u32(kc.readAheadBlocks);
+    w.u32(kc.maxIoSectors);
+    w.f64(kc.dirtyHighWater);
+    w.u64(kc.writeThrottleSectors);
+    w.u64(kc.swapExtentPages);
+    w.boolean(kc.globalReplacement);
+    w.boolean(kc.lockPriorityInheritance);
+    w.time(kc.ioTimeout);
+    w.i64(kc.ioRetryLimit);
+    w.time(kc.ioRetryBackoff);
+
+    w.time(cfg.tickPeriod);
+    w.time(cfg.timeSlice);
+    w.u64(cfg.kernelResidentBytes);
+    w.u64(cfg.seed);
+
+    const auto users = spuMgr.userSpus();
+    w.u64(users.size());
+    for (SpuId id : users) {
+        const Spu &s = spuMgr.spu(id);
+        w.i64(id);
+        w.str(s.name);
+        w.f64(s.share);
+        w.i64(s.homeDisk);
+        w.i64(s.parent);
+        w.boolean(spuMgr.isGroup(id));
+    }
+    w.u64(pendingJobs.size());
+    for (const PendingJob &pj : pendingJobs) {
+        w.i64(pj.spu);
+        w.str(pj.spec.name);
+        w.time(pj.spec.startAt);
+    }
+    return ckptFnv1a(w.payload());
+}
+
+std::optional<std::vector<EvDesc>>
+Simulation::Impl::pendingDescriptors(std::string *reject) const
+{
+    std::vector<EvDesc> out;
+    bool ok = true;
+    events.forEachPending([&](EventId id, Time when, std::uint64_t seq,
+                              const char *name) {
+        if (!ok)
+            return;
+        const std::string_view n = name;
+        EvDesc d;
+        d.when = when;
+        d.seq = seq;
+        if (n == "schedTick") {
+            d.kind = EvKind::SchedTick;
+        } else if (n == "memPolicy") {
+            d.kind = EvKind::MemPolicy;
+        } else if (n == "bdflush") {
+            d.kind = EvKind::Bdflush;
+        } else if (n == "pageout") {
+            d.kind = EvKind::Pageout;
+        } else if (n == "bdflushKick") {
+            d.kind = EvKind::BdflushKick;
+        } else if (n == "procStart" || n == "segEnd" ||
+                   n == "sleepWake") {
+            const Pid pid = kernel->eventOwner(id);
+            if (pid == kNoPid) {
+                ok = false;
+                if (reject)
+                    *reject = std::string(n) + " event with no owner";
+                return;
+            }
+            d.kind = n == "procStart" ? EvKind::ProcStart
+                     : n == "segEnd"  ? EvKind::SegEnd
+                                      : EvKind::SleepWake;
+            d.arg = pid;
+        } else if (n == "faultRestore") {
+            const auto it = faultRestores.find(id);
+            if (it == faultRestores.end()) {
+                ok = false;
+                if (reject)
+                    *reject = "unregistered faultRestore event";
+                return;
+            }
+            d.kind = it->second.first == FaultKind::DiskSlow
+                         ? EvKind::FaultRestoreSlow
+                         : EvKind::FaultRestoreError;
+            d.arg = it->second.second;
+        } else {
+            ok = false;
+            if (reject)
+                *reject = "pending '" + std::string(n) +
+                          "' event is not checkpointable";
+            return;
+        }
+        out.push_back(d);
+    });
+    if (!ok)
+        return std::nullopt;
+    std::sort(out.begin(), out.end(),
+              [](const EvDesc &a, const EvDesc &b) {
+                  return a.seq < b.seq;
+              });
+    return out;
+}
+
+bool
+Simulation::Impl::tryCheckpoint(std::string *why)
+{
+    // A boundary is legal pre-loop (nothing executed yet) or strictly
+    // between event times; never with events still due at now().
+    if (events.executedEvents() > 0 &&
+        events.nextEventTime() <= events.now()) {
+        if (why)
+            *why = "events still due at the current time";
+        return false;
+    }
+    // Nor with a fault due at the current time: restore re-derives the
+    // fault cursor as "first fault strictly after now()", so an image
+    // taken here would silently drop that fault from the continuation.
+    if (faultCursor < faultSchedule.size() &&
+        faultSchedule[faultCursor].at <= events.now()) {
+        if (why)
+            *why = "a scheduled fault is due at the current time";
+        return false;
+    }
+    try {
+        kernel->requireIoQuiescent();
+    } catch (const InvariantError &e) {
+        if (why)
+            *why = e.what();
+        return false;
+    }
+    std::string reject;
+    if (!pendingDescriptors(&reject)) {
+        if (why)
+            *why = reject;
+        return false;
+    }
+    std::ostringstream os;
+    writeImage(os);
+    cfg.checkpointSink(std::move(os).str());
+    return true;
+}
+
+void
+Simulation::Impl::writeImage(std::ostream &out)
+{
+    std::string reject;
+    const auto descs = pendingDescriptors(&reject);
+    if (!descs)
+        throw InvariantError("checkpoint rejected: " + reject,
+                             events.now());
+
+    CkptWriter w;
+    w.time(events.now());
+    w.u64(events.nextSeq());
+    w.u64(events.executedEvents());
+    w.u64(descs->size());
+    for (const EvDesc &d : *descs) {
+        w.u8(static_cast<std::uint8_t>(d.kind));
+        w.time(d.when);
+        w.u64(d.seq);
+        w.i64(d.arg);
+    }
+
+    rng.save(w);
+    phys.save(w);
+    vm.save(w);
+    cache.save(w);
+    fs.save(w);
+    spuMgr.save(w);
+
+    w.u64(disks.size());
+    for (const auto &d : disks)
+        d->save(w);
+    for (const FairDiskScheduler *fds : fairSchedulers)
+        fds->tracker().save(w);
+    w.boolean(network != nullptr);
+    if (network) {
+        network->save(w);
+        w.boolean(fairNet != nullptr);
+        if (fairNet)
+            fairNet->tracker().save(w);
+    }
+
+    sched->save(w);
+    kernel->save(w);
+
+    w.u64(jobs.size());
+    for (const Job &j : jobs)
+        j.save(w);
+
+    w.emit(out, configDigest());
+}
+
+void
+Simulation::Impl::restoreFaultRestore(FaultKind kind, DiskId disk,
+                                      Time when, std::uint64_t seq)
+{
+    if (disk < 0 || static_cast<std::size_t>(disk) >= disks.size()) {
+        throw ConfigError("checkpoint image rejected: faultRestore "
+                          "references unknown disk " +
+                          std::to_string(disk));
+    }
+    DiskDevice *d = disks[static_cast<std::size_t>(disk)].get();
+    EventId id = kNoEvent;
+    if (kind == FaultKind::DiskSlow) {
+        id = events.scheduleRestored(
+            when, seq, [d] { d->setSlowFactor(1.0); }, "faultRestore");
+    } else {
+        id = events.scheduleRestored(
+            when, seq, [d] { d->setErrorRate(0.0); }, "faultRestore");
+    }
+    faultRestores[id] = {kind, disk};
+}
+
+void
+Simulation::Impl::loadImage(CkptReader &r)
+{
+    const Time now = r.time();
+    const std::uint64_t nextSeq = r.u64();
+    const std::uint64_t executed = r.u64();
+
+    const std::uint64_t ndescs = r.u64();
+    if (ndescs > r.remaining()) {
+        throw ConfigError("checkpoint image rejected: event count "
+                          "exceeds the payload");
+    }
+    std::vector<EvDesc> descs;
+    descs.reserve(ndescs);
+    for (std::uint64_t i = 0; i < ndescs; ++i) {
+        const std::uint8_t kind = r.u8();
+        if (kind > kMaxEvKind) {
+            throw ConfigError(
+                "checkpoint image rejected: unknown event kind " +
+                std::to_string(kind));
+        }
+        EvDesc d;
+        d.kind = static_cast<EvKind>(kind);
+        d.when = r.time();
+        d.seq = r.u64();
+        d.arg = r.i64();
+        descs.push_back(d);
+    }
+
+    rng.load(r);
+    phys.load(r);
+    vm.load(r);
+    cache.load(r);
+    fs.load(r);
+    spuMgr.load(r);
+
+    if (r.u64() != disks.size()) {
+        throw ConfigError(
+            "checkpoint image rejected: disk count mismatch");
+    }
+    for (auto &d : disks)
+        d->load(r);
+    for (FairDiskScheduler *fds : fairSchedulers)
+        fds->tracker().load(r);
+    if (r.boolean() != (network != nullptr)) {
+        throw ConfigError(
+            "checkpoint image rejected: network presence mismatch");
+    }
+    if (network) {
+        network->load(r);
+        if (r.boolean() != (fairNet != nullptr)) {
+            throw ConfigError("checkpoint image rejected: network "
+                              "scheduler mismatch");
+        }
+        if (fairNet)
+            fairNet->tracker().load(r);
+    }
+
+    const auto byPid = [this](Pid pid) -> Process * {
+        Process *p = kernel->process(pid);
+        if (!p) {
+            throw ConfigError("checkpoint references unknown pid " +
+                              std::to_string(pid));
+        }
+        return p;
+    };
+    sched->load(r, byPid);
+    kernel->load(r);
+
+    if (r.u64() != jobs.size())
+        throw ConfigError("checkpoint image rejected: job count mismatch");
+    for (Job &j : jobs)
+        j.load(r);
+
+    r.expectEnd();
+
+    // Re-bind every pending event at its original heap coordinates,
+    // replacing the setup replay's events wholesale.
+    events.clearPending();
+    faultRestores.clear();
+    for (const EvDesc &d : descs) {
+        switch (d.kind) {
+          case EvKind::SchedTick:
+            sched->restoreTick(d.when, d.seq);
+            break;
+          case EvKind::MemPolicy:
+            if (!memPolicy) {
+                throw ConfigError(
+                    "checkpoint image rejected: memPolicy event "
+                    "without a memory sharing policy");
+            }
+            memPolicy->restoreTick(d.when, d.seq);
+            break;
+          case EvKind::Bdflush:
+            kernel->restoreBdflush(d.when, d.seq);
+            break;
+          case EvKind::Pageout:
+            kernel->restorePageout(d.when, d.seq);
+            break;
+          case EvKind::BdflushKick:
+            kernel->restoreBdflushKick(d.when, d.seq);
+            break;
+          case EvKind::ProcStart:
+            kernel->restoreProcStart(static_cast<Pid>(d.arg), d.when,
+                                     d.seq);
+            break;
+          case EvKind::SegEnd:
+            kernel->restoreSegEnd(static_cast<Pid>(d.arg), d.when,
+                                  d.seq);
+            break;
+          case EvKind::SleepWake:
+            kernel->restoreSleepWake(static_cast<Pid>(d.arg), d.when,
+                                     d.seq);
+            break;
+          case EvKind::FaultRestoreSlow:
+            restoreFaultRestore(FaultKind::DiskSlow,
+                                static_cast<DiskId>(d.arg), d.when,
+                                d.seq);
+            break;
+          case EvKind::FaultRestoreError:
+            restoreFaultRestore(FaultKind::DiskError,
+                                static_cast<DiskId>(d.arg), d.when,
+                                d.seq);
+            break;
+        }
+    }
+    events.restoreClock(now, nextSeq, executed);
+
+    // Faults at or before the checkpoint already fired in the original
+    // run (their effects are part of the device state); resume the
+    // cursor after them. The plan itself is outside the config digest,
+    // so a restore may continue under a longer plan than the one the
+    // image was taken under — the warm-start prefix contract.
+    faultCursor = 0;
+    while (faultCursor < faultSchedule.size() &&
+           faultSchedule[faultCursor].at <= now)
+        ++faultCursor;
+}
+
+void
+Simulation::checkpoint(std::ostream &out)
+{
+    Impl &im = *impl_;
+    TraceContextScope traceScope(im.trace);
+    LogContextScope logScope(im.log);
+    if (!im.setupDone)
+        im.setupRun();
+    if (im.events.executedEvents() > 0 &&
+        im.events.nextEventTime() <= im.events.now()) {
+        throw InvariantError(
+            "checkpoint requires a quiescent event boundary (events "
+            "still due at the current time)",
+            im.events.now());
+    }
+    im.kernel->requireIoQuiescent();
+    im.writeImage(out);
+}
+
+std::uint64_t
+Simulation::configDigest() const
+{
+    return impl_->configDigest();
+}
+
+void
+Simulation::restore(std::istream &in)
+{
+    Impl &im = *impl_;
+    if (im.ran || im.setupDone)
+        PISO_FATAL("Simulation::restore() must precede run()");
+    TraceContextScope traceScope(im.trace);
+    LogContextScope logScope(im.log);
+    CkptReader r = CkptReader::fromStream(in);
+    r.requireDigest(im.configDigest());
+    im.setupRun();
+    im.loadImage(r);
 }
 
 } // namespace piso

@@ -20,6 +20,8 @@
  * @endcode
  */
 
+#include <functional>
+#include <iosfwd>
 #include <memory>
 #include <optional>
 #include <string>
@@ -160,6 +162,32 @@ struct SystemConfig
     };
     ChaosSpec chaos;
     /// @}
+
+    /** @name Checkpoint (docs/checkpoint.md)
+     *
+     * With checkpointAt > 0, run() serialises the complete simulation
+     * state at the first quiescent event boundary at or after that
+     * time and hands the image to checkpointSink. A boundary is
+     * quiescent when no I/O is in flight and every pending event is
+     * one of the serialisable descriptor kinds; the run keeps
+     * executing events until it finds one.
+     */
+    /// @{
+    /** Earliest simulated time to checkpoint at (0 = off). */
+    Time checkpointAt = 0;
+
+    /** Fail with InvariantError if no quiescent boundary was found by
+     *  this time (0 = keep looking until the run ends). */
+    Time checkpointDeadline = 0;
+
+    /** Stop the run right after the checkpoint is taken (used by the
+     *  warm-start sweep engine's template runs). */
+    bool checkpointStop = false;
+
+    /** Receives the serialised image when the checkpoint fires. Must
+     *  be set when checkpointAt > 0. */
+    std::function<void(std::string)> checkpointSink;
+    /// @}
 };
 
 /**
@@ -190,8 +218,40 @@ class Simulation
      */
     void rebalanceSpus();
 
-    /** Execute the whole workload. Call once. */
+    /** Execute the whole workload. Call once. After restore(), this
+     *  continues the run from the checkpointed state instead of from
+     *  time zero. */
     SimResults run();
+
+    /** @name Checkpoint/restore (docs/checkpoint.md)
+     *
+     * checkpoint() serialises the complete state to @p out. It may be
+     * called before run() (a t=0 image) or from inside a scheduled
+     * event; either way the simulation must be at a quiescent
+     * boundary — no I/O in flight and only serialisable events
+     * pending — or InvariantError is thrown.
+     *
+     * restore() is the inverse: construct a Simulation with the exact
+     * same SystemConfig and replay the identical addSpu()/addJob()
+     * sequence, then call restore() instead of running from scratch.
+     * The header's config digest guards against mismatched
+     * configurations; malformed or corrupted images raise ConfigError.
+     */
+    /// @{
+    void checkpoint(std::ostream &out);
+    void restore(std::istream &in);
+
+    /**
+     * The digest a checkpoint image of this simulation would carry:
+     * a hash of the machine configuration plus the declared SPU/job
+     * structure. Two simulations with equal digests accept each
+     * other's images; the warm-start sweep engine uses this to group
+     * grid points that can share a checkpointed prefix. Fault plans,
+     * maxTime, watchdogs, and chaos knobs are deliberately excluded
+     * (see docs/checkpoint.md).
+     */
+    std::uint64_t configDigest() const;
+    /// @}
 
     /** @name Component access (tests, examples, advanced setups) */
     /// @{

@@ -97,6 +97,27 @@ class Job
         return completed() ? endTime_ - startAt_ : 0;
     }
 
+    /** @name Checkpoint */
+    /// @{
+    void
+    save(CkptWriter &w) const
+    {
+        w.i64(remaining_);
+        w.boolean(started_);
+        w.boolean(failed_);
+        w.time(endTime_);
+    }
+
+    void
+    load(CkptReader &r)
+    {
+        remaining_ = static_cast<int>(r.i64());
+        started_ = r.boolean();
+        failed_ = r.boolean();
+        endTime_ = r.time();
+    }
+    /// @}
+
   private:
     JobId id_;
     std::string name_;

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/os/behavior.hh"
+#include "src/util/error.hh"
 #include "src/workload/job.hh"
 
 namespace piso {
@@ -36,6 +37,17 @@ class ScriptBehavior : public Behavior
 
     std::size_t remaining() const { return script_.size() - index_; }
 
+    void save(CkptWriter &w) const override { w.u64(index_); }
+
+    void
+    load(CkptReader &r) override
+    {
+        index_ = r.u64();
+        if (index_ > script_.size())
+            throw ConfigError("checkpoint image rejected: script "
+                              "cursor beyond script end");
+    }
+
   private:
     std::vector<Action> script_;
     std::size_t index_ = 0;
@@ -60,6 +72,20 @@ class ComputeBehavior : public Behavior
     explicit ComputeBehavior(const ComputeSpec &spec) : spec_(spec) {}
 
     Action next(Process &self, const BehaviorContext &ctx) override;
+
+    void
+    save(CkptWriter &w) const override
+    {
+        w.time(done_);
+        w.boolean(grown_);
+    }
+
+    void
+    load(CkptReader &r) override
+    {
+        done_ = r.time();
+        grown_ = r.boolean();
+    }
 
   private:
     ComputeSpec spec_;

@@ -112,6 +112,71 @@ TEST(Determinism, SummaryTableInvariantUnderJobs)
 }
 
 // ---------------------------------------------------------------------
+// Warm start is a pure wall-clock optimisation: a sweep whose grid
+// points share a checkpointable prefix produces byte-identical JSONL
+// warm or cold, serial or parallel (docs/checkpoint.md).
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** A fault-axis plan: one digest, eight late-fault variants, the
+ *  shape the warm-start engine folds into a single template group. */
+exp::ExperimentPlan
+faultAxisPlan()
+{
+    exp::ExperimentPlan plan;
+    plan.base = parseWorkloadSpec(kSpec);
+    plan.axes.push_back(exp::parseGridAxis(
+        "fault_disk_slow=none,1.5:0.3:0:4,1.5:0.3:0:8,1.8:0.3:1:4"));
+    plan.axes.push_back(
+        exp::parseGridAxis("fault_disk_error=none,1.6:0.2:0:0.5"));
+    return plan;
+}
+
+std::string
+sweepJsonlWarm(const exp::ExperimentPlan &plan, int jobs, bool warm)
+{
+    return exp::formatSweepJsonl(
+        exp::runPlan(plan, {.jobs = jobs, .warmStart = warm}));
+}
+
+} // namespace
+
+TEST(Determinism, WarmStartSweepMatchesColdAtAnyJobs)
+{
+    const exp::ExperimentPlan plan = faultAxisPlan();
+    const std::string coldSerial = sweepJsonlWarm(plan, 1, false);
+    EXPECT_FALSE(coldSerial.empty());
+    // No hidden failure records: every grid point must actually run.
+    EXPECT_EQ(coldSerial.find("\"status\""), std::string::npos);
+
+    EXPECT_EQ(coldSerial, sweepJsonlWarm(plan, 1, true));
+    EXPECT_EQ(coldSerial, sweepJsonlWarm(plan, 4, true));
+    EXPECT_EQ(coldSerial, sweepJsonlWarm(plan, 8, true));
+    EXPECT_EQ(coldSerial, sweepJsonlWarm(plan, 4, false));
+}
+
+TEST(Determinism, WarmStartHandlesMixedDigestGroups)
+{
+    // A scheme axis on top of the fault axis: three digest groups,
+    // each warm-started independently; bytes still match cold/serial.
+    exp::ExperimentPlan plan = faultAxisPlan();
+    plan.axes.insert(plan.axes.begin(),
+                     exp::parseGridAxis("scheme=smp,quota,piso"));
+    const std::string coldSerial = sweepJsonlWarm(plan, 1, false);
+    EXPECT_EQ(coldSerial, sweepJsonlWarm(plan, 4, true));
+}
+
+TEST(Determinism, WarmStartOnSchemeOnlyPlanIsInert)
+{
+    // Singleton digest groups (nothing shares a prefix): warm start
+    // must quietly change nothing.
+    const exp::ExperimentPlan plan = smallPlan();
+    EXPECT_EQ(sweepJsonlWarm(plan, 2, true),
+              sweepJsonlWarm(plan, 2, false));
+}
+
+// ---------------------------------------------------------------------
 // Simulator perf counters (events, wall-clock) are host-side noise and
 // must never reach deterministic outputs: the JSONL stream and the
 // default-format JSON/summary stay perf-free, perf is strictly opt-in.

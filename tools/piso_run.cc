@@ -7,6 +7,11 @@
  *   piso_run --trace=sched,mem workload.piso  # with execution traces
  *   piso_run --json workload.piso     # machine-readable results
  *
+ *   # checkpoint at the first quiescent boundary at/after 2s, then
+ *   # later resume a byte-identical continuation (docs/checkpoint.md):
+ *   piso_run --checkpoint-at=2 --checkpoint-out=run.ckpt workload.piso
+ *   piso_run --restore=run.ckpt workload.piso
+ *
  * See src/config/workload_spec.hh for the file format and
  * examples/specs/ for ready-made scenarios.
  */
@@ -73,12 +78,21 @@ usage(std::FILE *to)
 {
     std::fprintf(to,
                  "usage: piso_run [--compare] [--json] [--trace=CATS] "
+                 "[--checkpoint-at=T --checkpoint-out=F] [--restore=F] "
                  "<workload-file>\n"
                  "  --compare     run the workload under all three "
                  "schemes (SMP/Quo/PIso)\n"
                  "  --trace=CATS  comma list of sched,mem,disk,net,"
                  "lock,kernel,all\n"
                  "  --json        print machine-readable results\n"
+                 "  --checkpoint-at=T   write a checkpoint at the first "
+                 "quiescent boundary\n"
+                 "                      at or after T seconds of "
+                 "simulated time\n"
+                 "  --checkpoint-out=F  checkpoint image file (required "
+                 "with --checkpoint-at)\n"
+                 "  --restore=F   resume from a checkpoint image taken "
+                 "with the same workload\n"
                  "  -h, --help    show this help and exit\n"
                  "\n"
                  "The workload file declares SPUs either flat (`spu "
@@ -107,6 +121,9 @@ main(int argc, char **argv)
 {
     bool compare = false;
     bool json = false;
+    double checkpointAtSec = 0;
+    const char *checkpointOut = nullptr;
+    const char *restorePath = nullptr;
     const char *path = nullptr;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--compare") == 0)
@@ -115,6 +132,19 @@ main(int argc, char **argv)
             json = true;
         else if (std::strncmp(argv[i], "--trace=", 8) == 0)
             traceEnable(parseTraceList(argv[i] + 8));
+        else if (std::strncmp(argv[i], "--checkpoint-at=", 16) == 0) {
+            char *end = nullptr;
+            checkpointAtSec = std::strtod(argv[i] + 16, &end);
+            if (!end || *end != '\0' || checkpointAtSec <= 0) {
+                std::fprintf(stderr,
+                             "piso_run: --checkpoint-at wants a "
+                             "positive time in seconds\n");
+                return 2;
+            }
+        } else if (std::strncmp(argv[i], "--checkpoint-out=", 17) == 0)
+            checkpointOut = argv[i] + 17;
+        else if (std::strncmp(argv[i], "--restore=", 10) == 0)
+            restorePath = argv[i] + 10;
         else if (std::strcmp(argv[i], "-h") == 0 ||
                  std::strcmp(argv[i], "--help") == 0) {
             usage(stdout);
@@ -128,6 +158,19 @@ main(int argc, char **argv)
     }
     if (!path)
         return usageError();
+    if ((checkpointAtSec > 0) != (checkpointOut != nullptr)) {
+        std::fprintf(stderr,
+                     "piso_run: --checkpoint-at and --checkpoint-out "
+                     "must be given together\n");
+        return 2;
+    }
+    if (compare && (checkpointOut || restorePath)) {
+        std::fprintf(stderr,
+                     "piso_run: --compare cannot be combined with "
+                     "checkpoint/restore (the image belongs to one "
+                     "scheme's run)\n");
+        return 2;
+    }
 
     WorkloadSpec spec;
     try {
@@ -140,7 +183,25 @@ main(int argc, char **argv)
 
     try {
         if (!compare) {
-            const SimResults r = runWorkloadSpec(spec);
+            if (checkpointOut) {
+                spec.config.checkpointAt =
+                    static_cast<Time>(checkpointAtSec * kSec);
+                spec.config.checkpointSink =
+                    [checkpointOut](std::string image) {
+                        std::ofstream out(checkpointOut,
+                                          std::ios::binary);
+                        out.write(image.data(),
+                                  static_cast<std::streamsize>(
+                                      image.size()));
+                        if (!out)
+                            PISO_FATAL("cannot write checkpoint to '",
+                                       checkpointOut, "'");
+                    };
+            }
+            const SimResults r =
+                restorePath
+                    ? runWorkloadSpecFrom(spec, readFile(restorePath))
+                    : runWorkloadSpec(spec);
             if (json) {
                 // Interactive output: include the simulator's own perf
                 // counters. Deterministic consumers (goldens, sweep

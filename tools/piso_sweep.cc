@@ -69,7 +69,11 @@ usage(std::FILE *to)
         "                        bw_threshold,bw_halflife_ms,"
         "seek_scale,ipi_revocation,\n"
         "                        loan_holdoff_ms,tick_ms,slice_ms,"
-        "reserve_frac\n"
+        "reserve_frac,\n"
+        "                        fault_disk_slow (AT_S:FOR_S:DISK:"
+        "FACTOR or none),\n"
+        "                        fault_disk_error (AT_S:FOR_S:DISK:"
+        "RATE), fault_disk_dead\n"
         "  --seeds N             replicate every grid point with "
         "seeds 1..N\n"
         "  --jobs N              worker threads (default 1; 0 = one "
@@ -97,6 +101,12 @@ usage(std::FILE *to)
         "                        after S simulated seconds ends "
         "timed_out\n"
         "  --max-events N        event-count watchdog for every task\n"
+        "  --no-warm-start       disable checkpoint prefix sharing "
+        "between grid\n"
+        "                        points differing only in late faults "
+        "(output is\n"
+        "                        byte-identical either way; see "
+        "docs/checkpoint.md)\n"
         "  -h, --help            show this help and exit\n"
         "\n"
         "Output: one JSON object per task "
@@ -161,6 +171,8 @@ main(int argc, char **argv)
             } else if (std::strcmp(argv[i], "--max-sim-time") == 0 &&
                        i + 1 < argc) {
                 opts.watchdogSimTime = fromSeconds(std::atof(argv[++i]));
+            } else if (std::strcmp(argv[i], "--no-warm-start") == 0) {
+                opts.warmStart = false;
             } else if (std::strcmp(argv[i], "--max-events") == 0 &&
                        i + 1 < argc) {
                 opts.watchdogEvents =
