@@ -358,6 +358,22 @@ parseWorkloadSpec(const std::string &text)
                 r.num("seek_scale", 1.0);
             spec.config.ipiRevocation =
                 r.integer("ipi_revocation", 0) != 0;
+            // NUMA/bus machine model (src/machine/numa.hh). The
+            // defaults describe a uniform-memory machine and add zero
+            // cost, so omitting every key keeps runs byte-identical.
+            spec.config.numa.domains =
+                static_cast<int>(r.integer("numa_domains", 1));
+            spec.config.numa.localLatency =
+                static_cast<Time>(r.num("numa_local_us", 0.0) * kUs);
+            spec.config.numa.remoteLatency =
+                static_cast<Time>(r.num("numa_remote_us", 0.0) * kUs);
+            spec.config.numa.busBytesPerSec =
+                r.num("bus_mbps", 0.0) * 1e6 / 8.0;
+            spec.config.numa.busSaturation =
+                r.num("bus_saturation", 0.0);
+            spec.config.numa.busHalfLife = fromMillis(r.num(
+                "bus_halflife_ms",
+                toSeconds(spec.config.numa.busHalfLife) * 1e3));
             r.finish();
         } else if (kind == "spu") {
             if (tokens.size() < 2)

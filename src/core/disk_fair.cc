@@ -99,6 +99,8 @@ FairDiskScheduler::onComplete(const DiskRequest &req, Time now)
     // Shared writes are charged to the user SPUs whose pages they
     // carried (Section 3.3); everything else to the request's SPU.
     if (!req.charges.empty()) {
+        // piso-lint: allow(hot-path-full-scan) -- bounded by the SPUs
+        // charged for this one request, not the SPU population.
         for (const auto &[spu, sectors] : req.charges)
             tracker_.addSectors(spu, sectors, now);
     } else {
@@ -131,6 +133,7 @@ IsoDiskScheduler::pick(const std::deque<DiskRequest> &queue,
 {
     if (queue.empty())
         PISO_PANIC("Iso disk policy asked to pick from an empty queue");
+    policyIters_ += queue.size();
 
     const bool shared_ok = sharedEligible(queue, now);
 
@@ -185,6 +188,7 @@ PisoDiskScheduler::pick(const std::deque<DiskRequest> &queue,
 {
     if (queue.empty())
         PISO_PANIC("PIso disk policy asked to pick from an empty queue");
+    policyIters_ += queue.size();
 
     // Ratios of the user SPUs with active requests.
     SpuTable<double> ratios;
@@ -207,6 +211,8 @@ PisoDiskScheduler::pick(const std::deque<DiskRequest> &queue,
     }
 
     double avg = 0.0;
+    // piso-lint: allow(hot-path-full-scan) -- 'ratios' holds only the
+    // SPUs with queued requests on this disk: already O(active).
     for (const auto &[spu, ratio] : ratios)
         avg += ratio;
     avg /= static_cast<double>(ratios.size());

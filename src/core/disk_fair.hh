@@ -118,6 +118,10 @@ class FairDiskScheduler : public DiskScheduler
     DiskBandwidthTracker &tracker() { return tracker_; }
     const DiskBandwidthTracker &tracker() const { return tracker_; }
 
+    /** Queue entries examined by pick() calls — the policy_iters_disk
+     *  perf counter. Out of band: never serialised, never in JSONL. */
+    std::uint64_t policyIters() const { return policyIters_; }
+
   protected:
     /** True when only shared-SPU requests are queued, or a shared
      *  request has waited past the starvation guard. */
@@ -126,6 +130,7 @@ class FairDiskScheduler : public DiskScheduler
 
     DiskBandwidthTracker tracker_;
     Time sharedWait_;
+    std::uint64_t policyIters_ = 0;
 };
 
 /**

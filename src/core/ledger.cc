@@ -74,6 +74,8 @@ double
 ResourceLedger::totalShare() const
 {
     double total = 0.0;
+    // piso-lint: allow(hot-path-full-scan) -- rebalance/report-time
+    // aggregation, not an event callback.
     for (const auto &[spu, e] : spus_)
         total += e.share;
     return total;
@@ -158,6 +160,8 @@ std::uint64_t
 ResourceLedger::usedTotal() const
 {
     std::uint64_t total = 0;
+    // piso-lint: allow(hot-path-full-scan) -- rebalance/report-time
+    // aggregation, not an event callback.
     for (const auto &[spu, e] : spus_)
         total += e.levels.used;
     return total;
@@ -167,6 +171,8 @@ std::uint64_t
 ResourceLedger::entitledTotal() const
 {
     std::uint64_t total = 0;
+    // piso-lint: allow(hot-path-full-scan) -- rebalance/report-time
+    // aggregation, not an event callback.
     for (const auto &[spu, e] : spus_)
         total += e.levels.entitled;
     return total;
@@ -235,6 +241,8 @@ ResourceLedger::entitleByShare(std::uint64_t divisible)
     std::vector<double> shares;
     ids.reserve(spus_.size());
     shares.reserve(spus_.size());
+    // piso-lint: allow(hot-path-full-scan) -- runs once per rebalance,
+    // gated by the policy version skip, not per event.
     for (const auto &[spu, e] : spus_) {
         ids.push_back(spu);
         shares.push_back(e.share);

@@ -28,15 +28,37 @@ MemorySharingPolicy::start()
         config_.reserveFraction *
         static_cast<double>(vm_.totalPages()));
     vm_.setReservePages(reserve);
+    started_ = true;
     recompute();
-    events_.scheduleAfter(config_.period, [this] { tick(); }, "memPolicy");
+    arm();
+}
+
+void
+MemorySharingPolicy::arm()
+{
+    if (!started_ || armed_)
+        return;
+    armed_ = true;
+    events_.scheduleAfter(config_.period, [this] { tick(); },
+                          "memPolicy");
 }
 
 void
 MemorySharingPolicy::tick()
 {
-    recompute();
-    events_.scheduleAfter(config_.period, [this] { tick(); }, "memPolicy");
+    armed_ = false;
+    // Nothing to entitle: stop rescheduling so an idle simulation's
+    // event queue drains. arm() restarts the loop when SPUs return.
+    if (spus_.leafSpus().empty())
+        return;
+    // O(1) skip: no ledger or SPU-tree change since the last full
+    // pass means the pass would write back identical levels.
+    if (config_.eagerRecompute || !seenValid_ ||
+        vm_.version() != seenVmVersion_ ||
+        spus_.version() != seenSpuVersion_) {
+        recompute();
+    }
+    arm();
 }
 
 void
@@ -53,6 +75,7 @@ MemorySharingPolicy::recompute()
     const auto users = spus_.leafSpus();
     if (users.empty())
         return;
+    policyIters_ += users.size();
 
     // 1. Recompute entitlements from the sharing contract, splitting
     //    the divisible pages down the SPU tree with per-level floors
@@ -99,6 +122,13 @@ MemorySharingPolicy::recompute()
         }
         vm_.setAllowed(spu, allowed);
     }
+
+    // Capture the versions *after* the pass: the writes above bump
+    // the VM version, and the skip must key off the state this pass
+    // left behind, not the state it started from.
+    seenVmVersion_ = vm_.version();
+    seenSpuVersion_ = spus_.version();
+    seenValid_ = true;
 }
 
 } // namespace piso

@@ -31,6 +31,11 @@ struct MemPolicyConfig
     /** Fraction of total memory kept free (the paper picks 8%, the
      *  value IRIX uses to decide it is low on memory). */
     double reserveFraction = 0.08;
+
+    /** Run every periodic pass even when no ledger or SPU-tree change
+     *  occurred (the pre-PR-9 behavior). Bit-exact with the default
+     *  O(1) skip; benchmark baseline only (bench/ext_scale). */
+    bool eagerRecompute = false;
 };
 
 /** Periodic entitled/allowed level manager for the PIso scheme. */
@@ -43,6 +48,15 @@ class MemorySharingPolicy
     /** Set the reserve and initial levels, and begin periodic
      *  recomputation. */
     void start();
+
+    /**
+     * (Re-)schedule the periodic tick. No-op before start() or while
+     * a tick is already pending. A tick that finds no active leaf SPU
+     * stops rescheduling itself so an idle simulation's event queue
+     * can drain; call this after SPUs are created or resumed
+     * (Simulation::rebalanceSpus does) to restart the loop.
+     */
+    void arm();
 
     /**
      * One recomputation pass (public so tests and setup can invoke it
@@ -58,14 +72,27 @@ class MemorySharingPolicy
 
     const MemPolicyConfig &config() const { return config_; }
 
+    /** Leaf-SPU iterations performed by recompute passes — the
+     *  policy_iters_mem perf counter. Out of band: never serialised,
+     *  never in JSONL. */
+    std::uint64_t policyIters() const { return policyIters_; }
+
     /** Checkpoint restore: re-schedule the periodic recomputation with
      *  its original (when, seq) ordering key. The policy itself holds
      *  no other mutable state — levels live in the VM's ledger. */
     void restoreTick(Time when, std::uint64_t seq)
     {
+        started_ = true;
+        armed_ = true;
         events_.scheduleRestored(when, seq, [this] { tick(); },
                                  "memPolicy");
     }
+
+    /** Checkpoint restore: the tick scheduled by the replayed start()
+     *  was just wiped with the rest of the pending event queue; forget
+     *  it so restoreTick() (or a drained image's absence of one) is
+     *  the only source of truth. */
+    void clearScheduled() { armed_ = false; }
 
   private:
     void tick();
@@ -74,6 +101,24 @@ class MemorySharingPolicy
     VirtualMemory &vm_;
     SpuManager &spus_;
     MemPolicyConfig config_;
+
+    /** start() has run (recompute() may schedule ticks). */
+    bool started_ = false;
+
+    /** A tick event is currently pending. */
+    bool armed_ = false;
+
+    /** Versions of the VM ledger and the SPU registry captured at the
+     *  end of the last full recompute pass. A tick that finds both
+     *  unchanged skips the pass in O(1): no charge, entitlement, or
+     *  topology change means the pass would write back the identical
+     *  levels (and pressure, which bumps the VM version when noted,
+     *  is necessarily zero). */
+    bool seenValid_ = false;
+    std::uint64_t seenVmVersion_ = 0;
+    std::uint64_t seenSpuVersion_ = 0;
+
+    std::uint64_t policyIters_ = 0;
 };
 
 } // namespace piso

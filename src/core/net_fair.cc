@@ -14,6 +14,7 @@ FairNetScheduler::pick(const std::deque<NetMessage> &queue, Time now)
 {
     if (queue.empty())
         PISO_PANIC("fair net scheduler asked to pick from empty queue");
+    policyIters_ += queue.size();
 
     // Fairest SPU with a queued message; FIFO within the SPU (the
     // deque preserves submission order).

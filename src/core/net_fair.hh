@@ -37,8 +37,13 @@ class FairNetScheduler : public NetScheduler
     DiskBandwidthTracker &tracker() { return tracker_; }
     const DiskBandwidthTracker &tracker() const { return tracker_; }
 
+    /** Queue entries examined by pick() calls — the policy_iters_net
+     *  perf counter. Out of band: never serialised, never in JSONL. */
+    std::uint64_t policyIters() const { return policyIters_; }
+
   private:
     DiskBandwidthTracker tracker_;
+    std::uint64_t policyIters_ = 0;
 };
 
 } // namespace piso

@@ -46,22 +46,49 @@ PisoScheduler::popBestKin(SpuId owner)
 
     Process *best = nullptr;
     std::size_t bestKin = 0;
-    for (auto [spu, queue] : ready_) {
-        if (spu == owner)
-            continue;
-        const std::size_t kin = kinship(owner, spu);
-        if (best && kin < bestKin)
-            continue;
-        for (Process *q : queue) {
-            if (!best || kin > bestKin ||
-                (kin == bestKin && higherPriority(q, best))) {
-                best = q;
-                bestKin = kin;
+    if (eagerLoops_) {
+        // Pre-PR-9 reference path (bench/ext_scale baseline).
+        // piso-lint: allow(hot-path-full-scan) -- eager-baseline
+        // reference loop, compiled out of the default path.
+        for (auto [spu, queue] : ready_) {
+            ++policyIters_;
+            if (spu == owner)
+                continue;
+            const std::size_t kin = kinship(owner, spu);
+            if (best && kin < bestKin)
+                continue;
+            for (Process *q : queue) {
+                if (!best || kin > bestKin ||
+                    (kin == bestKin && higherPriority(q, best))) {
+                    best = q;
+                    bestKin = kin;
+                }
+            }
+        }
+    } else {
+        // Empty queues never produce a candidate and never move
+        // bestKin, so walking only the non-empty SPUs (in the same
+        // ascending order) picks the identical process.
+        for (SpuId spu : nonEmpty_) {
+            ++policyIters_;
+            if (spu == owner)
+                continue;
+            const std::size_t kin = kinship(owner, spu);
+            if (best && kin < bestKin)
+                continue;
+            for (Process *q : ready_[spu]) {
+                if (!best || kin > bestKin ||
+                    (kin == bestKin && higherPriority(q, best))) {
+                    best = q;
+                    bestKin = kin;
+                }
             }
         }
     }
-    if (best)
+    if (best) {
         ready_[best->spu()].remove(best);
+        noteQueueDrained(best->spu());
+    }
     return best;
 }
 
@@ -73,6 +100,8 @@ PisoScheduler::selectNext(Cpu &cpu)
         return p;
     // On a time-partitioned CPU the other share-holders come before
     // strangers.
+    // piso-lint: allow(hot-path-full-scan) -- bounded by the SPUs
+    // sharing this one CPU, not the SPU population.
     for (const auto &[spu, frac] : cpu.timeShares) {
         if (spu == owner)
             continue;

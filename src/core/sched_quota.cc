@@ -13,6 +13,7 @@ void
 QuotaScheduler::enqueueReady(Process *p)
 {
     ready_[p->spu()].push_back(p);
+    nonEmpty_.insert(p->spu());
 }
 
 Process *
@@ -22,6 +23,7 @@ QuotaScheduler::popBest(SpuId spu)
     if (!qp || qp->empty())
         return nullptr;
     auto &queue = *qp;
+    policyIters_ += queue.size();
     auto best = queue.begin();
     for (auto q = std::next(queue.begin()); q != queue.end(); ++q) {
         if (higherPriority(*q, *best))
@@ -29,6 +31,7 @@ QuotaScheduler::popBest(SpuId spu)
     }
     Process *p = *best;
     queue.erase(best);
+    noteQueueDrained(spu);
     return p;
 }
 
@@ -36,17 +39,39 @@ Process *
 QuotaScheduler::popBestForeign(SpuId exclude)
 {
     Process *best = nullptr;
-    // DenseTable iteration yields (id, reference) pairs by value.
-    for (auto [spu, queue] : ready_) {
-        if (spu == exclude)
-            continue;
-        for (Process *q : queue) {
-            if (!best || higherPriority(q, best))
-                best = q;
+    if (eagerLoops_) {
+        // Pre-PR-9 reference path: visit every SPU's queue, empty or
+        // not (bench/ext_scale baseline). DenseTable iteration yields
+        // (id, reference) pairs by value.
+        // piso-lint: allow(hot-path-full-scan) -- eager-baseline
+        // reference loop, compiled out of the default path.
+        for (auto [spu, queue] : ready_) {
+            ++policyIters_;
+            if (spu == exclude)
+                continue;
+            for (Process *q : queue) {
+                if (!best || higherPriority(q, best))
+                    best = q;
+            }
+        }
+    } else {
+        // Only SPUs with waiting work can contribute a candidate, and
+        // nonEmpty_ iterates them in the same ascending-id order the
+        // full table scan would: the pick is identical.
+        for (SpuId spu : nonEmpty_) {
+            ++policyIters_;
+            if (spu == exclude)
+                continue;
+            for (Process *q : ready_[spu]) {
+                if (!best || higherPriority(q, best))
+                    best = q;
+            }
         }
     }
-    if (best)
+    if (best) {
         ready_[best->spu()].remove(best);
+        noteQueueDrained(best->spu());
+    }
     return best;
 }
 

@@ -18,6 +18,7 @@
  */
 
 #include <list>
+#include <set>
 
 #include "src/os/scheduler.hh"
 
@@ -45,6 +46,15 @@ class QuotaScheduler : public CpuScheduler
     /** Best ready process across all SPUs except @p exclude. */
     Process *popBestForeign(SpuId exclude);
 
+    /** Drop @p spu from the active set if its queue drained. */
+    void
+    noteQueueDrained(SpuId spu)
+    {
+        const auto *q = ready_.find(spu);
+        if (q == nullptr || q->empty())
+            nonEmpty_.erase(spu);
+    }
+
     void saveReady(CkptWriter &w) const override
     {
         ready_.saveTable(
@@ -64,9 +74,27 @@ class QuotaScheduler : public CpuScheduler
                 for (std::uint64_t i = 0; i < n; ++i)
                     q.push_back(byPid(static_cast<Pid>(rd.i64())));
             });
+        nonEmpty_.clear();
+        // piso-lint: allow(hot-path-full-scan) -- restore-time rebuild
+        // of the active set, not an event callback.
+        for (auto [spu, queue] : ready_) {
+            if (!queue.empty())
+                nonEmpty_.insert(spu);
+        }
     }
 
     SpuTable<std::list<Process *>> ready_;
+
+    /**
+     * SPUs whose ready queue is currently non-empty. Cross-SPU scans
+     * (popBestForeign, PIso's popBestKin) walk this set instead of the
+     * whole table, making them O(SPUs with waiting work): on a
+     * 512-SPU machine where a handful are runnable a dispatch stays a
+     * handful of comparisons. std::set iterates in ascending SpuId
+     * order — the same order DenseTable iteration yields — so pick
+     * order (and with it every golden) is unchanged.
+     */
+    std::set<SpuId> nonEmpty_;
 };
 
 } // namespace piso

@@ -45,6 +45,7 @@ SpuManager::create(const SpuSpec &spec)
         topLevel_.push_back(s.id);
     else
         spus_[spec.parent].children.push_back(s.id);
+    ++version_;
     return s.id;
 }
 
@@ -64,6 +65,7 @@ SpuManager::destroy(SpuId spu)
     siblings.erase(std::remove(siblings.begin(), siblings.end(), spu),
                    siblings.end());
     spus_.erase(spu);
+    ++version_;
 }
 
 void
@@ -73,6 +75,7 @@ SpuManager::suspend(SpuId spu)
     if (!s || spu < kFirstUserSpu)
         PISO_FATAL("cannot suspend SPU ", spu);
     s->state = SpuState::Suspended;
+    ++version_;
 }
 
 void
@@ -82,6 +85,7 @@ SpuManager::resume(SpuId spu)
     if (!s || spu < kFirstUserSpu)
         PISO_FATAL("cannot resume SPU ", spu);
     s->state = SpuState::Active;
+    ++version_;
 }
 
 const Spu &
@@ -130,6 +134,8 @@ SpuManager::pathOf(SpuId id) const
 bool
 SpuManager::hierarchical() const
 {
+    // piso-lint: allow(hot-path-full-scan) -- setup/report-time query,
+    // not an event callback.
     for (const auto &[id, s] : spus_) {
         if (id >= kFirstUserSpu && s.parent != kNoSpu)
             return true;
@@ -147,28 +153,38 @@ SpuManager::pathActive(SpuId id) const
     return true;
 }
 
-std::vector<SpuId>
-SpuManager::userSpus() const
+void
+SpuManager::refreshCaches() const
 {
-    std::vector<SpuId> out;
+    if (cacheVersion_ == version_)
+        return;
+    userCache_.clear();
+    leafCache_.clear();
+    // piso-lint: allow(hot-path-full-scan) -- rebuilt once per topology
+    // change and served from the cache in between.
     for (const auto &[id, s] : spus_) {
-        if (id >= kFirstUserSpu && s.state == SpuState::Active &&
-            pathActive(id)) {
-            out.push_back(id);
-        }
+        if (id < kFirstUserSpu || !pathActive(id))
+            continue;
+        if (s.state == SpuState::Active)
+            userCache_.push_back(id);
+        if (s.children.empty())
+            leafCache_.push_back(id);
     }
-    return out;
+    cacheVersion_ = version_;
 }
 
-std::vector<SpuId>
+const std::vector<SpuId> &
+SpuManager::userSpus() const
+{
+    refreshCaches();
+    return userCache_;
+}
+
+const std::vector<SpuId> &
 SpuManager::leafSpus() const
 {
-    std::vector<SpuId> out;
-    for (const auto &[id, s] : spus_) {
-        if (id >= kFirstUserSpu && s.children.empty() && pathActive(id))
-            out.push_back(id);
-    }
-    return out;
+    refreshCaches();
+    return leafCache_;
 }
 
 double
@@ -304,6 +320,9 @@ SpuManager::load(CkptReader &r)
                                          : SpuState::Active;
     }
     next_ = static_cast<SpuId>(r.u64());
+    // The restored states may differ from anything observed during
+    // setup replay; invalidate caches and captured versions.
+    ++version_;
 }
 
 } // namespace piso

@@ -124,13 +124,20 @@ class SpuManager
     /// @}
 
     /** User SPUs whose whole path to the top level is active,
-     *  ascending by id; includes groups. */
-    std::vector<SpuId> userSpus() const;
+     *  ascending by id; includes groups. Cached: rebuilt only after a
+     *  topology change (see version()). */
+    const std::vector<SpuId> &userSpus() const;
 
     /** Leaf user SPUs (no children) whose whole path is active,
      *  ascending by id — the SPUs that hold processes and receive
-     *  resources. Equals userSpus() for a flat configuration. */
-    std::vector<SpuId> leafSpus() const;
+     *  resources. Equals userSpus() for a flat configuration.
+     *  Cached like userSpus(). */
+    const std::vector<SpuId> &leafSpus() const;
+
+    /** Topology version: bumped by create/destroy/suspend/resume (and
+     *  checkpoint load). Keys the user/leaf caches and lets periodic
+     *  policies skip recomputation when the tree is unchanged. */
+    std::uint64_t version() const { return version_; }
 
     /** Count of active user SPUs (groups included). */
     std::size_t userCount() const { return userSpus().size(); }
@@ -179,6 +186,9 @@ class SpuManager
     void buildSubtree(SpuId parent, std::size_t node,
                       ShareTree &tree) const;
 
+    /** Rebuild the user/leaf caches if version_ moved. */
+    void refreshCaches() const;
+
     SpuTable<Spu> spus_;
 
     /** Top-level user SPUs, ascending by id (the synthetic root's
@@ -186,6 +196,14 @@ class SpuManager
     std::vector<SpuId> topLevel_;
 
     SpuId next_ = kFirstUserSpu;
+
+    std::uint64_t version_ = 0;
+
+    /** Cached userSpus()/leafSpus(), valid while
+     *  cacheVersion_ == version_. */
+    mutable std::uint64_t cacheVersion_ = ~std::uint64_t{0};
+    mutable std::vector<SpuId> userCache_;
+    mutable std::vector<SpuId> leafCache_;
 };
 
 } // namespace piso

@@ -13,6 +13,8 @@ const char *const kGridKeys =
     "scheme|cpu|memory|network|disk_policy|cpus|disks|memory_mb|seed|"
     "max_time_s|network_mbps|bw_threshold|bw_halflife_ms|seek_scale|"
     "ipi_revocation|loan_holdoff_ms|tick_ms|slice_ms|reserve_frac|"
+    "numa_domains|numa_local_us|numa_remote_us|bus_mbps|"
+    "bus_saturation|bus_halflife_ms|"
     "fault_disk_slow|fault_disk_error|fault_disk_dead";
 
 double
@@ -148,6 +150,20 @@ applyGridKey(SystemConfig &cfg, const std::string &key,
         cfg.timeSlice = fromMillis(toNumber(key, value));
     } else if (key == "reserve_frac") {
         cfg.memPolicy.reserveFraction = toNumber(key, value);
+    } else if (key == "numa_domains") {
+        cfg.numa.domains = static_cast<int>(toInteger(key, value));
+    } else if (key == "numa_local_us") {
+        cfg.numa.localLatency =
+            static_cast<Time>(toNumber(key, value) * kUs);
+    } else if (key == "numa_remote_us") {
+        cfg.numa.remoteLatency =
+            static_cast<Time>(toNumber(key, value) * kUs);
+    } else if (key == "bus_mbps") {
+        cfg.numa.busBytesPerSec = toNumber(key, value) * 1e6 / 8.0;
+    } else if (key == "bus_saturation") {
+        cfg.numa.busSaturation = toNumber(key, value);
+    } else if (key == "bus_halflife_ms") {
+        cfg.numa.busHalfLife = fromMillis(toNumber(key, value));
     } else if (key == "fault_disk_slow") {
         // Fault axes append to the plan's fault schedule, so a grid
         // can sweep what-if failure scenarios over one base workload.

@@ -480,6 +480,7 @@ formatSweepSummary(const SweepOutcome &outcome, bool includePerf)
         header.push_back("events");
         header.push_back("wall (ms)");
         header.push_back("M ev/s");
+        header.push_back("policy iters");
     }
     TextTable table(header);
     for (const TaskRun &run : outcome.runs) {
@@ -506,6 +507,9 @@ formatSweepSummary(const SweepOutcome &outcome, bool includePerf)
             row.push_back(TextTable::num(r.perf.wallSec * 1e3, 1));
             row.push_back(
                 TextTable::num(r.perf.eventsPerSec() / 1e6, 2));
+            row.push_back(std::to_string(
+                r.perf.policyItersCpu + r.perf.policyItersMem +
+                r.perf.policyItersDisk + r.perf.policyItersNet));
         }
         table.addRow(std::move(row));
     }

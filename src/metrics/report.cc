@@ -174,11 +174,21 @@ formatResults(const SimResults &r, bool withPerf)
            << " failed I/Os, " << r.kernel.lostWrites.value()
            << " lost writes\n";
     }
+    if (r.numa.enabled) {
+        os << "numa: " << r.numa.domains << " domains, "
+           << r.numa.localTouches << " local + " << r.numa.remoteTouches
+           << " remote touches, " << r.numa.busBytes << " bus bytes ("
+           << TextTable::num(100.0 * r.numa.busUtilization, 0)
+           << "% bus)\n";
+    }
     if (withPerf) {
         os << "perf: " << r.perf.events << " events in "
            << TextTable::num(r.perf.wallSec * 1e3, 1) << " ms ("
            << TextTable::num(r.perf.eventsPerSec() / 1e6, 2)
-           << " M events/s)\n";
+           << " M events/s); policy iters cpu=" << r.perf.policyItersCpu
+           << " mem=" << r.perf.policyItersMem
+           << " disk=" << r.perf.policyItersDisk
+           << " net=" << r.perf.policyItersNet << "\n";
     }
     return os.str();
 }
@@ -308,10 +318,23 @@ formatResultsJson(const SimResults &r, bool withPerf)
        << ",\"failed_ios\":" << r.kernel.failedIos.value()
        << ",\"lost_writes\":" << r.kernel.lostWrites.value() << "}";
 
+    if (r.numa.enabled) {
+        os << ",\"numa\":{\"domains\":" << r.numa.domains
+           << ",\"local_touches\":" << r.numa.localTouches
+           << ",\"remote_touches\":" << r.numa.remoteTouches
+           << ",\"bus_bytes\":" << r.numa.busBytes
+           << ",\"bus_utilization\":" << r.numa.busUtilization << "}";
+    }
     if (withPerf) {
+        // Everything inside this one "perf" object is host-side and
+        // out of band; deterministic consumers strip the whole object.
         os << ",\"perf\":{\"events\":" << r.perf.events
            << ",\"wall_ms\":" << r.perf.wallSec * 1e3
-           << ",\"events_per_sec\":" << r.perf.eventsPerSec() << "}";
+           << ",\"events_per_sec\":" << r.perf.eventsPerSec()
+           << ",\"policy_iters_cpu\":" << r.perf.policyItersCpu
+           << ",\"policy_iters_mem\":" << r.perf.policyItersMem
+           << ",\"policy_iters_disk\":" << r.perf.policyItersDisk
+           << ",\"policy_iters_net\":" << r.perf.policyItersNet << "}";
     }
 
     os << "}";

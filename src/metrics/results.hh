@@ -96,10 +96,37 @@ struct RunPerf
     std::uint64_t events = 0;  //!< events executed by the run loop
     double wallSec = 0.0;      //!< host wall-clock for run()
 
+    /** @name Policy-loop iteration counters
+     *  Work performed by the periodic resource policies: entries
+     *  examined by CPU scheduler scans, leaf SPUs visited by memory
+     *  recomputes, and queue entries examined by disk/network picks.
+     *  The O(active) loops of this layer keep these near-flat as the
+     *  configured SPU count grows; bench/ext_scale asserts that. */
+    /// @{
+    std::uint64_t policyItersCpu = 0;
+    std::uint64_t policyItersMem = 0;
+    std::uint64_t policyItersDisk = 0;
+    std::uint64_t policyItersNet = 0;
+    /// @}
+
     double eventsPerSec() const
     {
         return wallSec > 0.0 ? static_cast<double>(events) / wallSec : 0.0;
     }
+};
+
+/** NUMA/bus behaviour of one run (absent unless the machine model is
+ *  configured with memory domains; see src/machine/numa.hh). */
+struct NumaResult
+{
+    bool enabled = false;
+    int domains = 1;
+    std::uint64_t localTouches = 0;
+    std::uint64_t remoteTouches = 0;
+    std::uint64_t busBytes = 0;
+
+    /** Bus utilisation estimate at end of run, in [0, 1]. */
+    double busUtilization = 0.0;
 };
 
 /** Everything measured in one run. */
@@ -118,6 +145,10 @@ struct SimResults
     /** Simulator (host) performance; see RunPerf for the out-of-band
      *  reporting contract. */
     RunPerf perf;
+
+    /** NUMA/bus counters (enabled = false on uniform machines, which
+     *  keeps every small-machine report byte-identical). */
+    NumaResult numa;
 
     /** Result of the job named @p name (fatal if absent). */
     const JobResult &job(const std::string &name) const;

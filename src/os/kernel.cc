@@ -668,6 +668,11 @@ Kernel::pageFault(Process &p)
             ++p.everTouched;
             ++p.resident;
             p.computeRemaining += config_.zeroFillCost;
+            if (numa_ != nullptr) {
+                p.computeRemaining += numa_->touchCost(
+                    p.runningOn, p.spu(), vm_.pageBytes(),
+                    events_.now());
+            }
             beginSegment(p);
             return;
         }

@@ -25,6 +25,7 @@
 #include "src/machine/disk.hh"
 #include "src/machine/memory.hh"
 #include "src/machine/network.hh"
+#include "src/machine/numa.hh"
 #include "src/os/buffer_cache.hh"
 #include "src/os/filesystem.hh"
 #include "src/os/locks.hh"
@@ -239,6 +240,13 @@ class Kernel : public SchedClient
 
     /** The attached network interface, or nullptr. */
     NetworkInterface *network() { return net_; }
+
+    /** Attach the machine's NUMA/bus model (optional; zero-fill page
+     *  touches then pay the domain latency). Not owned. */
+    void setNuma(NumaModel *numa) { numa_ = numa; }
+
+    /** The attached NUMA model, or nullptr. */
+    NumaModel *numa() { return numa_; }
 
     /** Begin daemons and scheduler ticks. */
     void start();
@@ -497,6 +505,7 @@ class Kernel : public SchedClient
     DenseTable<Pid, double> boostedNice_;
 
     NetworkInterface *net_ = nullptr;
+    NumaModel *numa_ = nullptr;
 
     SpuTable<DiskId> spuDisk_;
     SpuTable<FileId> swapExtent_;

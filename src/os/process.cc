@@ -151,7 +151,7 @@ Process::save(CkptWriter &w) const
     rng_.save(w);
     behavior_->save(w);
 
-    w.f64(recentCpu);
+    w.f64(recentCpu());  // fold pending decay: images carry the value
     w.f64(nice);
     w.i64(runningOn);
     w.i64(lastRanOn);
@@ -199,7 +199,7 @@ Process::load(CkptReader &r)
     rng_.load(r);
     behavior_->load(r);
 
-    recentCpu = r.f64();
+    setRecentCpu(r.f64());
     nice = r.f64();
     runningOn = static_cast<CpuId>(r.i64());
     lastRanOn = static_cast<CpuId>(r.i64());

@@ -65,8 +65,6 @@ class Process
 
     /** @name Scheduling state (owned by the CpuScheduler) */
     /// @{
-    /** Decayed recent CPU usage; lower means higher priority. */
-    double recentCpu = 0.0;
     /** Static priority bias added to recentCpu. */
     double nice = 0.0;
     /** CPU currently running this process (kNoCpu when not running). */
@@ -135,8 +133,74 @@ class Process
     std::uint64_t diskWrites = 0;
     /// @}
 
+    /** @name Decayed recent CPU usage (lower means higher priority)
+     *
+     * The scheduler halves every process's usage once per decay
+     * period. Rather than sweeping all processes eagerly, it bumps a
+     * shared epoch counter and each process folds the missed halvings
+     * in on first read (foldDecay). The multiply sequence is identical
+     * to the eager sweep's, so the values are bit-exact either way;
+     * an unbound process (no scheduler, or the eager-baseline loops)
+     * never folds.
+     */
+    /// @{
+    /** Attach this process to the scheduler's decay epoch. The
+     *  process starts current: only future epoch bumps apply. */
+    void
+    bindDecayEpoch(const std::uint32_t *epoch)
+    {
+        decayEpochSrc_ = epoch;
+        decayEpoch_ = epoch != nullptr ? *epoch : 0;
+    }
+
+    /** Apply any decay halvings this process has not seen yet. */
+    void
+    foldDecay() const
+    {
+        if (decayEpochSrc_ == nullptr ||
+            decayEpoch_ == *decayEpochSrc_)
+            return;
+        if (recentCpu_ == 0.0) {
+            decayEpoch_ = *decayEpochSrc_;
+            return;
+        }
+        while (decayEpoch_ != *decayEpochSrc_) {
+            recentCpu_ *= 0.5;
+            ++decayEpoch_;
+        }
+    }
+
+    /** Current (fully decayed) recent-usage value. */
+    double
+    recentCpu() const
+    {
+        foldDecay();
+        return recentCpu_;
+    }
+
+    /** Overwrite the usage value (tests, checkpoint load). */
+    void
+    setRecentCpu(double v)
+    {
+        recentCpu_ = v;
+        if (decayEpochSrc_ != nullptr)
+            decayEpoch_ = *decayEpochSrc_;
+    }
+
+    /** Add one tick's worth of usage. */
+    void
+    chargeCpu(double seconds)
+    {
+        foldDecay();
+        recentCpu_ += seconds;
+    }
+
+    /** Halve the usage in place (the eager-baseline sweep). */
+    void scaleRecentCpu(double factor) { recentCpu_ *= factor; }
+    /// @}
+
     /** Effective scheduling priority; smaller is better. */
-    double priority() const { return nice + recentCpu; }
+    double priority() const { return nice + recentCpu(); }
 
     /** @name Checkpoint
      *  Serialises every mutable field except the pending EventIds
@@ -155,6 +219,12 @@ class Process
     std::unique_ptr<Behavior> behavior_;
     Rng rng_;
     ProcState state_ = ProcState::Embryo;
+
+    // Lazily decayed usage: mutable so const readers (priority()
+    // comparisons, save()) can fold pending halvings in.
+    mutable double recentCpu_ = 0.0;
+    mutable std::uint32_t decayEpoch_ = 0;
+    const std::uint32_t *decayEpochSrc_ = nullptr;
 };
 
 } // namespace piso

@@ -7,6 +7,7 @@ SmpScheduler::selectNext(Cpu &)
 {
     if (ready_.empty())
         return nullptr;
+    policyIters_ += ready_.size();
     auto best = ready_.begin();
     for (auto it = std::next(ready_.begin()); it != ready_.end(); ++it) {
         if (higherPriority(*it, *best))

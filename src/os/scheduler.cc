@@ -38,6 +38,10 @@ void
 CpuScheduler::processCreated(Process *p)
 {
     all_.push_back(p);
+    // Eager-baseline processes stay unbound: the periodic sweep
+    // multiplies them directly and foldDecay() is a no-op.
+    if (!eagerLoops_)
+        p->bindDecayEpoch(&decayEpoch_);
 }
 
 bool
@@ -123,6 +127,11 @@ CpuScheduler::processExited(Process *p)
                    " process ", p->name());
     p->setState(ProcState::Exited);
     p->endTime = events_.now();
+    // An exited process leaves the decay registry: settle the decay
+    // it has seen, then detach so later epoch bumps no longer apply
+    // (exactly what removal from the eager sweep's roster did).
+    p->foldDecay();
+    p->bindDecayEpoch(nullptr);
     all_.erase(std::remove(all_.begin(), all_.end(), p), all_.end());
     freeCpu(p, false);
 }
@@ -214,15 +223,23 @@ CpuScheduler::tick()
     // Charge the tick to whoever is running (degrading priorities).
     for (auto &c : cpus_) {
         if (c.running) {
-            c.running->recentCpu += toSeconds(tickPeriod_);
+            c.running->chargeCpu(toSeconds(tickPeriod_));
             c.running->sliceUsed += tickPeriod_;
         }
     }
 
-    // Decay recent usage by half every second, IRIX-style.
+    // Decay recent usage by half every second, IRIX-style. The
+    // default is O(1): bump the epoch and let each process fold the
+    // halving in when its priority is next read — the same multiply
+    // sequence, so values are bit-exact with the eager sweep.
     if (now - lastDecay_ >= decayPeriod_) {
-        for (auto *p : all_)
-            p->recentCpu *= 0.5;
+        if (eagerLoops_) {
+            policyIters_ += all_.size();
+            for (auto *p : all_)
+                p->scaleRecentCpu(0.5);
+        } else {
+            ++decayEpoch_;
+        }
         lastDecay_ = now;
     }
 

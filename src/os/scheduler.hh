@@ -157,7 +157,22 @@ class CpuScheduler
 
     Time tickPeriod() const { return tickPeriod_; }
     Time timeSlice() const { return timeSlice_; }
+
+    /** Ready-structure scan iterations performed by policy decisions
+     *  (queue scans, decay sweeps) — the O(SPUs)-regression canary
+     *  surfaced as perf.policy_iters_cpu. Out of band: never
+     *  serialised, never in JSONL. */
+    std::uint64_t policyIters() const { return policyIters_; }
     /// @}
+
+    /**
+     * Run the pre-PR-9 O(all-SPUs) loop bodies (eager decay sweep,
+     * full ready-table scans) instead of the lazy/active-set ones.
+     * Bit-exact with the default: only wall-clock differs. Benchmark
+     * baseline only (bench/ext_scale); excluded from the config
+     * digest. Must be set before the first processCreated().
+     */
+    void setEagerPolicyLoops(bool eager) { eagerLoops_ = eager; }
 
     /**
      * Record the SPU tree's parent links (kNoSpu / absent = top
@@ -260,6 +275,12 @@ class CpuScheduler
     std::vector<Cpu> cpus_;
     std::vector<Process *> all_;
 
+    /** Eager-baseline mode (see setEagerPolicyLoops). */
+    bool eagerLoops_ = false;
+
+    /** Policy-loop iteration counter (see policyIters). */
+    std::uint64_t policyIters_ = 0;
+
   private:
     void tick();
     void freeCpu(Process *p, bool requeue);
@@ -268,6 +289,11 @@ class CpuScheduler
     Time timeSlice_;
     Time decayPeriod_ = kSec;
     Time lastDecay_ = 0;
+
+    /** Decay generation: bumped once per decay period instead of
+     *  sweeping every process; processes fold missed halvings in on
+     *  read (Process::foldDecay). */
+    std::uint32_t decayEpoch_ = 0;
     /** Rotation period for time-partitioned CPUs. */
     Time sharePeriod_ = 100 * kMs;
 

@@ -14,6 +14,7 @@ VirtualMemory::registerSpu(SpuId spu)
 {
     ledger_.registerSpu(spu);
     pressure_.tryEmplace(spu);
+    ++version_;
 }
 
 std::uint64_t &
@@ -29,12 +30,14 @@ void
 VirtualMemory::setEntitled(SpuId spu, std::uint64_t pages)
 {
     ledger_.setEntitled(spu, pages);
+    ++version_;
 }
 
 void
 VirtualMemory::setAllowed(SpuId spu, std::uint64_t pages)
 {
     ledger_.setAllowed(spu, pages);
+    ++version_;
 }
 
 const MemLevels &
@@ -51,6 +54,7 @@ VirtualMemory::tryCharge(SpuId spu)
     if (!phys_.allocate(1))
         return false;
     ledger_.use(spu);
+    ++version_;
     return true;
 }
 
@@ -59,12 +63,14 @@ VirtualMemory::uncharge(SpuId spu)
 {
     ledger_.release(spu);
     phys_.release(1);
+    ++version_;
 }
 
 void
 VirtualMemory::transferCharge(SpuId from, SpuId to)
 {
     ledger_.transfer(from, to);
+    ++version_;
 }
 
 bool
@@ -143,6 +149,7 @@ void
 VirtualMemory::notePressure(SpuId spu)
 {
     ++pressureEntry(spu);
+    ++version_;
 }
 
 std::uint64_t
@@ -151,6 +158,8 @@ VirtualMemory::takePressure(SpuId spu)
     std::uint64_t &p = pressureEntry(spu);
     const std::uint64_t v = p;
     p = 0;
+    if (v != 0)
+        ++version_;
     return v;
 }
 

@@ -48,11 +48,28 @@ class VirtualMemory
     /** Frames kept free to hide revocation cost (Reserve Threshold,
      *  Section 3.2). Consulted by the sharing policy and the pageout
      *  daemon, not enforced on individual allocations. */
-    void setReservePages(std::uint64_t pages) { reservePages_ = pages; }
+    void
+    setReservePages(std::uint64_t pages)
+    {
+        reservePages_ = pages;
+        ++version_;
+    }
     std::uint64_t reservePages() const { return reservePages_; }
+
+    /**
+     * Mutation counter: bumped by every state change a sharing-policy
+     * pass can observe (registrations, level moves, charges, pressure
+     * notes, reserve changes). The MemorySharingPolicy skips a
+     * periodic pass in O(1) when this and the SPU-registry version
+     * are unchanged since its last pass. Never serialised: both sides
+     * of a checkpoint agree on "unknown", which only costs one
+     * (idempotent) recompute after restore.
+     */
+    std::uint64_t version() const { return version_; }
 
     std::uint64_t totalPages() const { return phys_.totalPages(); }
     std::uint64_t freePages() const { return phys_.freePages(); }
+    std::uint32_t pageBytes() const { return phys_.pageBytes(); }
 
     /**
      * Try to take one free frame charged to @p spu. Fails (false) when
@@ -129,6 +146,9 @@ class VirtualMemory
             n = rd.u64();
         });
         reservePages_ = r.u64();
+        // Restored state replaced everything a policy pass observes;
+        // invalidate any version captured during setup replay.
+        ++version_;
     }
     /// @}
 
@@ -140,6 +160,7 @@ class VirtualMemory
     ResourceLedger ledger_{"memory"};
     SpuTable<std::uint64_t> pressure_;
     std::uint64_t reservePages_ = 0;
+    std::uint64_t version_ = 0;
 };
 
 } // namespace piso

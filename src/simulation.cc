@@ -116,6 +116,7 @@ struct Simulation::Impl
     std::vector<FairDiskScheduler *> fairSchedulers;
     std::unique_ptr<NetworkInterface> network;
     FairNetScheduler *fairNet = nullptr;
+    std::unique_ptr<NumaModel> numa;
 
     std::unique_ptr<CpuScheduler> sched;
     std::unique_ptr<Kernel> kernel;
@@ -235,6 +236,7 @@ struct Simulation::Impl
             break;
           }
         }
+        sched->setEagerPolicyLoops(cfg.eagerPolicyLoops);
 
         KernelConfig kc = cfg.kernel;
         kc.globalReplacement = profile.memory == MemoryPolicy::Smp;
@@ -261,9 +263,16 @@ struct Simulation::Impl
             kernel->setNetwork(network.get());
         }
 
+        if (cfg.numa.enabled()) {
+            numa = std::make_unique<NumaModel>(cfg.numa, cfg.cpus);
+            kernel->setNuma(numa.get());
+        }
+
         if (profile.memory == MemoryPolicy::PIso) {
+            MemPolicyConfig mpc = cfg.memPolicy;
+            mpc.eagerRecompute = cfg.eagerPolicyLoops;
             memPolicy = std::make_unique<MemorySharingPolicy>(
-                events, vm, spuMgr, cfg.memPolicy);
+                events, vm, spuMgr, mpc);
         }
     }
 };
@@ -338,6 +347,10 @@ Simulation::Impl::rebalance()
         applyBandwidthShares(fds->tracker());
     if (fairNet)
         applyBandwidthShares(fairNet->tracker());
+    // A topology change may have re-activated leaf SPUs after the
+    // sharing policy's tick loop stopped on an empty registry.
+    if (memPolicy)
+        memPolicy->arm();
 }
 
 void
@@ -757,6 +770,20 @@ Simulation::run()
     res.completed = im.kernel->liveProcesses() == 0;
     res.kernel = im.kernel->stats();
     res.perf.events = im.events.executedEvents() - eventsBefore;
+    res.perf.policyItersCpu = im.sched->policyIters();
+    res.perf.policyItersMem =
+        im.memPolicy ? im.memPolicy->policyIters() : 0;
+    for (const FairDiskScheduler *fds : im.fairSchedulers)
+        res.perf.policyItersDisk += fds->policyIters();
+    res.perf.policyItersNet = im.fairNet ? im.fairNet->policyIters() : 0;
+    if (im.numa) {
+        res.numa.enabled = true;
+        res.numa.domains = im.numa->domains();
+        res.numa.localTouches = im.numa->localTouches();
+        res.numa.remoteTouches = im.numa->remoteTouches();
+        res.numa.busBytes = im.numa->busBytes();
+        res.numa.busUtilization = im.numa->busUtilization(im.events.now());
+    }
     res.perf.wallSec =
         // piso-lint: allow(determinism-wallclock) -- host-side RunPerf timing; reported out-of-band, never feeds simulated state
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -862,6 +889,17 @@ Simulation::Impl::configDigest() const
     w.time(cfg.loanHoldoff);
     w.time(cfg.memPolicy.period);
     w.f64(cfg.memPolicy.reserveFraction);
+
+    // NUMA/bus machine model. eagerPolicyLoops is deliberately NOT
+    // digested: it is bit-exact with the default paths, so images may
+    // cross between the two (the ext_scale warm-start check relies on
+    // this).
+    w.u64(static_cast<std::uint64_t>(cfg.numa.domains));
+    w.time(cfg.numa.localLatency);
+    w.time(cfg.numa.remoteLatency);
+    w.f64(cfg.numa.busBytesPerSec);
+    w.f64(cfg.numa.busSaturation);
+    w.time(cfg.numa.busHalfLife);
 
     const KernelConfig &kc = cfg.kernel;
     w.time(kc.zeroFillCost);
@@ -1051,6 +1089,9 @@ Simulation::Impl::writeImage(std::ostream &out)
         if (fairNet)
             fairNet->tracker().save(w);
     }
+    w.boolean(numa != nullptr);
+    if (numa)
+        numa->save(w);
 
     sched->save(w);
     kernel->save(w);
@@ -1140,6 +1181,12 @@ Simulation::Impl::loadImage(CkptReader &r)
         if (fairNet)
             fairNet->tracker().load(r);
     }
+    if (r.boolean() != (numa != nullptr)) {
+        throw ConfigError(
+            "checkpoint image rejected: NUMA model presence mismatch");
+    }
+    if (numa)
+        numa->load(r);
 
     const auto byPid = [this](Pid pid) -> Process * {
         Process *p = kernel->process(pid);
@@ -1163,6 +1210,11 @@ Simulation::Impl::loadImage(CkptReader &r)
     // replacing the setup replay's events wholesale.
     events.clearPending();
     faultRestores.clear();
+    // The tick the replayed start() scheduled was just wiped; the
+    // descriptor loop below (or its absence in a drained image) is the
+    // only source of truth for a pending memPolicy tick.
+    if (memPolicy)
+        memPolicy->clearScheduled();
     for (const EvDesc &d : descs) {
         switch (d.kind) {
           case EvKind::SchedTick:

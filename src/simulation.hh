@@ -32,6 +32,7 @@
 #include "src/core/scheme_profile.hh"
 #include "src/core/spu.hh"
 #include "src/machine/disk_model.hh"
+#include "src/machine/numa.hh"
 #include "src/metrics/results.hh"
 #include "src/os/kernel.hh"
 #include "src/sim/fault_plan.hh"
@@ -52,6 +53,11 @@ struct SystemConfig
     std::uint64_t memoryBytes = 64 * kMiB;
     int diskCount = 1;
     DiskParams diskParams{};  //!< applied to every disk
+
+    /** NUMA domains and interconnect saturation (src/machine/numa.hh);
+     *  the defaults model the paper's uniform-memory machine and add
+     *  zero cost. */
+    NumaConfig numa{};
     /// @}
 
     /** @name Resource-allocation policies
@@ -117,6 +123,13 @@ struct SystemConfig
     /** @name Run control */
     /// @{
     std::uint64_t seed = 1;
+
+    /** Run every periodic policy loop with the pre-PR-9 full scans
+     *  (eager CPU decay sweeps, full ready-table scans, every-period
+     *  memory recomputes). Bit-exact with the default O(active) paths;
+     *  exists only as the bench/ext_scale wall-clock baseline and is
+     *  excluded from the checkpoint config digest. */
+    bool eagerPolicyLoops = false;
 
     /** Hard stop; a run that hits it reports completed = false. */
     Time maxTime = 600 * kSec;

@@ -1,0 +1,108 @@
+#ifndef PISO_TESTS_DECAY_REF_UTIL_HH
+#define PISO_TESTS_DECAY_REF_UTIL_HH
+
+/**
+ * @file
+ * Eager periodic-sweep reference model for the decayed bandwidth
+ * counters, and an ulp-distance helper.
+ *
+ * DiskBandwidthTracker stores (count, last-update) per SPU and folds
+ * the missed exponential decay lazily on read, in one exp2. The
+ * reference model here is the eager implementation it replaces: every
+ * entry is swept once per half-life, each sweep multiplying by
+ * exactly 0.5, with the sub-period remainder folded by exp2 on
+ * observation. Multiplying by 0.5 is exact in binary floating point
+ * and a correctly-rounded exp2 satisfies
+ * exp2(-(k + f)) == ldexp(exp2(-f), -k), so the lazy single-fold and
+ * the eager sweep agree to 1 ulp at every observation point — the
+ * property test_disk_fair.cc / test_network.cc assert over
+ * randomized op sequences.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+
+#include "src/sim/ids.hh"
+#include "src/sim/time.hh"
+
+namespace piso::testutil {
+
+/** Eager periodic-sweep twin of DiskBandwidthTracker's decay. */
+class EagerDecayRef
+{
+  public:
+    explicit EagerDecayRef(Time halfLife) : halfLife_(halfLife) {}
+
+    void
+    add(SpuId spu, std::uint64_t amount, Time now)
+    {
+        Entry &e = entries_[spu];
+        fold(e, now);
+        e.count += static_cast<double>(amount);
+    }
+
+    double
+    usage(SpuId spu, Time now) const
+    {
+        auto it = entries_.find(spu);
+        if (it == entries_.end())
+            return 0.0;
+        Entry probe = it->second;  // reads don't advance the entry
+        fold(probe, now);
+        return probe.count;
+    }
+
+  private:
+    struct Entry
+    {
+        double count = 0.0;
+        Time last = 0;
+    };
+
+    void
+    fold(Entry &e, Time now) const
+    {
+        if (now <= e.last)
+            return;
+        if (e.count == 0.0) {
+            e.last = now;
+            return;
+        }
+        // The periodic sweeps this entry missed: one exact halving
+        // per full half-life elapsed.
+        while (e.last + halfLife_ <= now) {
+            e.count *= 0.5;
+            e.last += halfLife_;
+        }
+        // Sub-period remainder, folded on observation.
+        if (now > e.last) {
+            const double frac = static_cast<double>(now - e.last) /
+                                static_cast<double>(halfLife_);
+            e.count *= std::exp2(-frac);
+            e.last = now;
+        }
+    }
+
+    Time halfLife_;
+    std::map<SpuId, Entry> entries_;
+};
+
+/** Distance in representable doubles, capped at @p cap. */
+inline int
+ulpDistance(double a, double b, int cap = 8)
+{
+    if (a == b)
+        return 0;
+    double lo = std::min(a, b);
+    const double hi = std::max(a, b);
+    int n = 0;
+    while (lo < hi && n < cap)
+        lo = std::nextafter(lo, hi), ++n;
+    return n;
+}
+
+} // namespace piso::testutil
+
+#endif // PISO_TESTS_DECAY_REF_UTIL_HH

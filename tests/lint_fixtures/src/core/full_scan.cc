@@ -1,0 +1,54 @@
+// Fixture: full dense-table iteration in the policy layer. The named
+// table scan and the structured-binding member sweep are flagged; the
+// justified allow, the classic indexed loop, and the plain element
+// loop stay clean.
+#include "src/core/spu_table.hh"
+
+namespace piso {
+
+struct Fake
+{
+    SpuTable<double> shares_;
+};
+
+double
+sumShares(const SpuTable<double> &table)
+{
+    double total = 0.0;
+    for (const auto &entry : table)  // hit: named table in range expr
+        total += 1.0;
+    return total;
+}
+
+int
+countPairs(const Fake &f)
+{
+    int n = 0;
+    for (const auto &[spu, s] : f.shares_)  // hit: pair sweep idiom
+        ++n;
+    return n;
+}
+
+int
+justified(const Fake &f)
+{
+    int n = 0;
+    // piso-lint: allow(hot-path-full-scan) -- fixture: runs once at
+    // setup, not per event.
+    for (const auto &[spu, s] : f.shares_)
+        ++n;
+    return n;
+}
+
+int
+activeSetLoop(const int *active, int count)
+{
+    int n = 0;
+    for (int i = 0; i < count; ++i)  // clean: classic for
+        n += active[i];
+    for (int v : {1, 2, 3})  // clean: no table, no binding
+        n += v;
+    return n;
+}
+
+} // namespace piso

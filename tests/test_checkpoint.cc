@@ -451,3 +451,56 @@ TEST(Checkpoint, RestoreIntoUnpopulatedSimulationIsRejected)
     std::istringstream in(o.image);
     EXPECT_THROW(sim.restore(in), ConfigError);
 }
+
+// ---------------------------------------------------------------------
+// Big-machine coverage: NUMA/bus state survives the round trip
+// ---------------------------------------------------------------------
+
+// The 256-CPU x 512-SPU topology the scaling PR targets, with the NUMA
+// memory domains and bus model enabled so the checkpoint image carries
+// their counters. Only eight SPUs run jobs — the other 504 exist to
+// put the big-machine population (SPU tables, ledger, scheduler
+// registries) through serialization, which is exactly the state the
+// O(active) loops index differently from the eager baseline.
+TEST(Checkpoint, BigMachineNumaStateSurvivesTheRoundTrip)
+{
+    std::string text =
+        "machine cpus=256 memory_mb=512 disks=8 scheme=piso seed=9 "
+        "numa_domains=4 numa_local_us=1 numa_remote_us=3 "
+        "bus_mbps=800 bus_saturation=0.7\n";
+    for (int u = 0; u < 512; ++u)
+        text += "spu u" + std::to_string(u) + " share=1 disk=" +
+                std::to_string(u % 8) + "\n";
+    // pmake workers block on disk and re-dispatch on whichever CPU is
+    // free, so the touch stream crosses domains both ways; a static
+    // one-job-per-CPU shape pins each SPU to one domain pairing and
+    // can miss the local path entirely.
+    for (int u = 0; u < 8; ++u)
+        text += "job u" + std::to_string(u) + " pmake name=pm" +
+                std::to_string(u) + " workers=2 files=4\n";
+
+    const WorkloadSpec spec = parseWorkloadSpec(text);
+    const SimResults cold = runWorkloadSpec(spec);
+    ASSERT_TRUE(cold.numa.enabled);
+    ASSERT_EQ(cold.numa.domains, 4);
+    // Striped placement on a 4-domain machine: both kinds of touch
+    // must actually occur, or the round trip proves nothing.
+    ASSERT_GT(cold.numa.localTouches, 0u);
+    ASSERT_GT(cold.numa.remoteTouches, 0u);
+    ASSERT_GT(cold.numa.busBytes, 0u);
+
+    const Observed o = observe(spec, 300 * kMs);
+    ASSERT_FALSE(o.image.empty());
+
+    const WorkloadSpec again = parseWorkloadSpec(text);
+    Simulation sim(again.config);
+    populateWorkloadSpec(sim, again);
+    std::istringstream in(o.image);
+    sim.restore(in);
+    const SimResults warm = sim.run();
+
+    EXPECT_EQ(formatResultsJson(warm), formatResultsJson(cold));
+    EXPECT_EQ(warm.numa.localTouches, cold.numa.localTouches);
+    EXPECT_EQ(warm.numa.remoteTouches, cold.numa.remoteTouches);
+    EXPECT_EQ(warm.numa.busBytes, cold.numa.busBytes);
+}

@@ -277,3 +277,63 @@ TEST(PisoDiskScheduler, FairnessRecheckedAfterCompletions)
     EXPECT_TRUE(lightServed);
     EXPECT_LE(hogServed, 4); // cut off after a few wins
 }
+
+// ---------------------------------------------------------------------
+// Lazy decay == eager periodic sweep (property; see decay_ref_util.hh)
+// ---------------------------------------------------------------------
+
+#include <random>
+
+#include "tests/decay_ref_util.hh"
+
+TEST(BandwidthTrackerProperty, LazyDecayMatchesEagerSweepTo1Ulp)
+{
+    // Randomized op sequences over several SPUs: the lazy (count,
+    // last-update) fold must agree with the eager boundary-sweep
+    // reference to 1 ulp at every observation point.
+    for (std::uint64_t seed : {11u, 23u, 47u}) {
+        const Time halfLife = 500 * kMs;
+        DiskBandwidthTracker tracker(halfLife);
+        piso::testutil::EagerDecayRef ref(halfLife);
+        std::mt19937_64 rng(seed);
+        std::uniform_int_distribution<int> spuDist(2, 6);
+        std::uniform_int_distribution<std::uint64_t> gapDist(1,
+                                                            1200 * kUs);
+        std::uniform_int_distribution<std::uint64_t> sectDist(1, 4096);
+
+        Time now = 0;
+        for (int op = 0; op < 4000; ++op) {
+            now += gapDist(rng);
+            const SpuId spu = spuDist(rng);
+            if (op % 3 != 2) {
+                const std::uint64_t sectors = sectDist(rng);
+                tracker.addSectors(spu, sectors, now);
+                ref.add(spu, sectors, now);
+            }
+            const double lazy = tracker.usage(spu, now);
+            const double eager = ref.usage(spu, now);
+            ASSERT_LE(piso::testutil::ulpDistance(lazy, eager), 1)
+                << "seed " << seed << " op " << op << ": lazy " << lazy
+                << " vs eager " << eager;
+        }
+    }
+}
+
+TEST(BandwidthTrackerProperty, LongIdleGapsStayExact)
+{
+    // A count left alone for many half-lives must fold the missed
+    // halvings exactly like a sweep that fired at every boundary
+    // (whole halvings are exact binary scaling).
+    const Time halfLife = 500 * kMs;
+    DiskBandwidthTracker tracker(halfLife);
+    piso::testutil::EagerDecayRef ref(halfLife);
+    tracker.addSectors(2, 1 << 20, 7 * kMs);
+    ref.add(2, 1 << 20, 7 * kMs);
+    for (int k = 1; k <= 40; ++k) {
+        const Time t = 7 * kMs + static_cast<Time>(k) * halfLife;
+        ASSERT_LE(piso::testutil::ulpDistance(tracker.usage(2, t),
+                                              ref.usage(2, t)),
+                  1)
+            << "after " << k << " half-lives";
+    }
+}

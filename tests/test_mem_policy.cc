@@ -208,3 +208,68 @@ TEST_F(PolicyFixture, InvalidConfigRejected)
     EXPECT_THROW(MemorySharingPolicy(events, vm, spus, bad2),
                  std::runtime_error);
 }
+
+TEST_F(PolicyFixture, IdleMachineDrainsEventQueue)
+{
+    // Regression: a tick that finds zero active leaf SPUs must stop
+    // rescheduling itself, or an otherwise-finished simulation spins
+    // on memPolicy events forever and the run loop never drains.
+    spus.destroy(a);
+    spus.destroy(b);
+    auto policy = makePolicy(0.08);
+    policy.start();
+    int executed = 0;
+    while (!events.empty() && executed < 50) {
+        events.runOne();
+        ++executed;
+    }
+    EXPECT_TRUE(events.empty());
+    EXPECT_LT(executed, 50);
+}
+
+TEST_F(PolicyFixture, SuspendedTenantsAlsoDrain)
+{
+    // Suspension empties the active leaf set just like destruction.
+    spus.suspend(a);
+    spus.suspend(b);
+    auto policy = makePolicy(0.08);
+    policy.start();
+    events.runAll(events.now() + kSec);
+    EXPECT_TRUE(events.empty());
+}
+
+TEST_F(PolicyFixture, ArmRestartsThePeriodicLoop)
+{
+    spus.destroy(a);
+    spus.destroy(b);
+    auto policy = makePolicy(0.08);
+    policy.start();
+    events.runAll(events.now() + kSec);
+    ASSERT_TRUE(events.empty());
+
+    // A new tenant arrives: arm() restarts the loop (rebalanceSpus
+    // calls it) and the next period's tick computes its levels.
+    const SpuId c = spus.create({.name = "c"});
+    vm.registerSpu(c);
+    policy.arm();
+    EXPECT_FALSE(events.empty());
+    events.runAll(events.now() + 150 * kMs);
+    EXPECT_GT(vm.levels(c).entitled, 0u);
+    EXPECT_FALSE(events.empty());  // keeps rescheduling while active
+}
+
+TEST_F(PolicyFixture, UnchangedTickSkipsTheFullPass)
+{
+    // The version skip: a period in which neither the VM ledger nor
+    // the SPU registry changed performs no leaf iterations.
+    auto policy = makePolicy(0.08);
+    policy.start();
+    events.runAll(events.now() + 150 * kMs);  // one settling pass
+    const std::uint64_t settled = policy.policyIters();
+    events.runAll(events.now() + kSec);  // ten idle periods
+    EXPECT_EQ(policy.policyIters(), settled);
+
+    use(a, 10);  // ledger change -> next tick pays one full pass
+    events.runAll(events.now() + 150 * kMs);
+    EXPECT_GT(policy.policyIters(), settled);
+}

@@ -6,7 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <random>
+
 #include "src/piso.hh"
+#include "tests/decay_ref_util.hh"
 
 using namespace piso;
 
@@ -211,4 +214,41 @@ TEST(NetworkKernel, FairLinkProtectsInteractiveSender)
     const double fifo = run(Scheme::Smp);
     const double fair = run(Scheme::PIso);
     EXPECT_LT(fair, 0.5 * fifo);
+}
+
+// ---------------------------------------------------------------------------
+// Lazy-decay equivalence: the fair scheduler's per-SPU byte counters
+// fold their exponential decay lazily on read; prove that equals the
+// eager periodic-sweep reference to 1 ulp over randomized completion
+// sequences (satellite of the big-machine scaling PR; the disk twin
+// lives in test_disk_fair.cc).
+
+TEST(FairNetSchedulerProperty, LazyDecayMatchesEagerSweepTo1Ulp)
+{
+    const Time halfLife = 500 * kMs;
+    for (std::uint64_t seed : {5u, 17u, 71u}) {
+        FairNetScheduler sched(halfLife);
+        piso::testutil::EagerDecayRef ref(halfLife);
+        std::mt19937_64 rng(seed);
+        std::uniform_int_distribution<int> spuDist(2, 6);
+        std::uniform_int_distribution<Time> gapDist(1, 1200 * kUs);
+        std::uniform_int_distribution<std::uint64_t> byteDist(64,
+                                                             65536);
+
+        Time now = 0;
+        for (int op = 0; op < 4000; ++op) {
+            now += gapDist(rng);
+            const SpuId spu = static_cast<SpuId>(spuDist(rng));
+            if (op % 3 != 2) {
+                const std::uint64_t bytes = byteDist(rng);
+                sched.onComplete(msg(spu, bytes), now);
+                ref.add(spu, bytes, now);
+            }
+            const double lazy = sched.tracker().usage(spu, now);
+            const double eager = ref.usage(spu, now);
+            ASSERT_LE(piso::testutil::ulpDistance(lazy, eager), 1)
+                << "seed " << seed << " op " << op << ": lazy " << lazy
+                << " vs eager " << eager;
+        }
+    }
 }

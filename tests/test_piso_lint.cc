@@ -114,6 +114,16 @@ TEST(LintRules, BareRuntimeErrorThrowsInQuarantinedLayers)
                              {"error-taxonomy", 21}}));
 }
 
+TEST(LintRules, FullTableScansOnPolicyHotPaths)
+{
+    // The named-table range-for and the structured-binding pair sweep
+    // are flagged; the justified allow, the classic indexed loop, and
+    // the initializer-list loop stay clean.
+    const LintResult r = lintFixture("src/core/full_scan.cc");
+    EXPECT_EQ(hits(r), (Hits{{"hot-path-full-scan", 18},
+                             {"hot-path-full-scan", 27}}));
+}
+
 // ---------------------------------------------------------------------
 // Scoping: the same constructs are legal where the rules don't apply.
 // ---------------------------------------------------------------------
@@ -234,11 +244,11 @@ TEST(LintEngine, FixtureTreeTotals)
     std::string error;
     ASSERT_TRUE(lintFiles({std::string(PISO_LINT_FIXTURE_DIR)}, r, error))
         << error;
-    EXPECT_EQ(r.filesScanned, 13);
+    EXPECT_EQ(r.filesScanned, 14);
     // 4 wallclock + 1 unordered + 2 globals + 3 tables + 1 guard +
-    // 2 io + 2 taxonomy + 1 nojust + 2 unknown + 1 stale = 19, each
-    // exactly once.
-    EXPECT_EQ(r.findings.size(), 19u);
+    // 2 io + 2 taxonomy + 2 full-scan + 1 nojust + 2 unknown +
+    // 1 stale = 21, each exactly once.
+    EXPECT_EQ(r.findings.size(), 21u);
     EXPECT_EQ(r.exitCode(), 1);
 }
 
@@ -276,6 +286,7 @@ TEST(LintEngine, RegistryIsCompleteAndKnown)
         "thread-global-state",   "table-map-key",
         "memory-raw-new",        "hygiene-include-guard",
         "hygiene-io",            "error-taxonomy",
+        "hot-path-full-scan",
     };
     const auto &rules = ruleRegistry();
     ASSERT_EQ(rules.size(), expected.size());

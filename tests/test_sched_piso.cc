@@ -147,8 +147,8 @@ TEST_F(PisoFixture, BorrowerPicksHighestPriority)
     // Two queued SPU-3 processes with different accumulated usage.
     Process *tired = client.createProcess(3, kSec, "tired");
     Process *fresh = client.createProcess(3, kSec, "fresh");
-    tired->recentCpu = 1.0;
-    fresh->recentCpu = 0.0;
+    tired->setRecentCpu(1.0);
+    fresh->setRecentCpu(0.0);
     client.startProcess(tired);
     client.startProcess(fresh);
     EXPECT_EQ(tired->state(), ProcState::Ready);

@@ -23,7 +23,7 @@ TEST(SchedulerBase, RecentCpuGrowsWhileRunning)
     events.runAll(500 * kMs);
     // ~50 ticks x 10 ms = 0.5 s of charged usage (minus decay at 1 s
     // boundaries, not yet reached).
-    EXPECT_NEAR(p->recentCpu, 0.5, 0.05);
+    EXPECT_NEAR(p->recentCpu(), 0.5, 0.05);
 }
 
 TEST(SchedulerBase, RecentCpuDecaysByHalfEverySecond)
@@ -41,11 +41,11 @@ TEST(SchedulerBase, RecentCpuDecaysByHalfEverySecond)
     Process *idleish = client.createProcess(2, 5 * kSec);
     client.startProcess(idleish);
     events.runAll(3 * kSec);
-    const double before = idleish->recentCpu;
+    const double before = idleish->recentCpu();
     events.runAll(4 * kSec);
     // Ran one more second (+1.0) but decayed by half once: the value
     // stays bounded rather than growing linearly.
-    EXPECT_LT(idleish->recentCpu, before + 1.0);
+    EXPECT_LT(idleish->recentCpu(), before + 1.0);
 }
 
 TEST(SchedulerBase, BlockedProcessGainsPriority)
@@ -63,7 +63,7 @@ TEST(SchedulerBase, BlockedProcessGainsPriority)
     events.runAll(2 * kSec);
     // Both alternate; their usage stays within one slice of each
     // other thanks to the shared queue and decay.
-    const double diff = std::abs(hogA->recentCpu - hogB->recentCpu);
+    const double diff = std::abs(hogA->recentCpu() - hogB->recentCpu());
     EXPECT_LT(diff, 0.1);
 }
 
