@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
-#include "src/sim/log.hh"
+#include "src/util/log.hh"
 #include "src/workload/filecopy.hh"
 #include "src/workload/oltp.hh"
 #include "src/workload/pmake.hh"

@@ -4,8 +4,11 @@
 #include <cmath>
 #include <set>
 
+// piso-lint: allow(layering) -- the PIso disk policy deliberately
+// reuses the OS C-SCAN ordering helper as its within-pass order; see
+// docs/static-analysis.md (layering) for the policy/mechanism seam.
 #include "src/os/cscan.hh"
-#include "src/sim/log.hh"
+#include "src/util/log.hh"
 
 namespace piso {
 

@@ -200,6 +200,8 @@ class ResourceLedger
     const Entry &entry(SpuId spu) const;
     Entry &entry(SpuId spu);
 
+    // piso-lint: allow(checkpoint-field-coverage) -- the diagnostic
+    // label, fixed at construction; identical after setup replay.
     std::string resource_;
     SpuTable<Entry> spus_;
     std::uint64_t capacity_ = 0;

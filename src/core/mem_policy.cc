@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "src/core/ledger.hh"
-#include "src/sim/log.hh"
+#include "src/util/log.hh"
 #include "src/sim/trace.hh"
 
 namespace piso {

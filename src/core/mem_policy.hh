@@ -16,9 +16,12 @@
 #include <cstdint>
 
 #include "src/core/spu.hh"
+// piso-lint: allow(layering) -- the policy/mechanism seam: the sharing
+// policy drives the OS VM ledger one layer up; see
+// docs/static-analysis.md (layering).
 #include "src/os/vm.hh"
 #include "src/sim/event_queue.hh"
-#include "src/sim/time.hh"
+#include "src/util/time.hh"
 
 namespace piso {
 

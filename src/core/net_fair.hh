@@ -15,6 +15,9 @@
  */
 
 #include "src/core/disk_fair.hh"
+// piso-lint: allow(layering) -- the policy/mechanism seam: the fair
+// link policy plugs into the NetworkInterface mechanism one layer up;
+// see docs/static-analysis.md (layering).
 #include "src/machine/network.hh"
 
 namespace piso {

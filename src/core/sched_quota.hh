@@ -20,6 +20,9 @@
 #include <list>
 #include <set>
 
+// piso-lint: allow(layering) -- the policy/mechanism seam: the quota
+// policy implements the OS scheduler's SchedClient interface one layer
+// up; see docs/static-analysis.md (layering).
 #include "src/os/scheduler.hh"
 
 namespace piso {

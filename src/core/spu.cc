@@ -4,7 +4,7 @@
 #include <cmath>
 
 #include "src/core/ledger.hh"
-#include "src/sim/log.hh"
+#include "src/util/log.hh"
 #include "src/util/error.hh"
 
 namespace piso {

@@ -24,7 +24,7 @@
 #include <vector>
 
 #include "src/sim/ids.hh"
-#include "src/sim/log.hh"
+#include "src/util/log.hh"
 #include "src/util/error.hh"
 
 namespace piso {

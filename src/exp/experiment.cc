@@ -3,7 +3,7 @@
 #include <sstream>
 
 #include "src/core/scheme_profile.hh"
-#include "src/sim/log.hh"
+#include "src/util/log.hh"
 
 namespace piso::exp {
 

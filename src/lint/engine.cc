@@ -4,84 +4,407 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <sstream>
+
+#include "src/lint/index.hh"
 
 namespace piso::lint {
 
 namespace {
 
-/** Raw findings for one tokenized file, suppressions applied. */
-void
-lintOne(const SourceFile &file, std::vector<Finding> &out)
+/** Everything the engine knows about one analyzed file: its summary
+ *  (for the project rules and the cache) and the raw per-file-rule
+ *  findings, *before* suppressions. */
+struct Analyzed
 {
+    FileSummary summary;
     std::vector<Finding> raw;
+};
+
+Analyzed
+analyzeOne(const std::string &relPath, const std::string &text)
+{
+    const SourceFile file = lexSource(relPath, text);
+    Analyzed a;
+    a.summary = summarizeFile(file);
+    a.summary.hash = lintFnv1a(text);
     for (const Rule &rule : ruleRegistry()) {
         if (rule.applies(file.path))
-            rule.check(file, raw);
+            rule.check(file, a.raw);
     }
+    return a;
+}
 
-    // A suppression on its own line covers the next line that carries
-    // code; one trailing a code line covers that line.
-    std::vector<int> target(file.suppressions.size(), 0);
-    std::vector<bool> used(file.suppressions.size(), false);
-    for (std::size_t s = 0; s < file.suppressions.size(); ++s) {
-        const Suppression &sup = file.suppressions[s];
-        int t = sup.line;
-        if (sup.ownLine) {
-            int next = 0;
-            for (const Token &tok : file.tokens) {
-                if (tok.line > sup.line &&
-                    (next == 0 || tok.line < next))
-                    next = tok.line;
-            }
-            t = next == 0 ? sup.line : next;
-        }
-        target[s] = t;
-    }
+/**
+ * Apply @p summary's suppressions to the merged (per-file + project)
+ * findings for that file, then audit the suppressions themselves:
+ * every directive must name known rules, carry a justification, and
+ * actually suppress something. Surviving findings and the audit go to
+ * @p result.
+ */
+void
+applyAndAudit(const FileSummary &summary, std::vector<Finding> &merged,
+              LintResult &result)
+{
+    const auto &sups = summary.suppressions;
+    std::vector<bool> used(sups.size(), false);
 
-    for (Finding &fnd : raw) {
+    for (Finding &fnd : merged) {
         bool suppressed = false;
-        for (std::size_t s = 0; s < file.suppressions.size(); ++s) {
-            const Suppression &sup = file.suppressions[s];
-            if (target[s] != fnd.line)
+        for (std::size_t s = 0; s < sups.size(); ++s) {
+            const int target = s < summary.suppressionTargets.size()
+                                   ? summary.suppressionTargets[s]
+                                   : sups[s].line;
+            if (target != 0 && target != fnd.line)
                 continue;
-            if (std::find(sup.rules.begin(), sup.rules.end(),
-                          fnd.rule) == sup.rules.end())
+            if (std::find(sups[s].rules.begin(), sups[s].rules.end(),
+                          fnd.rule) == sups[s].rules.end())
                 continue;
             suppressed = true;
             used[s] = true;
         }
         if (!suppressed)
-            out.push_back(std::move(fnd));
+            result.findings.push_back(std::move(fnd));
     }
 
-    // The suppressions themselves are linted: every directive must
-    // name known rules, carry a justification, and actually suppress
-    // something.
-    for (std::size_t s = 0; s < file.suppressions.size(); ++s) {
-        const Suppression &sup = file.suppressions[s];
+    for (std::size_t s = 0; s < sups.size(); ++s) {
+        const Suppression &sup = sups[s];
         bool allKnown = true;
         for (const std::string &name : sup.rules) {
             if (!knownRule(name)) {
                 allKnown = false;
-                out.push_back(
-                    {kSuppressionUnknownRule, file.path, sup.line,
+                result.findings.push_back(
+                    {kSuppressionUnknownRule, summary.path, sup.line,
                      "allow() names unknown rule '" + name +
                          "' (see piso_lint --list-rules)"});
             }
         }
         if (sup.justification.empty()) {
-            out.push_back(
-                {kSuppressionJustification, file.path, sup.line,
+            result.findings.push_back(
+                {kSuppressionJustification, summary.path, sup.line,
                  "suppression lacks a justification (write "
                  "// piso-lint: allow(<rule>) -- <why this is safe>)"});
         }
         if (!used[s] && allKnown) {
-            out.push_back({kSuppressionUnused, file.path, sup.line,
-                           "suppression matched no finding (stale "
-                           "allow(); delete it)"});
+            result.findings.push_back(
+                {kSuppressionUnused, summary.path, sup.line,
+                 "suppression matched no finding (stale "
+                 "allow(); delete it)"});
+        }
+        result.allows.push_back({summary.path, sup.line, sup.rules,
+                                 sup.justification, sup.wholeFile});
+    }
+}
+
+/**
+ * The project pass: build the index over every summary, run the
+ * cross-file rules, merge their findings with the per-file raw
+ * findings, apply suppressions, sort. Runs in full on every lint run —
+ * cached or cold — which is what makes warm results identical to cold
+ * ones: only the per-file lex+check work is ever skipped.
+ */
+LintResult
+finish(std::vector<Analyzed> &files, int reanalyzed)
+{
+    std::sort(files.begin(), files.end(),
+              [](const Analyzed &a, const Analyzed &b) {
+                  return a.summary.path < b.summary.path;
+              });
+
+    ProjectIndex index;
+    index.files.reserve(files.size());
+    for (const Analyzed &a : files)
+        index.files.push_back(&a.summary);
+
+    std::vector<Finding> project;
+    for (const ProjectRule &rule : projectRuleRegistry())
+        rule.check(index, project);
+
+    LintResult result;
+    result.filesScanned = static_cast<int>(files.size());
+    result.filesReanalyzed = reanalyzed;
+    for (Analyzed &a : files) {
+        std::vector<Finding> merged = std::move(a.raw);
+        for (Finding &p : project) {
+            if (p.path == a.summary.path)
+                merged.push_back(p);
+        }
+        applyAndAudit(a.summary, merged, result);
+    }
+
+    const auto order = [](const Finding &a, const Finding &b) {
+        if (a.path != b.path)
+            return a.path < b.path;
+        if (a.line != b.line)
+            return a.line < b.line;
+        return a.rule < b.rule;
+    };
+    std::sort(result.findings.begin(), result.findings.end(), order);
+    std::sort(result.allows.begin(), result.allows.end(),
+              [](const AllowEntry &a, const AllowEntry &b) {
+                  return a.path != b.path ? a.path < b.path
+                                          : a.line < b.line;
+              });
+    return result;
+}
+
+// ---------------------------------------------------------------------
+// Incremental cache
+//
+// A line-oriented, tab-separated text file. The header carries a
+// fingerprint over the rule registries and schema version, so a cache
+// written by a different piso_lint is discarded wholesale; any parse
+// mismatch likewise discards the cache (it is only ever an
+// optimisation). Free-form trailing fields (messages, justifications)
+// have tabs/newlines flattened to spaces on write.
+// ---------------------------------------------------------------------
+
+constexpr const char *kCacheMagic = "piso-lint-cache";
+constexpr int kCacheSchema = 1;
+
+std::uint64_t
+registryFingerprint()
+{
+    std::string all = "schema" + std::to_string(kCacheSchema);
+    for (const Rule &r : ruleRegistry()) {
+        all += '|';
+        all += r.name;
+    }
+    for (const ProjectRule &r : projectRuleRegistry()) {
+        all += '|';
+        all += r.name;
+    }
+    return lintFnv1a(all);
+}
+
+std::string
+flatten(std::string s)
+{
+    for (char &c : s) {
+        if (c == '\t' || c == '\n' || c == '\r')
+            c = ' ';
+    }
+    return s;
+}
+
+void
+splitTabs(const std::string &line, std::size_t maxFields,
+          std::vector<std::string> &out)
+{
+    out.clear();
+    std::size_t start = 0;
+    while (out.size() + 1 < maxFields) {
+        const std::size_t tab = line.find('\t', start);
+        if (tab == std::string::npos)
+            break;
+        out.push_back(line.substr(start, tab - start));
+        start = tab + 1;
+    }
+    out.push_back(line.substr(start));
+}
+
+void
+writeCache(const std::string &path,
+           const std::vector<Analyzed> &files)
+{
+    std::ostringstream os;
+    os << kCacheMagic << '\t' << kCacheSchema << '\t' << std::hex
+       << registryFingerprint() << std::dec << '\n';
+    for (const Analyzed &a : files) {
+        const FileSummary &s = a.summary;
+        os << "F\t" << std::hex << s.hash << std::dec << '\t' << s.path
+           << '\n';
+        for (const IncludeEdge &e : s.includes)
+            os << "i\t" << e.line << '\t' << e.target << '\n';
+        for (const ClassDecl &c : s.classes) {
+            os << "c\t" << c.line << '\t' << c.name << '\n';
+            for (const FieldDecl &f : c.fields)
+                os << "f\t" << f.line << '\t' << f.name << '\n';
+        }
+        for (const CkptBody &b : s.ckptBodies) {
+            os << "b\t" << b.line << '\t' << (b.isSave ? 1 : 0) << '\t'
+               << b.className << '\t';
+            for (std::size_t i = 0; i < b.idents.size(); ++i)
+                os << (i ? " " : "") << b.idents[i];
+            os << '\n';
+        }
+        for (const FuncDef &d : s.functions)
+            os << "d\t" << d.line << '\t' << d.qualified << '\n';
+        for (std::size_t i = 0; i < s.suppressions.size(); ++i) {
+            const Suppression &sup = s.suppressions[i];
+            const int target = i < s.suppressionTargets.size()
+                                   ? s.suppressionTargets[i]
+                                   : sup.line;
+            os << "s\t" << sup.line << '\t' << (sup.ownLine ? 1 : 0)
+               << '\t' << (sup.wholeFile ? 1 : 0) << '\t' << target
+               << '\t';
+            for (std::size_t r = 0; r < sup.rules.size(); ++r)
+                os << (r ? "," : "") << sup.rules[r];
+            os << '\t' << flatten(sup.justification) << '\n';
+        }
+        for (const Finding &f : a.raw) {
+            os << "r\t" << f.line << '\t' << f.rule << '\t'
+               << flatten(f.message) << '\n';
+        }
+        os << ".\n";
+    }
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << os.str();
+}
+
+/** Parse @p path into per-file entries. Returns false (and an empty
+ *  map) when the cache is missing, stale, or malformed. */
+bool
+readCache(const std::string &path, std::map<std::string, Analyzed> &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::string line;
+    std::vector<std::string> f;
+    if (!std::getline(in, line))
+        return false;
+    splitTabs(line, 3, f);
+    std::ostringstream want;
+    want << std::hex << registryFingerprint();
+    if (f.size() != 3 || f[0] != kCacheMagic ||
+        f[1] != std::to_string(kCacheSchema) || f[2] != want.str())
+        return false;
+
+    Analyzed cur;
+    bool open = false;
+    const auto toInt = [](const std::string &s, int &v) {
+        try {
+            v = std::stoi(s);
+        } catch (...) {
+            return false;
+        }
+        return true;
+    };
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        const char kind = line[0];
+        if (kind == 'F') {
+            if (open)
+                return false;  // previous record not closed
+            splitTabs(line, 3, f);
+            if (f.size() != 3)
+                return false;
+            cur = Analyzed{};
+            cur.summary.path = f[2];
+            try {
+                cur.summary.hash = std::stoull(f[1], nullptr, 16);
+            } catch (...) {
+                return false;
+            }
+            open = true;
+            continue;
+        }
+        if (kind == '.') {
+            if (!open)
+                return false;
+            out[cur.summary.path] = std::move(cur);
+            cur = Analyzed{};
+            open = false;
+            continue;
+        }
+        if (!open)
+            return false;
+        int n = 0;
+        switch (kind) {
+        case 'i':
+            splitTabs(line, 3, f);
+            if (f.size() != 3 || !toInt(f[1], n))
+                return false;
+            cur.summary.includes.push_back({n, f[2]});
+            break;
+        case 'c':
+            splitTabs(line, 3, f);
+            if (f.size() != 3 || !toInt(f[1], n))
+                return false;
+            cur.summary.classes.push_back({f[2], n, {}});
+            break;
+        case 'f':
+            splitTabs(line, 3, f);
+            if (f.size() != 3 || !toInt(f[1], n) ||
+                cur.summary.classes.empty())
+                return false;
+            cur.summary.classes.back().fields.push_back({f[2], n});
+            break;
+        case 'b': {
+            splitTabs(line, 5, f);
+            if (f.size() != 5 || !toInt(f[1], n))
+                return false;
+            CkptBody body;
+            body.line = n;
+            body.isSave = f[2] == "1";
+            body.className = f[3];
+            std::istringstream is(f[4]);
+            std::string ident;
+            while (is >> ident)
+                body.idents.push_back(ident);
+            cur.summary.ckptBodies.push_back(std::move(body));
+            break;
+        }
+        case 'd':
+            splitTabs(line, 3, f);
+            if (f.size() != 3 || !toInt(f[1], n))
+                return false;
+            cur.summary.functions.push_back({f[2], n});
+            break;
+        case 's': {
+            splitTabs(line, 7, f);
+            int target = 0;
+            if (f.size() != 7 || !toInt(f[1], n) || !toInt(f[4], target))
+                return false;
+            Suppression sup;
+            sup.line = n;
+            sup.ownLine = f[2] == "1";
+            sup.wholeFile = f[3] == "1";
+            std::size_t pos = 0;
+            while (pos <= f[5].size() && !f[5].empty()) {
+                const std::size_t comma = f[5].find(',', pos);
+                sup.rules.push_back(
+                    comma == std::string::npos
+                        ? f[5].substr(pos)
+                        : f[5].substr(pos, comma - pos));
+                if (comma == std::string::npos)
+                    break;
+                pos = comma + 1;
+            }
+            sup.justification = f[6];
+            cur.summary.suppressions.push_back(std::move(sup));
+            cur.summary.suppressionTargets.push_back(target);
+            break;
+        }
+        case 'r':
+            splitTabs(line, 4, f);
+            if (f.size() != 4 || !toInt(f[1], n))
+                return false;
+            cur.raw.push_back({f[2], cur.summary.path, n, f[3]});
+            break;
+        default:
+            return false;
         }
     }
+    return !open;
+}
+
+bool
+readContents(const std::string &file, std::string &text,
+             std::string &error)
+{
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+        error = "cannot read: " + file;
+        return false;
+    }
+    std::ostringstream os;
+    os << in.rdbuf();
+    text = os.str();
+    return true;
 }
 
 std::string
@@ -115,21 +438,11 @@ LintResult
 lintSources(
     const std::vector<std::pair<std::string, std::string>> &sources)
 {
-    LintResult result;
-    result.filesScanned = static_cast<int>(sources.size());
-    for (const auto &[path, text] : sources) {
-        const SourceFile file = lexSource(projectRelative(path), text);
-        lintOne(file, result.findings);
-    }
-    std::sort(result.findings.begin(), result.findings.end(),
-              [](const Finding &a, const Finding &b) {
-                  if (a.path != b.path)
-                      return a.path < b.path;
-                  if (a.line != b.line)
-                      return a.line < b.line;
-                  return a.rule < b.rule;
-              });
-    return result;
+    std::vector<Analyzed> files;
+    files.reserve(sources.size());
+    for (const auto &[path, text] : sources)
+        files.push_back(analyzeOne(projectRelative(path), text));
+    return finish(files, static_cast<int>(files.size()));
 }
 
 bool
@@ -164,23 +477,105 @@ bool
 lintFiles(const std::vector<std::string> &paths, LintResult &result,
           std::string &error)
 {
-    std::vector<std::string> files;
-    if (!collectFiles(paths, files, error))
+    return lintFilesCached(paths, std::string(), result, error);
+}
+
+bool
+lintFilesCached(const std::vector<std::string> &paths,
+                const std::string &cachePath, LintResult &result,
+                std::string &error)
+{
+    std::vector<std::string> diskFiles;
+    if (!collectFiles(paths, diskFiles, error))
         return false;
-    std::vector<std::pair<std::string, std::string>> sources;
-    sources.reserve(files.size());
-    for (const std::string &f : files) {
-        std::ifstream in(f, std::ios::binary);
-        if (!in) {
-            error = "cannot read: " + f;
+
+    std::map<std::string, Analyzed> cache;
+    if (!cachePath.empty())
+        readCache(cachePath, cache);
+
+    std::vector<Analyzed> files;
+    files.reserve(diskFiles.size());
+    std::map<std::string, std::string> contentsByRel;
+    std::set<std::string> changed;
+    std::set<std::string> analyzed;
+    for (const std::string &f : diskFiles) {
+        std::string text;
+        if (!readContents(f, text, error))
             return false;
+        const std::string rel = projectRelative(f);
+        const std::uint64_t hash = lintFnv1a(text);
+        const auto it = cache.find(rel);
+        if (it != cache.end() && it->second.summary.hash == hash) {
+            files.push_back(std::move(it->second));
+            contentsByRel[rel] = std::move(text);
+        } else {
+            files.push_back(analyzeOne(rel, text));
+            changed.insert(rel);
+            analyzed.insert(rel);
         }
-        std::ostringstream os;
-        os << in.rdbuf();
-        sources.emplace_back(f, os.str());
     }
-    result = lintSources(sources);
+
+    // Reverse include-graph closure: a file whose (transitive) include
+    // changed is re-analyzed too — its per-file findings cannot change
+    // (its own bytes did not), but the conservative closure keeps the
+    // incremental mode honest about what "re-analyzed" means and robust
+    // against future rules that peek across the edge.
+    if (!changed.empty() && changed.size() < files.size()) {
+        std::map<std::string, std::vector<std::string>> includers;
+        for (const Analyzed &a : files) {
+            for (const IncludeEdge &e : a.summary.includes)
+                includers[e.target].push_back(a.summary.path);
+        }
+        std::vector<std::string> queue(changed.begin(), changed.end());
+        std::set<std::string> reached = changed;
+        while (!queue.empty()) {
+            const std::string cur = std::move(queue.back());
+            queue.pop_back();
+            const auto it = includers.find(cur);
+            if (it == includers.end())
+                continue;
+            for (const std::string &up : it->second) {
+                if (reached.insert(up).second)
+                    queue.push_back(up);
+            }
+        }
+        for (Analyzed &a : files) {
+            const std::string &rel = a.summary.path;
+            if (!reached.count(rel) || analyzed.count(rel))
+                continue;
+            a = analyzeOne(rel, contentsByRel[rel]);
+            analyzed.insert(rel);
+        }
+    }
+
+    // Persist before finish(): finish() consumes the raw per-file
+    // findings (it moves them into the merged result), and the cache
+    // must keep them for the next warm run.
+    if (!cachePath.empty())
+        writeCache(cachePath, files);
+    result = finish(files, static_cast<int>(analyzed.size()));
     return true;
+}
+
+void
+filterToDiff(LintResult &result, const DiffLines &diff)
+{
+    const auto keep = [&](const Finding &f) {
+        if (f.rule == kRuleCheckpointCoverage || f.rule == kRuleLayering)
+            return true;  // whole-tree properties gate regardless
+        const auto it = diff.byPath.find(f.path);
+        if (it == diff.byPath.end())
+            return false;
+        for (const auto &[first, last] : it->second) {
+            if (f.line >= first && f.line <= last)
+                return true;
+        }
+        return false;
+    };
+    result.findings.erase(
+        std::remove_if(result.findings.begin(), result.findings.end(),
+                       [&](const Finding &f) { return !keep(f); }),
+        result.findings.end());
 }
 
 std::string
@@ -210,11 +605,19 @@ formatSarif(const LintResult &result)
        << "      \"informationUri\": \"docs/static-analysis.md\",\n"
        << "      \"rules\": [\n";
     const auto &rules = ruleRegistry();
-    for (std::size_t i = 0; i < rules.size(); ++i) {
-        os << "        {\"id\": \"" << rules[i].name
+    const auto &project = projectRuleRegistry();
+    const std::size_t total = rules.size() + project.size();
+    for (std::size_t i = 0; i < total; ++i) {
+        const char *name = i < rules.size()
+                               ? rules[i].name
+                               : project[i - rules.size()].name;
+        const char *summary = i < rules.size()
+                                  ? rules[i].summary
+                                  : project[i - rules.size()].summary;
+        os << "        {\"id\": \"" << name
            << "\", \"shortDescription\": {\"text\": \""
-           << jsonEscape(rules[i].summary) << "\"}}"
-           << (i + 1 < rules.size() ? "," : "") << "\n";
+           << jsonEscape(summary) << "\"}}"
+           << (i + 1 < total ? "," : "") << "\n";
     }
     os << "      ]}},\n    \"results\": [\n";
     for (std::size_t i = 0; i < result.findings.size(); ++i) {
@@ -229,6 +632,25 @@ formatSarif(const LintResult &result)
            << "\n";
     }
     os << "    ]\n  }]\n}\n";
+    return os.str();
+}
+
+std::string
+formatAllows(const LintResult &result)
+{
+    std::ostringstream os;
+    for (const AllowEntry &a : result.allows) {
+        os << a.path << ":" << a.line << ": "
+           << (a.wholeFile ? "allow-file(" : "allow(");
+        for (std::size_t i = 0; i < a.rules.size(); ++i)
+            os << (i ? ", " : "") << a.rules[i];
+        os << ") -- "
+           << (a.justification.empty() ? "(no justification)"
+                                       : a.justification)
+           << "\n";
+    }
+    os << "piso-lint: " << result.allows.size()
+       << " suppression(s) in " << result.filesScanned << " files\n";
     return os.str();
 }
 

@@ -57,9 +57,15 @@ parseDirective(const std::string &comment, Suppression &out)
            std::isspace(static_cast<unsigned char>(comment[i])))
         ++i;
     const std::string kAllow = "allow";
-    if (comment.compare(i, kAllow.size(), kAllow) != 0)
+    const std::string kAllowFile = "allow-file";
+    if (comment.compare(i, kAllowFile.size(), kAllowFile) == 0) {
+        out.wholeFile = true;
+        i += kAllowFile.size();
+    } else if (comment.compare(i, kAllow.size(), kAllow) == 0) {
+        i += kAllow.size();
+    } else {
         return false;
-    i += kAllow.size();
+    }
     while (i < comment.size() &&
            std::isspace(static_cast<unsigned char>(comment[i])))
         ++i;
@@ -139,13 +145,34 @@ lexSource(std::string path, const std::string &text)
         lineHasCode = true;
     };
 
+    // Line of the last directive (or its continuation), so wrapped
+    // justifications can chain across comment lines.
+    int lastDirectiveLine = -2;
+
     auto addComment = [&](int startLine, bool hadCode,
                           const std::string &body) {
         Suppression s;
         s.line = startLine;
         s.ownLine = !hadCode;
-        if (parseDirective(body, s))
+        if (parseDirective(body, s)) {
+            lastDirectiveLine = startLine;
             out.suppressions.push_back(std::move(s));
+            return;
+        }
+        // An own-line comment directly below an own-line directive
+        // whose justification is already open continues it —
+        // justifications routinely wrap (`--list-allows` shows the
+        // whole sentence, not the first line).
+        if (!hadCode && startLine == lastDirectiveLine + 1 &&
+            !out.suppressions.empty() &&
+            out.suppressions.back().ownLine &&
+            !out.suppressions.back().justification.empty()) {
+            const std::string cont = trim(body);
+            if (!cont.empty()) {
+                out.suppressions.back().justification += " " + cont;
+                lastDirectiveLine = startLine;
+            }
+        }
     };
 
     bool preprocLine = false;  //!< current logical line starts with '#'

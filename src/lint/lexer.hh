@@ -37,7 +37,8 @@ struct Token
     bool preproc = false;  //!< token belongs to a preprocessor line
 };
 
-/** One `piso-lint: allow(...)` directive found in a comment. */
+/** One `piso-lint: allow(...)` or `piso-lint: allow-file(...)`
+ *  directive found in a comment. */
 struct Suppression
 {
     int line = 0;                     //!< line the comment starts on
@@ -45,6 +46,8 @@ struct Suppression
     std::string justification;        //!< text after `--` (maybe empty)
     bool ownLine = false;  //!< comment-only line: applies to the next
                            //!< code line instead of its own
+    bool wholeFile = false;  //!< allow-file(...): covers every line of
+                             //!< the file; still stale-checked
 };
 
 /** A tokenized source file. */

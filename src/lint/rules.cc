@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cctype>
+#include <functional>
+#include <map>
 
 namespace piso::lint {
 
@@ -44,7 +46,10 @@ wallclockApplies(const std::string &p)
 {
     // The whole library is deterministic except the experiment layer,
     // where host-side timing (thread pools, sweep wall-clock) lives.
-    return startsWith(p, "src/") && !startsWith(p, "src/exp/");
+    // Benchmarks and examples are covered too: measuring wall time
+    // there is legitimate but must say so with an allow-file().
+    return (startsWith(p, "src/") && !startsWith(p, "src/exp/")) ||
+           startsWith(p, "bench/") || startsWith(p, "examples/");
 }
 
 void
@@ -98,9 +103,11 @@ bool
 unorderedApplies(const std::string &p)
 {
     // Everything that renders reports, JSON, or sweep output: iteration
-    // order there is bytes on the wire.
+    // order there is bytes on the wire. Benchmarks and examples print
+    // results too, so they are held to the same bar.
     return startsWith(p, "src/metrics/") || startsWith(p, "src/exp/") ||
-           p == "tools/piso_sweep.cc";
+           p == "tools/piso_sweep.cc" || startsWith(p, "bench/") ||
+           startsWith(p, "examples/");
 }
 
 void
@@ -354,7 +361,8 @@ bool
 guardApplies(const std::string &p)
 {
     return endsWith(p, ".hh") &&
-           (startsWith(p, "src/") || startsWith(p, "tools/"));
+           (startsWith(p, "src/") || startsWith(p, "tools/") ||
+            startsWith(p, "bench/") || startsWith(p, "examples/"));
 }
 
 /** Canonical guard: src/sim/event_queue.hh -> PISO_SIM_EVENT_QUEUE_HH. */
@@ -591,6 +599,409 @@ fullScanCheck(const SourceFile &f, std::vector<Finding> &out)
     }
 }
 
+// ---------------------------------------------------------------------
+// time-unit-literal
+// ---------------------------------------------------------------------
+
+bool
+timeUnitApplies(const std::string &p)
+{
+    // The deterministic core, where Time arithmetic is simulated
+    // semantics. src/exp is host-side; src/lint has no Time at all.
+    return startsWith(p, "src/") && !startsWith(p, "src/exp/") &&
+           !startsWith(p, "src/lint/");
+}
+
+void
+timeUnitCheck(const SourceFile &f, std::vector<Finding> &out)
+{
+    // Pass 1: identifiers declared with type Time in this file —
+    // locals, parameters and data members alike ('Time t', 'Time &t',
+    // 'const Time t').
+    std::vector<std::string> timeIdents;
+    for (std::size_t i = 0; i + 1 < f.tokens.size(); ++i) {
+        if (f.tokens[i].kind != TokKind::Ident ||
+            f.tokens[i].text != "Time")
+            continue;
+        std::size_t j = i + 1;
+        while (j < f.tokens.size() &&
+               (at(f, j) == "&" || at(f, j) == "*" ||
+                at(f, j) == "const"))
+            ++j;
+        if (j < f.tokens.size() && f.tokens[j].kind == TokKind::Ident)
+            timeIdents.push_back(f.tokens[j].text);
+    }
+    std::sort(timeIdents.begin(), timeIdents.end());
+    timeIdents.erase(
+        std::unique(timeIdents.begin(), timeIdents.end()),
+        timeIdents.end());
+
+    const auto isTimeIdent = [&](std::size_t i, bool &unitConst) {
+        if (i >= f.tokens.size() ||
+            f.tokens[i].kind != TokKind::Ident)
+            return false;
+        const std::string &t = f.tokens[i].text;
+        unitConst = t == "kNs" || t == "kUs" || t == "kMs" ||
+                    t == "kSec" || t == "kTimeNever";
+        return unitConst ||
+               std::binary_search(timeIdents.begin(), timeIdents.end(),
+                                  t);
+    };
+
+    // The operator cluster between a literal and its neighbour, read
+    // outward from the literal; empty when the neighbour isn't reached
+    // over plain operator punctuation.
+    const auto clusterLeft = [&](std::size_t i, std::size_t &ident) {
+        std::string op;
+        std::size_t j = i;
+        while (j > 0) {
+            const Token &t = f.tokens[j - 1];
+            if (t.kind != TokKind::Punct ||
+                std::string("+-*/%<>=!").find(t.text[0]) ==
+                    std::string::npos)
+                break;
+            op.insert(0, t.text);
+            --j;
+        }
+        ident = j > 0 ? j - 1 : 0;
+        return j == i ? std::string() : op;
+    };
+    const auto clusterRight = [&](std::size_t i, std::size_t &ident) {
+        std::string op;
+        std::size_t j = i + 1;
+        while (j < f.tokens.size()) {
+            const Token &t = f.tokens[j];
+            if (t.kind != TokKind::Punct ||
+                std::string("+-*/%<>=!").find(t.text[0]) ==
+                    std::string::npos)
+                break;
+            op += t.text;
+            ++j;
+        }
+        ident = j;
+        return j == i + 1 ? std::string() : op;
+    };
+
+    static const char *kFlagged[] = {"+",  "-",  "<",  ">",  "<=",
+                                     ">=", "==", "!=", "+=", "-="};
+    static const char *kScaling[] = {"*", "/", "%", "*=", "/=", "%="};
+    const auto in = [](const std::string &op, const char *const *set,
+                       std::size_t n) {
+        for (std::size_t k = 0; k < n; ++k) {
+            if (op == set[k])
+                return true;
+        }
+        return false;
+    };
+
+    for (std::size_t i = 0; i < f.tokens.size(); ++i) {
+        const Token &t = f.tokens[i];
+        if (t.kind != TokKind::Number || t.preproc)
+            continue;
+        // Integer literals only; 0 and 1 are unit-free (comparisons
+        // with zero, one-tick offsets).
+        if (t.text.find('.') != std::string::npos || t.text == "0" ||
+            t.text == "1")
+            continue;
+        std::size_t li = 0;
+        std::size_t ri = 0;
+        const std::string lop = clusterLeft(i, li);
+        const std::string rop = clusterRight(i, ri);
+        // A literal inside a product is a dimensionless scale factor
+        // (the '500 * kUs' idiom and 'period / 2' both live here).
+        if (in(lop, kScaling, std::size(kScaling)) ||
+            in(rop, kScaling, std::size(kScaling)))
+            continue;
+        bool unitL = false;
+        bool unitR = false;
+        const bool timeL = in(lop, kFlagged, std::size(kFlagged)) &&
+                           isTimeIdent(li, unitL);
+        const bool timeR = in(rop, kFlagged, std::size(kFlagged)) &&
+                           isTimeIdent(ri, unitR);
+        if ((timeL && !unitL) || (timeR && !unitR)) {
+            const std::string other =
+                timeL && !unitL ? f.tokens[li].text : f.tokens[ri].text;
+            report(f, out, "time-unit-literal", t.line,
+                   "bare integer literal " + t.text +
+                       " in arithmetic with Time-typed '" + other +
+                       "' (write " + t.text +
+                       " * kNs/kUs/kMs/kSec, or name the constant)");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// context-capture
+// ---------------------------------------------------------------------
+
+bool
+contextCaptureApplies(const std::string &p)
+{
+    return startsWith(p, "src/");
+}
+
+void
+contextCaptureCheck(const SourceFile &f, std::vector<Finding> &out)
+{
+    // Pass 1: names declared in this file as a TraceContext/LogContext
+    // (value, pointer or reference).
+    struct CtxVar
+    {
+        std::string name;
+        bool pointer;
+    };
+    std::vector<CtxVar> vars;
+    for (std::size_t i = 0; i + 1 < f.tokens.size(); ++i) {
+        const Token &t = f.tokens[i];
+        if (t.kind != TokKind::Ident ||
+            (t.text != "TraceContext" && t.text != "LogContext"))
+            continue;
+        std::size_t j = i + 1;
+        bool pointer = false;
+        while (j < f.tokens.size() &&
+               (at(f, j) == "*" || at(f, j) == "&" ||
+                at(f, j) == "const")) {
+            pointer = pointer || at(f, j) == "*";
+            ++j;
+        }
+        if (j < f.tokens.size() && f.tokens[j].kind == TokKind::Ident)
+            vars.push_back({f.tokens[j].text, pointer});
+    }
+    const auto findVar = [&](const std::string &name) -> const CtxVar * {
+        for (const CtxVar &v : vars) {
+            if (v.name == name)
+                return &v;
+        }
+        return nullptr;
+    };
+
+    // Pass 2: lambdas inside EventQueue schedule calls. Their closure
+    // outlives the current stack frame and may fire on another sweep
+    // worker, so a captured per-thread context is a use-after-scope in
+    // waiting.
+    static const char *kScheduleCalls[] = {"schedule", "scheduleAfter",
+                                           "scheduleRestored"};
+    for (std::size_t i = 0; i + 1 < f.tokens.size(); ++i) {
+        const Token &t = f.tokens[i];
+        if (t.kind != TokKind::Ident ||
+            !std::any_of(std::begin(kScheduleCalls),
+                         std::end(kScheduleCalls),
+                         [&](const char *c) { return t.text == c; }) ||
+            at(f, i + 1) != "(")
+            continue;
+        int depth = 0;
+        for (std::size_t j = i + 1; j < f.tokens.size(); ++j) {
+            const std::string &x = at(f, j);
+            if (x == "(") {
+                ++depth;
+            } else if (x == ")") {
+                if (--depth == 0)
+                    break;
+            } else if (x == "[" && j > 0) {
+                // Lambda introducer vs subscript: a subscript follows
+                // a value (identifier, ')', ']'); an introducer does
+                // not.
+                const Token &prev = f.tokens[j - 1];
+                if (prev.kind == TokKind::Ident || prev.text == ")" ||
+                    prev.text == "]")
+                    continue;
+                // Scan the capture list entries.
+                std::size_t k = j + 1;
+                int sub = 0;
+                std::vector<std::size_t> entry;  // token indices
+                const auto flush = [&]() {
+                    bool byRef = false;
+                    for (std::size_t e : entry) {
+                        const Token &et = f.tokens[e];
+                        if (et.kind == TokKind::Punct &&
+                            et.text == "&")
+                            byRef = true;
+                        if (et.kind != TokKind::Ident)
+                            continue;
+                        if (et.text == "traceContext" ||
+                            et.text == "logContext") {
+                            report(f, out, "context-capture", et.line,
+                                   "EventQueue lambda captures the "
+                                   "per-thread context accessor '" +
+                                       et.text +
+                                       "()' (pool-owned; resolve it "
+                                       "inside the callback instead)");
+                            continue;
+                        }
+                        const CtxVar *v = findVar(et.text);
+                        if (v != nullptr && (byRef || v->pointer)) {
+                            report(
+                                f, out, "context-capture", et.line,
+                                "EventQueue lambda captures a raw "
+                                "pointer/reference to per-thread "
+                                "context '" +
+                                    et.text +
+                                    "' (pool-owned; the callback may "
+                                    "fire on another worker — capture "
+                                    "the owning object and resolve "
+                                    "the context inside)");
+                        }
+                    }
+                    entry.clear();
+                };
+                for (; k < f.tokens.size(); ++k) {
+                    const std::string &y = at(f, k);
+                    if (y == "[") {
+                        ++sub;
+                    } else if (y == "]") {
+                        if (sub-- == 0)
+                            break;
+                    } else if (y == "," && sub == 0) {
+                        flush();
+                        continue;
+                    }
+                    entry.push_back(k);
+                }
+                flush();
+                j = k;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// checkpoint-field-coverage (cross-file)
+// ---------------------------------------------------------------------
+
+void
+checkpointCoverageCheck(const ProjectIndex &index,
+                        std::vector<Finding> &out)
+{
+    // Join every save/load body by class name, across all files.
+    struct Bodies
+    {
+        std::vector<std::string> save;  // sorted unique idents
+        std::vector<std::string> load;
+        bool hasSave = false;
+        bool hasLoad = false;
+    };
+    std::map<std::string, Bodies> byClass;
+    for (const FileSummary *file : index.files) {
+        for (const CkptBody &b : file->ckptBodies) {
+            Bodies &dst = byClass[b.className];
+            auto &set = b.isSave ? dst.save : dst.load;
+            set.insert(set.end(), b.idents.begin(), b.idents.end());
+            (b.isSave ? dst.hasSave : dst.hasLoad) = true;
+        }
+    }
+    for (auto &[name, bodies] : byClass) {
+        std::sort(bodies.save.begin(), bodies.save.end());
+        std::sort(bodies.load.begin(), bodies.load.end());
+    }
+
+    // Every non-static data member of a participating type must be
+    // referenced on both paths: an unreferenced field is state the
+    // image silently drops (restore would resurrect a stale value).
+    for (const FileSummary *file : index.files) {
+        if (!startsWith(file->path, "src/"))
+            continue;
+        for (const ClassDecl &cls : file->classes) {
+            const auto it = byClass.find(cls.name);
+            if (it == byClass.end() || !it->second.hasSave ||
+                !it->second.hasLoad)
+                continue;
+            for (const FieldDecl &field : cls.fields) {
+                const bool inSave = std::binary_search(
+                    it->second.save.begin(), it->second.save.end(),
+                    field.name);
+                const bool inLoad = std::binary_search(
+                    it->second.load.begin(), it->second.load.end(),
+                    field.name);
+                if (inSave && inLoad)
+                    continue;
+                const char *where =
+                    !inSave && !inLoad
+                        ? "both the save and the load path"
+                        : (!inSave ? "the save path (load touches it)"
+                                   : "the load path (save writes it)");
+                out.push_back(
+                    {kRuleCheckpointCoverage, file->path, field.line,
+                     "field '" + field.name + "' of checkpointed type '" +
+                         cls.name + "' is missing from " + where +
+                         " of " + cls.name +
+                         "::save/load (serialise it, or justify with "
+                         "piso-lint: allow(checkpoint-field-coverage) "
+                         "-- <why it is replay-derived/transient>)"});
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// layering (cross-file)
+// ---------------------------------------------------------------------
+
+void
+layeringCheck(const ProjectIndex &index, std::vector<Finding> &out)
+{
+    // Upward includes: an edge may only point at the same or a lower
+    // layer (util -> sim -> core -> machine -> os -> workload ->
+    // metrics -> simulation -> exp/config -> tools).
+    for (const FileSummary *file : index.files) {
+        const int from = layerRank(file->path);
+        if (from < 0)
+            continue;
+        for (const IncludeEdge &inc : file->includes) {
+            const int to = layerRank(inc.target);
+            if (to < 0 || to <= from)
+                continue;
+            out.push_back(
+                {kRuleLayering, file->path, inc.line,
+                 "upward include: " + file->path + " (layer " +
+                     layerName(from) + ") includes " + inc.target +
+                     " (layer " + layerName(to) +
+                     "); edges must flow util <- sim <- core <- "
+                     "machine <- os <- workload <- metrics <- "
+                     "simulation <- exp/config <- tools"});
+        }
+    }
+
+    // Cycles in the file-level include graph (same-layer cycles are
+    // invisible to the rank check above). Reported once, at the back
+    // edge that closes the cycle.
+    std::map<std::string, const FileSummary *> byPath;
+    for (const FileSummary *file : index.files)
+        byPath[file->path] = file;
+    std::map<std::string, int> color;  // 0 white, 1 grey, 2 black
+    std::vector<std::string> stack;
+    const std::function<void(const FileSummary *)> visit =
+        [&](const FileSummary *file) {
+            color[file->path] = 1;
+            stack.push_back(file->path);
+            for (const IncludeEdge &inc : file->includes) {
+                const auto target = byPath.find(inc.target);
+                if (target == byPath.end())
+                    continue;
+                const int c = color[inc.target];
+                if (c == 1) {
+                    std::string cycle = inc.target;
+                    auto at = std::find(stack.begin(), stack.end(),
+                                        inc.target);
+                    for (auto it = at; it != stack.end(); ++it) {
+                        if (*it != inc.target)
+                            cycle += " -> " + *it;
+                    }
+                    cycle += " -> " + inc.target;
+                    out.push_back({kRuleLayering, file->path, inc.line,
+                                   "include cycle: " + cycle});
+                } else if (c == 0) {
+                    visit(target->second);
+                }
+            }
+            stack.pop_back();
+            color[file->path] = 2;
+        };
+    for (const FileSummary *file : index.files) {
+        if (color[file->path] == 0)
+            visit(file);
+    }
+}
+
 } // namespace
 
 const std::vector<Rule> &
@@ -625,6 +1036,26 @@ ruleRegistry()
         {"hot-path-full-scan",
          "full SpuTable/DenseTable iteration on src/core policy paths",
          fullScanApplies, fullScanCheck},
+        {"time-unit-literal",
+         "bare integer literals in arithmetic with Time-typed values",
+         timeUnitApplies, timeUnitCheck},
+        {"context-capture",
+         "EventQueue lambdas capturing pool-owned per-thread contexts",
+         contextCaptureApplies, contextCaptureCheck},
+    };
+    return kRules;
+}
+
+const std::vector<ProjectRule> &
+projectRuleRegistry()
+{
+    static const std::vector<ProjectRule> kRules = {
+        {kRuleCheckpointCoverage,
+         "every field of a save/load type serialized on both paths",
+         checkpointCoverageCheck},
+        {kRuleLayering,
+         "include edges respect the layer order; no include cycles",
+         layeringCheck},
     };
     return kRules;
 }
@@ -633,9 +1064,14 @@ bool
 knownRule(const std::string &name)
 {
     const auto &rules = ruleRegistry();
-    return std::any_of(rules.begin(), rules.end(), [&](const Rule &r) {
-        return name == r.name;
-    });
+    if (std::any_of(rules.begin(), rules.end(),
+                    [&](const Rule &r) { return name == r.name; }))
+        return true;
+    const auto &project = projectRuleRegistry();
+    return std::any_of(project.begin(), project.end(),
+                       [&](const ProjectRule &r) {
+                           return name == r.name;
+                       });
 }
 
 } // namespace piso::lint

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "src/lint/index.hh"
 #include "src/lint/lexer.hh"
 
 namespace piso::lint {
@@ -40,11 +41,39 @@ struct Rule
     void (*check)(const SourceFile &file, std::vector<Finding> &out);
 };
 
-/** All registered rules, in reporting order. */
+/**
+ * A cross-file rule: runs once per lint run over the semantic index
+ * (src/lint/index.hh) instead of once per file, so it can join class
+ * field lists against out-of-line save/load bodies or walk the whole
+ * include graph. Findings carry the file/line of the offending
+ * declaration or include, and the normal per-line `piso-lint: allow`
+ * escape applies there.
+ */
+struct ProjectRule
+{
+    const char *name;     //!< stable id used by allow(...) directives
+    const char *summary;  //!< one-line description for --list-rules
+    /** Scan the whole-project index and append raw findings. */
+    void (*check)(const ProjectIndex &index, std::vector<Finding> &out);
+};
+
+/** All registered per-file rules, in reporting order. */
 const std::vector<Rule> &ruleRegistry();
 
-/** True when @p name names a registered rule. */
+/** All registered cross-file rules, in reporting order. */
+const std::vector<ProjectRule> &projectRuleRegistry();
+
+/** True when @p name names a registered rule (either registry). */
 bool knownRule(const std::string &name);
+
+/** @name Rule families that gate tree-wide even under --diff-base.
+ *  A missing checkpoint field or an upward include is a whole-tree
+ *  property: a diff touching neither line can still introduce one. */
+/// @{
+inline constexpr const char *kRuleCheckpointCoverage =
+    "checkpoint-field-coverage";
+inline constexpr const char *kRuleLayering = "layering";
+/// @}
 
 /** @name Rule names used by the engine's own suppression findings.
  *  These are not in the registry (they cannot be suppressed). */

@@ -19,7 +19,7 @@
 #include <cstdint>
 
 #include "src/sim/random.hh"
-#include "src/sim/time.hh"
+#include "src/util/time.hh"
 
 namespace piso {
 

@@ -89,6 +89,8 @@ class PhysicalMemory
     }
 
   private:
+    // piso-lint: allow(checkpoint-field-coverage) -- page size is
+    // machine configuration, identical after setup replay.
     std::uint32_t pageBytes_;
     std::uint64_t totalPages_;
     std::uint64_t freePages_;

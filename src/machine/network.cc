@@ -1,6 +1,6 @@
 #include "src/machine/network.hh"
 
-#include "src/sim/log.hh"
+#include "src/util/log.hh"
 #include "src/sim/trace.hh"
 #include "src/util/error.hh"
 

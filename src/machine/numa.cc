@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "src/sim/log.hh"
+#include "src/util/log.hh"
 
 namespace piso {
 

@@ -16,7 +16,7 @@
 #include "src/os/vm.hh"
 #include "src/sim/event_queue.hh"
 #include "src/sim/ids.hh"
-#include "src/sim/time.hh"
+#include "src/util/time.hh"
 
 namespace piso {
 

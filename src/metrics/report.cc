@@ -4,7 +4,7 @@
 #include <sstream>
 
 #include "src/metrics/results.hh"
-#include "src/sim/log.hh"
+#include "src/util/log.hh"
 
 namespace piso {
 

@@ -15,7 +15,7 @@
 #include "src/core/spu_table.hh"
 #include "src/os/kernel.hh"
 #include "src/sim/ids.hh"
-#include "src/sim/time.hh"
+#include "src/util/time.hh"
 
 namespace piso {
 

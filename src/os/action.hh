@@ -15,7 +15,7 @@
 #include <variant>
 
 #include "src/sim/ids.hh"
-#include "src/sim/time.hh"
+#include "src/util/time.hh"
 
 namespace piso {
 

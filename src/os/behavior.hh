@@ -9,7 +9,7 @@
 #include "src/os/action.hh"
 #include "src/sim/checkpoint.hh"
 #include "src/sim/random.hh"
-#include "src/sim/time.hh"
+#include "src/util/time.hh"
 
 namespace piso {
 

@@ -1,6 +1,6 @@
 #include "src/os/cscan.hh"
 
-#include "src/sim/log.hh"
+#include "src/util/log.hh"
 
 namespace piso {
 

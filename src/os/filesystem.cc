@@ -1,6 +1,6 @@
 #include "src/os/filesystem.hh"
 
-#include "src/sim/log.hh"
+#include "src/util/log.hh"
 
 namespace piso {
 

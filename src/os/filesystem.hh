@@ -119,8 +119,14 @@ class FileSystem
     FileId allocate(std::string name, DiskId disk, std::uint64_t bytes,
                     FilePlacement placement, bool withMetadata);
 
+    // piso-lint: allow(checkpoint-field-coverage) -- geometry
+    // configuration, identical after deterministic setup replay.
     std::uint32_t sectorBytes_;
+    // piso-lint: allow(checkpoint-field-coverage) -- geometry
+    // configuration, identical after deterministic setup replay.
     std::uint32_t blockBytes_;
+    // piso-lint: allow(checkpoint-field-coverage) -- derived from the
+    // two geometry fields above at construction.
     std::uint32_t sectorsPerBlock_;
     Rng rng_;
     std::map<DiskId, DiskSpace> disks_;

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "src/sim/log.hh"
+#include "src/util/log.hh"
 #include "src/sim/trace.hh"
 #include "src/util/error.hh"
 

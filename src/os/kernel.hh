@@ -345,6 +345,8 @@ class Kernel : public SchedClient
     /// @}
 
     /** Invoked whenever a process exits (job tracking). */
+    // piso-lint: allow(checkpoint-field-coverage) -- callback wiring,
+    // re-established by setup replay; not serialisable state.
     std::function<void(Process &)> onProcessExit;
 
   private:
@@ -484,16 +486,32 @@ class Kernel : public SchedClient
     void blockProcess(Process &p);
     void wakeProcess(Process &p);
 
+    // piso-lint: allow(checkpoint-field-coverage) -- wiring reference;
+    // each subsystem is imaged by Simulation in its own section.
     EventQueue &events_;
+    // piso-lint: allow(checkpoint-field-coverage) -- wiring reference;
+    // each subsystem is imaged by Simulation in its own section.
     VirtualMemory &vm_;
+    // piso-lint: allow(checkpoint-field-coverage) -- wiring reference;
+    // each subsystem is imaged by Simulation in its own section.
     BufferCache &cache_;
+    // piso-lint: allow(checkpoint-field-coverage) -- wiring reference;
+    // each subsystem is imaged by Simulation in its own section.
     FileSystem &fs_;
+    // piso-lint: allow(checkpoint-field-coverage) -- wiring reference;
+    // each subsystem is imaged by Simulation in its own section.
     CpuScheduler &sched_;
+    // piso-lint: allow(checkpoint-field-coverage) -- wiring; devices
+    // are imaged by Simulation in machine order.
     std::vector<DiskDevice *> disks_;
     Rng rng_;
+    // piso-lint: allow(checkpoint-field-coverage) -- kernel tunables,
+    // identical after deterministic setup replay.
     KernelConfig config_;
 
     std::vector<std::unique_ptr<Process>> processes_;
+    // piso-lint: allow(checkpoint-field-coverage) -- membership lists
+    // are derived; load() rebuilds them from per-process state.
     SpuTable<std::vector<Process *>> spuProcs_;
     std::size_t live_ = 0;
     Pid nextPid_ = 1;
@@ -504,14 +522,24 @@ class Kernel : public SchedClient
      *  (pids, unlike pointers, keep any iteration deterministic). */
     DenseTable<Pid, double> boostedNice_;
 
+    // piso-lint: allow(checkpoint-field-coverage) -- wiring reference;
+    // the device is imaged by Simulation in its own section.
     NetworkInterface *net_ = nullptr;
+    // piso-lint: allow(checkpoint-field-coverage) -- wiring reference;
+    // the model is imaged by Simulation in its own section.
     NumaModel *numa_ = nullptr;
 
+    // piso-lint: allow(checkpoint-field-coverage) -- SPU-to-disk
+    // placement is configuration, identical after setup replay.
     SpuTable<DiskId> spuDisk_;
     SpuTable<FileId> swapExtent_;
 
     /** Outstanding kernel-write sectors per disk (throttling). */
+    // piso-lint: allow(checkpoint-field-coverage) -- checked zero by
+    // requireIoQuiescent() before any save; nothing to image.
     DenseTable<DiskId, std::uint64_t> flushBacklog_;
+    // piso-lint: allow(checkpoint-field-coverage) -- checked empty by
+    // requireIoQuiescent() before any save; nothing to image.
     DenseTable<DiskId, std::vector<Process *>> throttleWaiters_;
     bool bdflushPending_ = false;
 
@@ -520,6 +548,8 @@ class Kernel : public SchedClient
 
     KernelStats stats_;
     mutable SpuTable<SpuFaultStats> spuFaults_;
+    // piso-lint: allow(checkpoint-field-coverage) -- checkpoints are
+    // only taken from running simulations; replay re-runs start().
     bool started_ = false;
 };
 

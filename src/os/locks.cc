@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "src/os/process.hh"
-#include "src/sim/log.hh"
+#include "src/util/log.hh"
 #include "src/util/error.hh"
 
 namespace piso {

@@ -2,7 +2,7 @@
 
 #include <type_traits>
 
-#include "src/sim/log.hh"
+#include "src/util/log.hh"
 #include "src/util/error.hh"
 
 namespace piso {

@@ -18,7 +18,7 @@
 #include "src/os/behavior.hh"
 #include "src/sim/event_queue.hh"
 #include "src/sim/ids.hh"
-#include "src/sim/time.hh"
+#include "src/util/time.hh"
 
 namespace piso {
 
@@ -84,10 +84,16 @@ class Process
     /** Wall-clock start of the segment currently running on a CPU. */
     Time segmentStart = 0;
     /** Pending segment-end event while Running. */
+    // piso-lint: allow(checkpoint-field-coverage) -- event ids are
+    // imaged with the event queue; Kernel::restoreSegEnd re-links.
     EventId segmentEvent = kNoEvent;
     /** Pending process-start event while Embryo. */
+    // piso-lint: allow(checkpoint-field-coverage) -- event ids are
+    // imaged with the event queue; Kernel::restoreProcStart re-links.
     EventId startEvent = kNoEvent;
     /** Pending wake event while Blocked in a SleepAction. */
+    // piso-lint: allow(checkpoint-field-coverage) -- event ids are
+    // imaged with the event queue; Kernel::restoreSleepWake re-links.
     EventId wakeEvent = kNoEvent;
     /** True when the current segment will end in a page fault. */
     bool segmentFaults = false;
@@ -212,9 +218,17 @@ class Process
     /// @}
 
   private:
+    // piso-lint: allow(checkpoint-field-coverage) -- identity assigned
+    // by setup replay; the image cross-checks pid order instead.
     Pid pid_;
+    // piso-lint: allow(checkpoint-field-coverage) -- placement is
+    // configuration, identical after deterministic setup replay.
     SpuId spu_;
+    // piso-lint: allow(checkpoint-field-coverage) -- job membership is
+    // configuration, identical after deterministic setup replay.
     JobId job_;
+    // piso-lint: allow(checkpoint-field-coverage) -- log label, fixed
+    // at creation; identical after setup replay.
     std::string name_;
     std::unique_ptr<Behavior> behavior_;
     Rng rng_;
@@ -222,8 +236,14 @@ class Process
 
     // Lazily decayed usage: mutable so const readers (priority()
     // comparisons, save()) can fold pending halvings in.
+    // piso-lint: allow(checkpoint-field-coverage) -- imaged through
+    // recentCpu()/setRecentCpu(), which fold the pending decay in.
     mutable double recentCpu_ = 0.0;
+    // piso-lint: allow(checkpoint-field-coverage) -- lazy-decay epoch
+    // tag; setRecentCpu() resyncs it to the scheduler's epoch.
     mutable std::uint32_t decayEpoch_ = 0;
+    // piso-lint: allow(checkpoint-field-coverage) -- wiring pointer to
+    // the scheduler's epoch counter, re-bound by setup replay.
     const std::uint32_t *decayEpochSrc_ = nullptr;
 };
 

@@ -31,7 +31,7 @@
 #include "src/os/process.hh"
 #include "src/sim/event_queue.hh"
 #include "src/sim/ids.hh"
-#include "src/sim/time.hh"
+#include "src/util/time.hh"
 
 namespace piso {
 
@@ -270,31 +270,51 @@ class CpuScheduler
     /** Priority comparison helper: true if a should run before b. */
     static bool higherPriority(const Process *a, const Process *b);
 
+    // piso-lint: allow(checkpoint-field-coverage) -- wiring reference;
+    // the event queue is imaged by Simulation, not the scheduler.
     EventQueue &events_;
+    // piso-lint: allow(checkpoint-field-coverage) -- callback wiring,
+    // re-established by setup replay; not serialisable state.
     SchedClient *client_ = nullptr;
     std::vector<Cpu> cpus_;
     std::vector<Process *> all_;
 
     /** Eager-baseline mode (see setEagerPolicyLoops). */
+    // piso-lint: allow(checkpoint-field-coverage) -- experiment
+    // configuration, identical after deterministic setup replay.
     bool eagerLoops_ = false;
 
-    /** Policy-loop iteration counter (see policyIters). */
+    /** Policy-loop iteration counter (see policyIters). Out of band
+     *  like MemPolicy::policyIters: host-side perf telemetry, never
+     *  serialised. */
+    // piso-lint: allow(checkpoint-field-coverage) -- out-of-band perf
+    // telemetry (policy_iters_cpu), deliberately not imaged.
     std::uint64_t policyIters_ = 0;
 
   private:
     void tick();
     void freeCpu(Process *p, bool requeue);
 
+    // piso-lint: allow(checkpoint-field-coverage) -- scheduler tuning
+    // configuration, identical after deterministic setup replay.
     Time tickPeriod_;
+    // piso-lint: allow(checkpoint-field-coverage) -- scheduler tuning
+    // configuration, identical after deterministic setup replay.
     Time timeSlice_;
+    // piso-lint: allow(checkpoint-field-coverage) -- scheduler tuning
+    // configuration, identical after deterministic setup replay.
     Time decayPeriod_ = kSec;
     Time lastDecay_ = 0;
 
     /** Decay generation: bumped once per decay period instead of
      *  sweeping every process; processes fold missed halvings in on
      *  read (Process::foldDecay). */
+    // piso-lint: allow(checkpoint-field-coverage) -- relative epoch
+    // tag; save folds decay into each process, load resyncs them.
     std::uint32_t decayEpoch_ = 0;
     /** Rotation period for time-partitioned CPUs. */
+    // piso-lint: allow(checkpoint-field-coverage) -- scheduler tuning
+    // configuration, identical after deterministic setup replay.
     Time sharePeriod_ = 100 * kMs;
 
     SpuTable<Time> spuCpuTime_;

@@ -156,10 +156,14 @@ class VirtualMemory
     /** Fatal-checked pressure-counter access. */
     std::uint64_t &pressureEntry(SpuId spu);
 
+    // piso-lint: allow(checkpoint-field-coverage) -- wiring reference;
+    // PhysicalMemory is imaged by Simulation, not through the VM.
     PhysicalMemory &phys_;
     ResourceLedger ledger_{"memory"};
     SpuTable<std::uint64_t> pressure_;
     std::uint64_t reservePages_ = 0;
+    // piso-lint: allow(checkpoint-field-coverage) -- monotonic change
+    // counter; load bumps it rather than restoring it.
     std::uint64_t version_ = 0;
 };
 

@@ -31,7 +31,7 @@
 #include <iosfwd>
 #include <string>
 
-#include "src/sim/time.hh"
+#include "src/util/time.hh"
 
 namespace piso {
 

@@ -1,6 +1,6 @@
 #include "src/sim/event_queue.hh"
 
-#include "src/sim/log.hh"
+#include "src/util/log.hh"
 #include "src/util/error.hh"
 
 namespace piso {

@@ -27,7 +27,7 @@
 #include <utility>
 #include <vector>
 
-#include "src/sim/time.hh"
+#include "src/util/time.hh"
 
 namespace piso {
 

@@ -22,7 +22,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "src/sim/time.hh"
+#include "src/util/time.hh"
 
 namespace piso {
 

@@ -2,7 +2,7 @@
 
 #include <cmath>
 
-#include "src/sim/log.hh"
+#include "src/util/log.hh"
 
 namespace piso {
 

@@ -13,7 +13,7 @@
 #include <cstdint>
 
 #include "src/sim/checkpoint.hh"
-#include "src/sim/time.hh"
+#include "src/util/time.hh"
 
 namespace piso {
 

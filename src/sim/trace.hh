@@ -28,8 +28,8 @@
 #include <functional>
 #include <string>
 
-#include "src/sim/log.hh"
-#include "src/sim/time.hh"
+#include "src/util/log.hh"
+#include "src/util/time.hh"
 
 namespace piso {
 

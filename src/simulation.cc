@@ -23,7 +23,7 @@
 #include "src/os/vm.hh"
 #include "src/sim/checkpoint.hh"
 #include "src/sim/event_queue.hh"
-#include "src/sim/log.hh"
+#include "src/util/log.hh"
 #include "src/sim/trace.hh"
 #include "src/util/error.hh"
 #include "src/workload/job.hh"

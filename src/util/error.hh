@@ -40,8 +40,8 @@
 #include <stdexcept>
 #include <string>
 
-#include "src/sim/log.hh"
-#include "src/sim/time.hh"
+#include "src/util/log.hh"
+#include "src/util/time.hh"
 
 namespace piso {
 

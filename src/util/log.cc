@@ -1,9 +1,9 @@
-#include "src/sim/log.hh"
+#include "src/util/log.hh"
 
 #include <cstdio>
 #include <cstdlib>
 
-#include "src/sim/time.hh"
+#include "src/util/time.hh"
 #include "src/util/error.hh"
 
 namespace piso {

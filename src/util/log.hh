@@ -1,5 +1,5 @@
-#ifndef PISO_SIM_LOG_HH
-#define PISO_SIM_LOG_HH
+#ifndef PISO_UTIL_LOG_HH
+#define PISO_UTIL_LOG_HH
 
 /**
  * @file
@@ -108,4 +108,4 @@ concat(Args &&...args)
     ::piso::detail::logImpl(::piso::LogLevel::Debug,                        \
                             ::piso::detail::concat(__VA_ARGS__))
 
-#endif // PISO_SIM_LOG_HH
+#endif // PISO_UTIL_LOG_HH

@@ -1,5 +1,5 @@
-#ifndef PISO_SIM_TIME_HH
-#define PISO_SIM_TIME_HH
+#ifndef PISO_UTIL_TIME_HH
+#define PISO_UTIL_TIME_HH
 
 /**
  * @file
@@ -68,4 +68,4 @@ std::string formatTime(Time t);
 
 } // namespace piso
 
-#endif // PISO_SIM_TIME_HH
+#endif // PISO_UTIL_TIME_HH

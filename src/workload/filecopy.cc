@@ -1,6 +1,6 @@
 #include "src/workload/filecopy.hh"
 
-#include "src/sim/log.hh"
+#include "src/util/log.hh"
 #include "src/workload/synthetic.hh"
 
 namespace piso {

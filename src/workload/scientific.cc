@@ -1,7 +1,7 @@
 #include "src/workload/scientific.hh"
 
 #include "src/os/kernel.hh"
-#include "src/sim/log.hh"
+#include "src/util/log.hh"
 
 namespace piso {
 

@@ -49,6 +49,8 @@ class ScriptBehavior : public Behavior
     }
 
   private:
+    // piso-lint: allow(checkpoint-field-coverage) -- the script is
+    // configuration replayed by setup; only the cursor is imaged.
     std::vector<Action> script_;
     std::size_t index_ = 0;
 };
@@ -88,6 +90,8 @@ class ComputeBehavior : public Behavior
     }
 
   private:
+    // piso-lint: allow(checkpoint-field-coverage) -- behaviour
+    // parameters, identical after deterministic setup replay.
     ComputeSpec spec_;
     Time done_ = 0;
     bool grown_ = false;

@@ -25,7 +25,7 @@
 #include <map>
 
 #include "src/sim/ids.hh"
-#include "src/sim/time.hh"
+#include "src/util/time.hh"
 
 namespace piso::testutil {
 

@@ -1,0 +1,22 @@
+// Fixture: the save path has been edited to drop dropped_ (the
+// "deleted save field" scenario docs/static-analysis.md describes);
+// cache_ is deliberately on neither path, covered by the justified
+// allow at its declaration.
+#include "src/core/ckpt_cover.hh"
+
+namespace piso {
+
+void
+CoverDemo::save(CkptWriter &w) const
+{
+    w.i64(value_);
+}
+
+void
+CoverDemo::load(CkptReader &r)
+{
+    value_ = r.i64();
+    dropped_ = r.i64();
+}
+
+} // namespace piso

@@ -1,0 +1,19 @@
+// piso-lint: allow-file(hygiene-io) -- fixture: a demo reporter that
+// prints by design; the whole-file grant covers every call site.
+#include <cstdio>
+
+namespace piso {
+
+void
+reportA(int n)
+{
+    std::printf("a=%d\n", n);
+}
+
+void
+reportB(int n)
+{
+    std::printf("b=%d\n", n);
+}
+
+} // namespace piso

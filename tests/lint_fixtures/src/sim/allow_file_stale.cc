@@ -1,0 +1,12 @@
+// piso-lint: allow-file(memory-raw-new) -- fixture: nothing here
+// allocates, so the whole-file grant is stale and must be reported.
+
+namespace piso {
+
+inline int
+two()
+{
+    return 2;
+}
+
+} // namespace piso

@@ -1,0 +1,21 @@
+// Fixture: context-capture. Lambdas handed to EventQueue schedule
+// calls outlive the enclosing frame and may fire on another sweep
+// worker: capturing a raw pointer/reference to a pool-owned
+// per-thread context (or the accessor itself) is flagged; capturing
+// a copy, or resolving the context inside the body, is not.
+
+namespace piso {
+
+void
+demo(EventQueue &events, Time now, int *arr)
+{
+    TraceContext *ctx = nullptr;
+    TraceContext byValue;
+    events.schedule(now, [ctx] { use(ctx); });             // hit
+    events.schedule(arr[0], [&byValue] { touch(); });      // hit
+    events.schedule(now, [byValue] { consume(byValue); }); // clean
+    events.scheduleAfter(now, [t = traceContext()] {});    // hit
+    events.schedule(now, [] { traceContext(); });          // clean
+}
+
+} // namespace piso

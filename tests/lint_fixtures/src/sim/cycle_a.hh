@@ -1,0 +1,12 @@
+#ifndef PISO_SIM_CYCLE_A_HH
+#define PISO_SIM_CYCLE_A_HH
+
+// Fixture: cycle_a.hh and cycle_b.hh include each other; the layering
+// rule reports the cycle once, at the back edge that closes it.
+#include "src/sim/cycle_b.hh"
+
+namespace piso {
+inline int cycleA() { return 1; }
+} // namespace piso
+
+#endif // PISO_SIM_CYCLE_A_HH

@@ -1,0 +1,11 @@
+#ifndef PISO_SIM_CYCLE_B_HH
+#define PISO_SIM_CYCLE_B_HH
+
+// Fixture: the second half of the include cycle; see cycle_a.hh.
+#include "src/sim/cycle_a.hh"
+
+namespace piso {
+inline int cycleB() { return 2; }
+} // namespace piso
+
+#endif // PISO_SIM_CYCLE_B_HH

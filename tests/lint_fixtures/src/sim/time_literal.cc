@@ -1,0 +1,22 @@
+// Fixture: time-unit-literal. Bare integer literals combined with
+// Time-typed values via +/-/comparison are flagged; scalar products
+// with a unit constant, the unit-free 0/1, and floating literals
+// stay clean.
+
+namespace piso {
+
+Time
+nextDeadline(Time now)
+{
+    Time deadline = now + 500;     // hit: bare 500 added to Time
+    if (deadline > 250)            // hit: compared against bare 250
+        deadline += 2;             // hit: bare 2 added in place
+    const Time grace = 500 * kMs;  // clean: scalar * unit constant
+    Time ok = now + 500 * kUs;     // clean: scaled before the add
+    deadline = deadline - 1;       // clean: one-tick offset
+    double frac = 0.5;             // clean: floating literal
+    (void)frac;
+    return deadline + ok + grace;
+}
+
+} // namespace piso

@@ -1,0 +1,13 @@
+// Fixture: an upward include edge out of the sim layer; the layering
+// rule names both endpoints and their layers.
+#include "src/os/tables.hh"
+
+namespace piso {
+
+inline int
+simHelper()
+{
+    return 3;
+}
+
+} // namespace piso

@@ -9,6 +9,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -27,15 +30,25 @@ fixture(const std::string &rel)
     return std::string(PISO_LINT_FIXTURE_DIR) + "/" + rel;
 }
 
-/** Lint one fixture file; hard-fails the test on I/O errors. */
+/** Lint one or more fixture files; hard-fails the test on I/O
+ *  errors. */
+LintResult
+lintFixtures(const std::vector<std::string> &rels)
+{
+    std::vector<std::string> paths;
+    for (const std::string &rel : rels)
+        paths.push_back(fixture(rel));
+    LintResult result;
+    std::string error;
+    if (!lintFiles(paths, result, error))
+        ADD_FAILURE() << "cannot lint fixtures: " << error;
+    return result;
+}
+
 LintResult
 lintFixture(const std::string &rel)
 {
-    LintResult result;
-    std::string error;
-    if (!lintFiles({fixture(rel)}, result, error))
-        ADD_FAILURE() << "cannot lint " << rel << ": " << error;
-    return result;
+    return lintFixtures({rel});
 }
 
 /** (rule, line) pairs, sorted — the shape the expectations use. */
@@ -124,6 +137,78 @@ TEST(LintRules, FullTableScansOnPolicyHotPaths)
                              {"hot-path-full-scan", 27}}));
 }
 
+TEST(LintRules, BareIntegerLiteralsInTimeArithmetic)
+{
+    // 500 + Time, Time > 250, Time += 2 are flagged; '500 * kMs'
+    // scalar products, 0/1 offsets, and floating literals stay clean.
+    const LintResult r = lintFixture("src/sim/time_literal.cc");
+    EXPECT_EQ(hits(r), (Hits{{"time-unit-literal", 11},
+                             {"time-unit-literal", 12},
+                             {"time-unit-literal", 13}}));
+}
+
+TEST(LintRules, ScheduledLambdasCapturingPerThreadContexts)
+{
+    // A raw pointer, a by-ref capture, and the accessor in an init
+    // capture are flagged; a by-value copy and resolving the context
+    // inside the body are not.
+    const LintResult r = lintFixture("src/sim/ctx_capture.cc");
+    EXPECT_EQ(hits(r), (Hits{{"context-capture", 14},
+                             {"context-capture", 15},
+                             {"context-capture", 17}}));
+}
+
+// ---------------------------------------------------------------------
+// Project (cross-file) rules over the semantic index.
+// ---------------------------------------------------------------------
+
+TEST(LintProject, DeletedSaveFieldFailsWithExactlyCheckpointCoverage)
+{
+    // The class declares four fields; the .cc save body was edited to
+    // drop dropped_, ghost_ is on neither path, cache_ is covered by a
+    // justified allow. Every surviving finding must be the
+    // checkpoint-field-coverage rule and nothing else.
+    const LintResult r = lintFixtures(
+        {"src/core/ckpt_cover.hh", "src/core/ckpt_cover.cc"});
+    EXPECT_EQ(hits(r), (Hits{{kRuleCheckpointCoverage, 21},
+                             {kRuleCheckpointCoverage, 22}}));
+    EXPECT_EQ(r.exitCode(), 1);
+    ASSERT_EQ(r.findings.size(), 2u);
+    for (const Finding &f : r.findings)
+        EXPECT_EQ(f.path, "src/core/ckpt_cover.hh");
+    EXPECT_NE(r.findings[0].message.find(
+                  "missing from the save path (load touches it)"),
+              std::string::npos);
+    EXPECT_NE(r.findings[1].message.find(
+                  "missing from both the save and the load path"),
+              std::string::npos);
+}
+
+TEST(LintProject, UpwardIncludeIsReportedWithTheEdgeNamed)
+{
+    const LintResult r = lintFixture("src/sim/upward.cc");
+    EXPECT_EQ(hits(r), (Hits{{kRuleLayering, 3}}));
+    ASSERT_EQ(r.findings.size(), 1u);
+    const std::string &msg = r.findings[0].message;
+    EXPECT_NE(msg.find("src/sim/upward.cc (layer sim)"),
+              std::string::npos);
+    EXPECT_NE(msg.find("src/os/tables.hh (layer os)"),
+              std::string::npos);
+}
+
+TEST(LintProject, IncludeCycleReportedOnceAtTheBackEdge)
+{
+    const LintResult r =
+        lintFixtures({"src/sim/cycle_a.hh", "src/sim/cycle_b.hh"});
+    EXPECT_EQ(hits(r), (Hits{{kRuleLayering, 5}}));
+    ASSERT_EQ(r.findings.size(), 1u);
+    EXPECT_EQ(r.findings[0].path, "src/sim/cycle_b.hh");
+    EXPECT_NE(r.findings[0].message.find(
+                  "include cycle: src/sim/cycle_a.hh -> "
+                  "src/sim/cycle_b.hh -> src/sim/cycle_a.hh"),
+              std::string::npos);
+}
+
 // ---------------------------------------------------------------------
 // Scoping: the same constructs are legal where the rules don't apply.
 // ---------------------------------------------------------------------
@@ -182,6 +267,26 @@ TEST(LintSuppression, StaleAllowIsReported)
     EXPECT_EQ(hits(r), (Hits{{kSuppressionUnused, 4}}));
 }
 
+TEST(LintSuppression, AllowFileCoversEveryLine)
+{
+    // One whole-file grant, two printf call sites: both suppressed,
+    // the directive is not stale.
+    const LintResult r = lintFixture("src/sim/allow_file_ok.cc");
+    EXPECT_EQ(r.findings.size(), 0u) << formatText(r);
+    ASSERT_EQ(r.allows.size(), 1u);
+    EXPECT_TRUE(r.allows[0].wholeFile);
+    EXPECT_EQ(r.allows[0].rules,
+              std::vector<std::string>{"hygiene-io"});
+}
+
+TEST(LintSuppression, StaleAllowFileIsReported)
+{
+    // The whole-file escape is still audited: a grant that suppresses
+    // nothing anywhere in the file is a finding.
+    const LintResult r = lintFixture("src/sim/allow_file_stale.cc");
+    EXPECT_EQ(hits(r), (Hits{{kSuppressionUnused, 1}}));
+}
+
 TEST(LintSuppression, DocumentationMentioningTheSyntaxIsNotADirective)
 {
     const SourceFile f = lexSource(
@@ -194,6 +299,19 @@ TEST(LintSuppression, DocumentationMentioningTheSyntaxIsNotADirective)
     EXPECT_EQ(f.suppressions[0].rules,
               std::vector<std::string>{"hygiene-io"});
     EXPECT_EQ(f.suppressions[0].justification, "leading marker parses");
+}
+
+TEST(LintSuppression, WrappedJustificationContinuesAcrossCommentLines)
+{
+    const SourceFile f = lexSource(
+        "src/sim/x.cc",
+        "// piso-lint: allow(hygiene-io) -- the reason starts here\n"
+        "// and wraps onto a second line.\n"
+        "int a;\n"
+        "// a later unrelated comment does not attach\n");
+    ASSERT_EQ(f.suppressions.size(), 1u);
+    EXPECT_EQ(f.suppressions[0].justification,
+              "the reason starts here and wraps onto a second line.");
 }
 
 // ---------------------------------------------------------------------
@@ -244,12 +362,15 @@ TEST(LintEngine, FixtureTreeTotals)
     std::string error;
     ASSERT_TRUE(lintFiles({std::string(PISO_LINT_FIXTURE_DIR)}, r, error))
         << error;
-    EXPECT_EQ(r.filesScanned, 14);
+    EXPECT_EQ(r.filesScanned, 23);
     // 4 wallclock + 1 unordered + 2 globals + 3 tables + 1 guard +
     // 2 io + 2 taxonomy + 2 full-scan + 1 nojust + 2 unknown +
-    // 1 stale = 21, each exactly once.
-    EXPECT_EQ(r.findings.size(), 21u);
+    // 2 stale + 3 time-unit + 3 context-capture + 2 checkpoint +
+    // 2 layering = 32, each exactly once.
+    EXPECT_EQ(r.findings.size(), 32u);
     EXPECT_EQ(r.exitCode(), 1);
+    // With no cache every file is re-analyzed.
+    EXPECT_EQ(r.filesReanalyzed, r.filesScanned);
 }
 
 TEST(LintEngine, MissingPathIsAUsageError)
@@ -279,6 +400,147 @@ TEST(LintEngine, TextAndSarifNameEveryFinding)
               std::string::npos);
 }
 
+TEST(LintEngine, SarifMatchesTheCheckedInShape)
+{
+    // The SARIF-lite document is pinned byte-for-byte against
+    // tests/lint_fixtures/expected/io_sarif.json. Regenerate with
+    //   build/piso_lint --json tests/lint_fixtures/src/os/io.cc
+    // whenever the rule registry or the format changes — the diff is
+    // the review artifact.
+    const LintResult r = lintFixture("src/os/io.cc");
+    std::ifstream in(fixture("expected/io_sarif.json"),
+                     std::ios::binary);
+    ASSERT_TRUE(in.good()) << "missing expected/io_sarif.json";
+    std::ostringstream os;
+    os << in.rdbuf();
+    EXPECT_EQ(formatSarif(r), os.str());
+}
+
+TEST(LintEngine, ListAllowsNamesEveryDirective)
+{
+    LintResult r;
+    std::string error;
+    ASSERT_TRUE(lintFiles({fixture("src/sim/allow_file_ok.cc"),
+                           fixture("src/core/ckpt_cover.hh"),
+                           fixture("src/core/ckpt_cover.cc")},
+                          r, error))
+        << error;
+    const std::string text = formatAllows(r);
+    EXPECT_NE(
+        text.find("src/core/ckpt_cover.hh:23: "
+                  "allow(checkpoint-field-coverage) -- fixture: derived"),
+        std::string::npos)
+        << text;
+    EXPECT_NE(text.find("src/sim/allow_file_ok.cc:1: "
+                        "allow-file(hygiene-io) -- fixture: a demo "
+                        "reporter that"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("2 suppression(s) in 3 files"),
+              std::string::npos)
+        << text;
+}
+
+TEST(LintEngine, DiffFilterKeepsTreeWideFamilies)
+{
+    LintResult r = lintFixtures({"src/sim/upward.cc", "src/os/io.cc"});
+    ASSERT_EQ(r.findings.size(), 3u) << formatText(r);
+
+    // The diff touches only io.cc line 10: the second hygiene-io
+    // finding is dropped, but the layering finding gates tree-wide and
+    // survives a diff that never touched its line.
+    DiffLines diff;
+    diff.byPath["src/os/io.cc"].push_back({10, 10});
+    filterToDiff(r, diff);
+    EXPECT_EQ(hits(r), (Hits{{"hygiene-io", 10}, {kRuleLayering, 3}}));
+}
+
+// ---------------------------------------------------------------------
+// Incremental cache: warm runs skip per-file work, report identically.
+// ---------------------------------------------------------------------
+
+TEST(LintCache, WarmRunReanalyzesNothingAndReportsIdentically)
+{
+    const std::string cachePath =
+        testing::TempDir() + "/piso_lint_warm.cache";
+    std::filesystem::remove(cachePath);
+
+    LintResult cold;
+    LintResult warm;
+    std::string error;
+    ASSERT_TRUE(lintFilesCached({std::string(PISO_LINT_FIXTURE_DIR)},
+                                cachePath, cold, error))
+        << error;
+    EXPECT_EQ(cold.filesReanalyzed, cold.filesScanned);
+    ASSERT_TRUE(lintFilesCached({std::string(PISO_LINT_FIXTURE_DIR)},
+                                cachePath, warm, error))
+        << error;
+    EXPECT_EQ(warm.filesReanalyzed, 0);
+    EXPECT_EQ(warm.filesScanned, cold.filesScanned);
+    // Identical findings and suppression inventory, not just counts.
+    EXPECT_EQ(formatText(warm), formatText(cold));
+    EXPECT_EQ(formatAllows(warm), formatAllows(cold));
+    std::filesystem::remove(cachePath);
+}
+
+TEST(LintCache, ChangedFileReanalyzesItsReverseIncludeClosure)
+{
+    namespace fs = std::filesystem;
+    const fs::path root =
+        fs::path(testing::TempDir()) / "piso_lint_closure" / "src" /
+        "sim";
+    fs::create_directories(root);
+    const auto write = [&](const char *name, const std::string &text) {
+        std::ofstream out(root / name, std::ios::binary);
+        out << text;
+    };
+    write("dep.hh", "#ifndef PISO_SIM_DEP_HH\n"
+                    "#define PISO_SIM_DEP_HH\n"
+                    "namespace piso {\n"
+                    "inline int depVal() { return 4; }\n"
+                    "} // namespace piso\n"
+                    "#endif // PISO_SIM_DEP_HH\n");
+    write("user.cc", "#include \"src/sim/dep.hh\"\n"
+                     "namespace piso {\n"
+                     "int useDep() { return depVal(); }\n"
+                     "} // namespace piso\n");
+    write("other.cc", "namespace piso {\n"
+                      "int standalone() { return 5; }\n"
+                      "} // namespace piso\n");
+
+    const std::string cachePath =
+        testing::TempDir() + "/piso_lint_closure.cache";
+    fs::remove(cachePath);
+    const std::string tree = (root.parent_path().parent_path()).string();
+
+    LintResult cold;
+    std::string error;
+    ASSERT_TRUE(lintFilesCached({tree}, cachePath, cold, error))
+        << error;
+    EXPECT_EQ(cold.filesScanned, 3);
+    EXPECT_EQ(cold.filesReanalyzed, 3);
+    EXPECT_EQ(cold.findings.size(), 0u) << formatText(cold);
+
+    // Touch the header: the warm run must re-analyze it AND user.cc
+    // (its reverse include closure), but not other.cc.
+    write("dep.hh", "#ifndef PISO_SIM_DEP_HH\n"
+                    "#define PISO_SIM_DEP_HH\n"
+                    "// edited\n"
+                    "namespace piso {\n"
+                    "inline int depVal() { return 4; }\n"
+                    "} // namespace piso\n"
+                    "#endif // PISO_SIM_DEP_HH\n");
+    LintResult warm;
+    ASSERT_TRUE(lintFilesCached({tree}, cachePath, warm, error))
+        << error;
+    EXPECT_EQ(warm.filesScanned, 3);
+    EXPECT_EQ(warm.filesReanalyzed, 2);
+    EXPECT_EQ(warm.findings.size(), 0u) << formatText(warm);
+
+    fs::remove(cachePath);
+    fs::remove_all(fs::path(testing::TempDir()) / "piso_lint_closure");
+}
+
 TEST(LintEngine, RegistryIsCompleteAndKnown)
 {
     const std::vector<std::string> expected = {
@@ -286,7 +548,8 @@ TEST(LintEngine, RegistryIsCompleteAndKnown)
         "thread-global-state",   "table-map-key",
         "memory-raw-new",        "hygiene-include-guard",
         "hygiene-io",            "error-taxonomy",
-        "hot-path-full-scan",
+        "hot-path-full-scan",    "time-unit-literal",
+        "context-capture",
     };
     const auto &rules = ruleRegistry();
     ASSERT_EQ(rules.size(), expected.size());
@@ -294,5 +557,15 @@ TEST(LintEngine, RegistryIsCompleteAndKnown)
         EXPECT_EQ(rules[i].name, expected[i]);
     for (const std::string &name : expected)
         EXPECT_TRUE(knownRule(name));
+
+    const std::vector<std::string> project = {kRuleCheckpointCoverage,
+                                              kRuleLayering};
+    const auto &prules = projectRuleRegistry();
+    ASSERT_EQ(prules.size(), project.size());
+    for (std::size_t i = 0; i < prules.size(); ++i)
+        EXPECT_EQ(prules[i].name, project[i]);
+    for (const std::string &name : project)
+        EXPECT_TRUE(knownRule(name));
+
     EXPECT_FALSE(knownRule("no-such-rule"));
 }

@@ -38,7 +38,7 @@
 #include "bench/pmake8.hh"
 #include "src/os/buffer_cache.hh"
 #include "src/piso.hh"
-#include "src/sim/log.hh"
+#include "src/util/log.hh"
 
 using namespace piso;
 

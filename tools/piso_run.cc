@@ -27,7 +27,7 @@
 #include "src/exp/pool.hh"
 #include "src/metrics/report.hh"
 #include "src/piso.hh"
-#include "src/sim/log.hh"
+#include "src/util/log.hh"
 #include "src/sim/trace.hh"
 
 using namespace piso;

@@ -30,7 +30,7 @@
 #include "src/config/workload_spec.hh"
 #include "src/exp/pool.hh"
 #include "src/exp/runner.hh"
-#include "src/sim/log.hh"
+#include "src/util/log.hh"
 
 using namespace piso;
 
